@@ -1,0 +1,1 @@
+bench/harness.ml: Affine Array Core Dram Hashtbl Lang Lazy List Noc Printf Sim String Sys Workloads

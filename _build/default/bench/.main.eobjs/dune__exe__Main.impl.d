@@ -1,0 +1,1 @@
+bench/main.ml: Affine Analyze Array Bechamel Benchmark Core Dram Format Harness Hashtbl Lang List Measure Noc Printf Sim Staged Sys Test Time Toolkit Unix Workloads

@@ -1,0 +1,590 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (Section 6).  Absolute numbers differ from the paper — our
+   substrate is the scaled-down simulator described in DESIGN.md — but
+   each section prints the paper-reported value next to ours so the
+   comparative shape can be checked at a glance.
+
+     dune exec bench/main.exe                 # all experiments
+     dune exec bench/main.exe -- --only fig16 # one section
+     dune exec bench/main.exe -- --micro      # Bechamel microbenchmarks
+     OFFCHIP_APPS=apsi,swim dune exec ...     # restrict the app suite *)
+
+module H = Harness
+module Config = Sim.Config
+module Engine = Sim.Engine
+module Stats = Sim.Stats
+module App = Workloads.App
+
+let table1 () =
+  H.header "Table 1: simulated configuration" "(paper: Table 1)";
+  Format.printf "  full-scale: %a@." Config.pp (Config.default ());
+  Format.printf "  scaled (used by the experiments): %a@." Config.pp
+    (Config.scaled ());
+  Printf.printf
+    "  latencies: L1 2, L2 10, per-hop 4 cycles; XY routing, 16 B links\n\
+    \  FR-FCFS, DDR3-1600 timing, 16 banks x 4 channels per controller\n\
+    \  page/row buffer 4 KB; interleaving unit 4 KB or 256 B\n"
+
+let fig3 () =
+  H.header "Figure 3: off-chip accesses vs total data accesses"
+    "(paper: average 22.4% under page interleaving; our scaled caches\n\
+     filter more accesses, so the absolute level is lower — the per-app\n\
+     variation is the point of comparison)";
+  let cfg = H.page_cfg () in
+  let fracs =
+    List.map
+      (fun app ->
+        let r = H.run cfg ~optimized:false app in
+        let f = 100. *. Stats.offchip_fraction r.Engine.stats in
+        Printf.printf "  %-10s %5.1f%% %s\n" app.App.name f (H.bar f 10. 30);
+        f)
+      (H.apps ())
+  in
+  Printf.printf "  %-10s %5.1f%%\n" "AVERAGE"
+    (List.fold_left ( +. ) 0. fracs /. float_of_int (List.length fracs))
+
+let fig4 () =
+  H.header "Figure 4: impact of the optimal scheme"
+    "(paper averages: on-chip net 20.8%, off-chip net 68.2%, memory 45.6%,\n\
+     execution time 19.5%)";
+  let cfg = H.page_cfg () in
+  let optimal = { cfg with Config.optimal = true } in
+  H.row4_header ();
+  let rows =
+    List.map
+      (fun app ->
+        let o = H.run cfg ~optimized:false app in
+        let p = H.run optimal ~optimized:false app in
+        let f = H.four_metrics o p in
+        H.row4 app.App.name f;
+        f)
+      (H.apps ())
+  in
+  H.row4 "AVERAGE" (H.avg4 rows)
+
+let table2 () =
+  H.header "Table 2: arrays optimized / references satisfied"
+    "(paper: per-app percentages; hpccg/minimd approximate indexed refs)";
+  let ccfg = Config.customize_config (H.line_cfg ()) in
+  Printf.printf "  %-10s %10s %14s\n" "" "arrays" "refs satisfied";
+  List.iter
+    (fun app ->
+      let c = H.ctx_of app in
+      let report = Core.Transform.run ~profile:c.H.profile ccfg c.H.analysis in
+      Printf.printf "  %-10s %9.1f%% %13.1f%%\n" app.App.name
+        report.Core.Transform.pct_arrays_optimized
+        report.Core.Transform.pct_refs_satisfied)
+    (H.apps ())
+
+let fig13 () =
+  H.header "Figure 13: spatial distribution of off-chip accesses to MC1 (apsi)"
+    "(paper: original requests come from all over the chip; optimized\n\
+     requests are skewed towards the nearby cores)";
+  let cfg = H.line_cfg () in
+  let app = Workloads.Suite.by_name "apsi" in
+  let map label r =
+    let s = (r : Engine.result).Engine.stats in
+    let total =
+      Array.fold_left (fun a row -> a + row.(0)) 0 s.Stats.node_mc_requests
+    in
+    Printf.printf "  %s (%% of MC1's requests per node):\n" label;
+    for y = 0 to 7 do
+      Printf.printf "   ";
+      for x = 0 to 7 do
+        let node = (y * 8) + x in
+        let f =
+          100.
+          *. float_of_int s.Stats.node_mc_requests.(node).(0)
+          /. float_of_int (max 1 total)
+        in
+        Printf.printf " %5.1f" f
+      done;
+      print_newline ()
+    done
+  in
+  map "original" (H.run cfg ~optimized:false app);
+  map "optimized" (H.run cfg ~optimized:true app);
+  let heat label (r : Engine.result) =
+    Printf.printf "  %s, as a heat map:\n%s" label
+      (Sim.Platform_map.render_heat cfg
+         (Array.map (fun row -> row.(0)) r.Engine.stats.Stats.node_mc_requests))
+  in
+  heat "original" (H.run cfg ~optimized:false app);
+  heat "optimized" (H.run cfg ~optimized:true app);
+  Printf.printf "  (MC1 is attached at the top-left corner)\n"
+
+let four_metric_figure title paper cfg_orig cfg_opt =
+  H.header title paper;
+  H.row4_header ();
+  let pairs =
+    List.map
+      (fun app ->
+        let o = H.run cfg_orig ~optimized:false app in
+        let p = H.run cfg_opt ~optimized:true app in
+        H.row4 app.App.name (H.four_metrics o p);
+        (o, p))
+      (H.apps ())
+  in
+  H.row4 "AVERAGE" (H.avg4 (List.map (fun (o, p) -> H.four_metrics o p) pairs));
+  H.row4 "WEIGHTED" (H.aggregate4 pairs)
+
+let fig14 () =
+  four_metric_figure "Figure 14: performance improvement, page interleaving"
+    "(paper averages: 12.1%, 62.8%, 41.9%, 17.1%)" (H.page_cfg ())
+    (H.page_cfg ~policy:Config.Mc_aware ())
+
+let fig15 () =
+  H.header "Figure 15: CDF of links traversed (all apps, cache-line interleaving)"
+    "(paper: off-chip requests use significantly fewer links after the\n\
+     optimization; on-chip request distances barely change)";
+  let cfg = H.line_cfg () in
+  let sum_hist select optimized =
+    let acc = Array.make (Stats.max_hops + 1) 0 in
+    List.iter
+      (fun app ->
+        let r = H.run cfg ~optimized app in
+        Array.iteri (fun i v -> acc.(i) <- acc.(i) + v) (select r.Engine.stats))
+      (H.apps ());
+    Stats.hop_cdf acc
+  in
+  let on_orig = sum_hist (fun s -> s.Stats.onchip_hops) false in
+  let on_opt = sum_hist (fun s -> s.Stats.onchip_hops) true in
+  let off_orig = sum_hist (fun s -> s.Stats.offchip_hops) false in
+  let off_opt = sum_hist (fun s -> s.Stats.offchip_hops) true in
+  Printf.printf "  %-6s %13s %12s %13s %13s\n" "links" "on-chip orig"
+    "on-chip opt" "off-chip orig" "off-chip opt";
+  for x = 0 to 14 do
+    Printf.printf "  <=%-4d %12.0f%% %11.0f%% %12.0f%% %12.0f%%\n" x
+      (100. *. on_orig.(x))
+      (100. *. on_opt.(x))
+      (100. *. off_orig.(x))
+      (100. *. off_opt.(x))
+  done
+
+let fig16 () =
+  four_metric_figure
+    "Figure 16: performance improvement, cache-line interleaving"
+    "(paper averages: 13.6%, 66.4%, 45.8%, 20.5%)" (H.line_cfg ())
+    (H.line_cfg ())
+
+let fig17 () =
+  H.header "Figure 17: execution-time improvement, mapping M1 vs M2"
+    "(paper: M2 loses locality for most apps but wins for fma3d and\n\
+     minighost, whose memory-parallelism demand is highest)";
+  let m1o = H.line_cfg () and m2o = H.m2_cfg () in
+  Printf.printf "  %-10s %8s %8s\n" "" "M1" "M2";
+  List.iter
+    (fun app ->
+      let base = H.run m1o ~optimized:false app in
+      let p1 = H.run m1o ~optimized:true app in
+      let p2 = H.run m2o ~optimized:true app in
+      Printf.printf "  %-10s %+7.1f%% %+7.1f%%\n" app.App.name
+        (H.exec_improvement base p1) (H.exec_improvement base p2))
+    (H.apps ())
+
+let fig18 () =
+  H.header
+    "Figure 18: bank queue occupancy under M1 (and the compiler's mapping choice)"
+    "(paper: fma3d and minighost have much higher utilization, which is\n\
+     why the analysis favours M2 for them)";
+  let cfg = H.line_cfg () in
+  let m2 = Core.Cluster.m2 ~width:8 ~height:8 in
+  let m2p = Config.placement_for cfg.Config.topo m2 in
+  Printf.printf "  %-10s %10s   %s\n" "" "occupancy" "selected mapping";
+  List.iter
+    (fun app ->
+      let r = H.run cfg ~optimized:true app in
+      let occ = H.avg_occupancy r in
+      let chosen, _ =
+        Core.Mapping_select.choose cfg.Config.topo
+          ~candidates:[ (cfg.Config.cluster, cfg.Config.placement); (m2, m2p) ]
+          ~bank_pressure:occ
+      in
+      Printf.printf "  %-10s %10.2f   %-4s %s\n" app.App.name occ
+        chosen.Core.Cluster.name (H.bar occ 8. 24))
+    (H.apps ())
+
+let fig19 () =
+  H.header "Figure 19: different controller placements"
+    "(paper: P2 is slightly better than P1/P3 — about 20.7% average —\n\
+     because its average distance-to-controller is lower)";
+  let topo = (H.line_cfg ()).Config.topo in
+  let with_sites name sites =
+    let cfg = H.line_cfg () in
+    let placement = Config.placement_for ~sites topo cfg.Config.cluster in
+    (name, { cfg with Config.placement = { placement with Noc.Placement.name } })
+  in
+  let coords nodes = Array.map (Noc.Topology.coord_of_node topo) nodes in
+  let placements =
+    [
+      ("P1", H.line_cfg ());
+      with_sites "P2" (coords (Noc.Placement.edge_centers topo).Noc.Placement.nodes);
+      with_sites "P3" (coords (Noc.Placement.top_bottom topo).Noc.Placement.nodes);
+    ]
+  in
+  Printf.printf "  %-6s %12s %10s\n" "" "avg distance" "exec gain";
+  List.iter
+    (fun (name, cfg) ->
+      let gains =
+        List.map
+          (fun app ->
+            let o = H.run cfg ~optimized:false app in
+            let p = H.run cfg ~optimized:true app in
+            H.exec_improvement o p)
+          (H.apps ())
+      in
+      let avg =
+        List.fold_left ( +. ) 0. gains /. float_of_int (List.length gains)
+      in
+      Printf.printf "  %-6s %12.2f %+9.1f%%\n" name
+        (Noc.Placement.avg_distance cfg.Config.placement cfg.Config.topo)
+        avg)
+    placements
+
+let fig20 () =
+  H.header "Figure 20: different controller counts"
+    "(paper: savings grow with more controllers — better memory\n\
+     parallelism within each cluster)";
+  Printf.printf "  %-8s %10s\n" "MCs" "exec gain";
+  List.iter
+    (fun mcs ->
+      let cfg =
+        if mcs = 4 then H.line_cfg ()
+        else
+          Config.with_cluster (H.line_cfg ())
+            (Core.Cluster.with_mcs ~width:8 ~height:8 ~mcs)
+      in
+      let gains =
+        List.map
+          (fun app ->
+            H.exec_improvement
+              (H.run cfg ~optimized:false app)
+              (H.run cfg ~optimized:true app))
+          (H.apps ())
+      in
+      Printf.printf "  %-8d %+9.1f%%\n" mcs
+        (List.fold_left ( +. ) 0. gains /. float_of_int (List.length gains)))
+    [ 4; 8; 16 ]
+
+let fig21 () =
+  H.header "Figure 21: different core counts"
+    "(paper: 14% on 4x4, 18% on 4x8, 20.5% on 8x8 — gains grow with the\n\
+     network diameter)";
+  Printf.printf "  %-8s %10s\n" "mesh" "exec gain";
+  List.iter
+    (fun (w, h) ->
+      let cfg = Config.mesh ~width:w ~height:h (H.line_cfg ()) in
+      let gains =
+        List.map
+          (fun app ->
+            H.exec_improvement
+              (H.run cfg ~optimized:false app)
+              (H.run cfg ~optimized:true app))
+          (H.apps ())
+      in
+      Printf.printf "  %dx%-6d %+9.1f%%\n" w h
+        (List.fold_left ( +. ) 0. gains /. float_of_int (List.length gains)))
+    [ (4, 4); (4, 8); (8, 8) ]
+
+let fig22 () =
+  four_metric_figure "Figure 22: shared (SNUCA) L2"
+    "(paper: average execution-time improvement 24.3% under shared L2)"
+    (H.shared_cfg ()) (H.shared_cfg ())
+
+let fig23 () =
+  H.header "Figure 23: improvement over the first-touch policy"
+    "(paper: 12.3% average; first-touch only places pages well for\n\
+     wupwise, gafort and minimd)";
+  let ft = H.page_cfg ~policy:Config.First_touch () in
+  let ours = H.page_cfg ~policy:Config.Mc_aware () in
+  let gains =
+    List.map
+      (fun app ->
+        let o = H.run ft ~optimized:false app in
+        let p = H.run ours ~optimized:true app in
+        let g = H.exec_improvement o p in
+        Printf.printf "  %-10s %+7.1f%%%s\n" app.App.name g
+          (if app.App.first_touch_friendly then "   (first-touch friendly)"
+           else "");
+        g)
+      (H.apps ())
+  in
+  Printf.printf "  %-10s %+7.1f%%\n" "AVERAGE"
+    (List.fold_left ( +. ) 0. gains /. float_of_int (List.length gains))
+
+let fig24 () =
+  H.header "Figure 24: more threads per core"
+    "(paper: improvements grow with thread count as baseline contention\n\
+     intensifies)";
+  Printf.printf "  %-14s %10s\n" "threads/core" "exec gain";
+  List.iter
+    (fun tpc ->
+      let cfg = { (H.line_cfg ()) with Config.threads_per_core = tpc } in
+      let gains =
+        List.map
+          (fun app ->
+            H.exec_improvement
+              (H.run cfg ~optimized:false app)
+              (H.run cfg ~optimized:true app))
+          (H.apps ())
+      in
+      Printf.printf "  %-14d %+9.1f%%\n" tpc
+        (List.fold_left ( +. ) 0. gains /. float_of_int (List.length gains)))
+    [ 1; 2; 4 ]
+
+let fig25 () =
+  H.header "Figure 25: multiprogrammed workloads (weighted speedup)"
+    "(paper: improvements between 5.4% and 13.1% — the layouts are\n\
+     compiled for the whole machine, so co-running halves their fit)";
+  let cfg = H.line_cfg () in
+  let pairs =
+    [
+      ("W1", "apsi", "swim");
+      ("W2", "fma3d", "art");
+      ("W3", "wupwise", "minighost");
+      ("W4", "hpccg", "ammp");
+      ("W5", "galgel", "gafort");
+    ]
+  in
+  let prep optimized offset vbase (app : App.t) =
+    let c = H.ctx_of app in
+    if optimized then
+      Sim.Runner.prepare cfg ~optimized:true ~threads:32 ~core_offset:offset
+        ~vaddr_base:vbase ~name:app.App.name
+        ~warmup_phases:app.App.warmup_nests ~index_lookup:c.H.index_lookup
+        ~profile:c.H.profile c.H.program
+    else
+      Sim.Runner.prepare cfg ~optimized:false ~threads:32 ~core_offset:offset
+        ~vaddr_base:vbase ~name:app.App.name
+        ~warmup_phases:app.App.warmup_nests ~index_lookup:c.H.index_lookup
+        c.H.program
+  in
+  let alone optimized app =
+    let p = prep optimized 0 0 app in
+    (Sim.Runner.run_many cfg ~jobs:[ p ]).Engine.measured_time
+  in
+  Printf.printf "  %-4s %-22s %10s %10s %8s\n" "" "apps" "WS orig" "WS opt"
+    "gain";
+  List.iter
+    (fun (wname, a, b) ->
+      let appa = Workloads.Suite.by_name a
+      and appb = Workloads.Suite.by_name b in
+      let ws optimized =
+        let pa = prep optimized 0 0 appa in
+        let pb = prep optimized 32 (1 lsl 32) appb in
+        let r = Sim.Runner.run_many cfg ~jobs:[ pa; pb ] in
+        let ta = float_of_int (alone optimized appa)
+        and tb = float_of_int (alone optimized appb) in
+        (ta /. float_of_int (max 1 r.Engine.job_measured.(0)))
+        +. (tb /. float_of_int (max 1 r.Engine.job_measured.(1)))
+      in
+      let wso = ws false and wsp = ws true in
+      Printf.printf "  %-4s %-22s %10.3f %10.3f %+7.1f%%\n" wname (a ^ "+" ^ b)
+        wso wsp
+        (100. *. ((wsp /. wso) -. 1.)))
+    pairs
+
+let alternative () =
+  H.header "Alternative: loop restructuring vs / plus layout transformation"
+    "(paper Section 1: loop transformations could aim at similar goals but\n\
+     are constrained by dependences.  Interchange repairs cache-hostile\n\
+     traversal orders where legal - an orthogonal, on-chip effect - while\n\
+     the layout pass owns the Data-to-MC mapping; 'combined' runs the\n\
+     layout pass on the restructured program.  Where dependences or\n\
+     imperfect nests block interchange (blk), only the layout pass helps)";
+  let page_ft = H.page_cfg ~policy:Config.First_touch () in
+  let ours = H.page_cfg ~policy:Config.Mc_aware () in
+  Printf.printf "  %-10s %15s %10s %10s %10s\n" "" "perm/align/blk" "loop"
+    "layout" "combined";
+  List.iter
+    (fun app ->
+      let c = H.ctx_of app in
+      let lt = Core.Loop_transform.run c.H.analysis in
+      let base = H.run page_ft ~optimized:false app in
+      (* loop-restructured program under the same first-touch OS *)
+      let restructured =
+        Sim.Runner.run page_ft ~optimized:false
+          ~warmup_phases:app.App.warmup_nests ~index_lookup:c.H.index_lookup
+          lt.Core.Loop_transform.program
+      in
+      let layout = H.run ours ~optimized:true app in
+      let combined =
+        (* the layout pass applied on top of the restructured program *)
+        let lt_analysis =
+          Lang.Analysis.analyze lt.Core.Loop_transform.program
+        in
+        let profile a = Workloads.Profile.for_transform app lt_analysis a in
+        Sim.Runner.run ours ~optimized:true
+          ~warmup_phases:app.App.warmup_nests ~index_lookup:c.H.index_lookup
+          ~profile lt.Core.Loop_transform.program
+      in
+      Printf.printf "  %-10s %9d/%d/%d %+9.1f%% %+9.1f%% %+9.1f%%\n"
+        app.App.name lt.Core.Loop_transform.permuted_nests
+        lt.Core.Loop_transform.already_aligned lt.Core.Loop_transform.blocked
+        (H.exec_improvement base restructured)
+        (H.exec_improvement base layout)
+        (H.exec_improvement base combined))
+    (H.apps ())
+
+let ablation () =
+  H.header "Ablation: model ingredients (apsi)"
+    "(DESIGN.md Section 5: how much of the improvement comes from link\n\
+     contention, thread decorrelation and channel bandwidth)";
+  let app = Workloads.Suite.by_name "apsi" in
+  let show name cfg =
+    let o = H.run cfg ~optimized:false app in
+    let p = H.run cfg ~optimized:true app in
+    Printf.printf "  %-28s exec gain %+6.1f%%  (off-net %+6.1f%%)\n" name
+      (H.exec_improvement o p)
+      (H.four_metrics o p).H.offchip_net
+  in
+  show "default model" (H.line_cfg ());
+  show "wide links (no contention)"
+    {
+      (H.line_cfg ()) with
+      Config.noc = { Noc.Network.per_hop_latency = 4; link_bytes = 4096 };
+    };
+  show "no issue jitter" { (H.line_cfg ()) with Config.jitter = false };
+  show "single DRAM channel" { (H.line_cfg ()) with Config.channels_per_mc = 1 };
+  show "FCFS scheduling (no FR)"
+    { (H.line_cfg ()) with Config.mc_scheduler = Dram.Fr_fcfs.Fcfs };
+  show "closed-page DRAM"
+    { (H.line_cfg ()) with Config.mc_row_policy = Dram.Fr_fcfs.Closed_page }
+
+(* --- Bechamel microbenchmarks: cost of the pass itself --- *)
+
+let micro () =
+  H.header "Microbenchmarks (Bechamel)"
+    "(compile-time cost of the layout pass and hot simulator primitives)";
+  let open Bechamel in
+  let apsi = H.ctx_of (Workloads.Suite.by_name "apsi") in
+  let ccfg = Config.customize_config (H.line_cfg ()) in
+  let b =
+    Affine.Matrix.of_rows
+      [
+        Affine.Vec.of_list [ 2; -1; 0; 3; 1 ];
+        Affine.Vec.of_list [ 0; 4; 1; -2; 5 ];
+        Affine.Vec.of_list [ 1; 1; 1; 1; 1 ];
+      ]
+  in
+  let layout =
+    Core.Customize.customize ccfg ~array:"A" ~extents:[| 128; 128 |]
+      ~u:(Affine.Matrix.identity 2) ~v:0
+  in
+  let topo = Noc.Topology.make ~width:8 ~height:8 in
+  let idx = [| 37; 91 |] in
+  let tests =
+    Test.make_grouped ~name:"offchip"
+      [
+        Test.make ~name:"gauss.nullspace-3x5"
+          (Staged.stage (fun () -> ignore (Affine.Gauss.nullspace b)));
+        Test.make ~name:"unimodular.complete_row"
+          (Staged.stage (fun () ->
+               ignore
+                 (Affine.Unimodular.complete_row
+                    (Affine.Vec.of_list [ 0; 1; 0; 0 ])
+                    ~v:0)));
+        Test.make ~name:"transform.run-apsi"
+          (Staged.stage (fun () ->
+               ignore (Core.Transform.run ccfg apsi.H.analysis)));
+        Test.make ~name:"parser.parse-apsi"
+          (Staged.stage (fun () ->
+               ignore (Lang.Parser.parse apsi.H.app.App.source)));
+        Test.make ~name:"layout.offset_of_index"
+          (Staged.stage (fun () -> ignore (Core.Layout.offset_of_index layout idx)));
+        Test.make ~name:"topology.xy_route-corner"
+          (Staged.stage (fun () ->
+               ignore (Noc.Topology.xy_route topo ~src:0 ~dst:63)));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        match Analyze.OLS.estimates result with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-40s %14.1f ns/run\n" name est)
+    (List.sort compare rows)
+
+let sensitivity () =
+  H.header "Sensitivity: link width, L2 capacity, compute intensity"
+    "(robustness of the execution-time gain to the scaled platform's\n\
+     parameters, averaged over apsi, swim and fma3d)";
+  let sample = [ "apsi"; "swim"; "fma3d" ] in
+  let avg_gain cfg =
+    let gains =
+      List.map
+        (fun name ->
+          let app = Workloads.Suite.by_name name in
+          H.exec_improvement
+            (H.run cfg ~optimized:false app)
+            (H.run cfg ~optimized:true app))
+        sample
+    in
+    List.fold_left ( +. ) 0. gains /. float_of_int (List.length gains)
+  in
+  Printf.printf "  %-24s %10s\n" "variant" "exec gain";
+  List.iter
+    (fun (name, cfg) -> Printf.printf "  %-24s %+9.1f%%\n" name (avg_gain cfg))
+    [
+      ("default", H.line_cfg ());
+      ( "8 B links",
+        { (H.line_cfg ()) with Config.noc = { Noc.Network.per_hop_latency = 4; link_bytes = 8 } } );
+      ( "32 B links",
+        { (H.line_cfg ()) with Config.noc = { Noc.Network.per_hop_latency = 4; link_bytes = 32 } } );
+      ("L2 8 KB/node", { (H.line_cfg ()) with Config.l2_size = 8192 });
+      ("L2 32 KB/node", { (H.line_cfg ()) with Config.l2_size = 32768 });
+      ("compute x0.5", { (H.line_cfg ()) with Config.compute_cycles = 8 });
+      ("compute x2", { (H.line_cfg ()) with Config.compute_cycles = 32 });
+    ]
+
+let sections =
+  [
+    ("table1", table1);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("table2", table2);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("fig15", fig15);
+    ("fig16", fig16);
+    ("fig17", fig17);
+    ("fig18", fig18);
+    ("fig19", fig19);
+    ("fig20", fig20);
+    ("fig21", fig21);
+    ("fig22", fig22);
+    ("fig23", fig23);
+    ("fig24", fig24);
+    ("fig25", fig25);
+    ("alternative", alternative);
+    ("ablation", ablation);
+    ("sensitivity", sensitivity);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let only =
+    match args with _ :: "--only" :: names -> Some names | _ -> None
+  in
+  if List.mem "--micro" args then micro ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (name, f) ->
+        match only with
+        | Some names when not (List.mem name names) -> ()
+        | _ -> f ())
+      sections;
+    Printf.printf "\n(total wall time: %.0f s)\n" (Unix.gettimeofday () -. t0)
+  end

@@ -1,0 +1,142 @@
+(* occ — the off-chip access localization compiler driver.
+
+   Parses a mini-language program (a file, or one of the built-in
+   application models), runs the layout-transformation pass of the paper
+   (Algorithm 1) for the requested platform, and prints the transformed
+   program together with the per-array report.
+
+     occ examples/jacobi.mc
+     occ --app apsi --l2 shared --report
+     occ --app hpccg --interleave page --layouts *)
+
+open Cmdliner
+
+let read_program file app =
+  match (file, app) with
+  | Some f, None -> Ok (Lang.Parser.parse_file f, None)
+  | None, Some name -> (
+    match Workloads.Suite.by_name name with
+    | app -> Ok (Workloads.App.program app, Some app)
+    | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown application %S (known: %s)" name
+           (String.concat ", " Workloads.Suite.names)))
+  | Some _, Some _ -> Error "give either a file or --app, not both"
+  | None, None -> Error "give a source file or --app NAME"
+
+let build_config ~l2 ~interleave ~mapping ~width ~height =
+  let cfg = Sim.Config.mesh ~width ~height (Sim.Config.default ()) in
+  let cfg =
+    match mapping with
+    | "M1" -> cfg
+    | "M2" -> Sim.Config.with_cluster cfg (Core.Cluster.m2 ~width ~height)
+    | m -> (
+      match int_of_string_opt m with
+      | Some mcs ->
+        Sim.Config.with_cluster cfg (Core.Cluster.with_mcs ~width ~height ~mcs)
+      | None -> invalid_arg ("unknown mapping " ^ m))
+  in
+  let cfg =
+    {
+      cfg with
+      Sim.Config.l2_org =
+        (match l2 with
+        | "private" -> Sim.Config.Private_l2
+        | "shared" -> Sim.Config.Shared_l2
+        | s -> invalid_arg ("unknown L2 organization " ^ s));
+      interleaving =
+        (match interleave with
+        | "line" -> Dram.Address_map.Line_interleaved
+        | "page" -> Dram.Address_map.Page_interleaved
+        | s -> invalid_arg ("unknown interleaving " ^ s));
+    }
+  in
+  Sim.Config.customize_config cfg
+
+let run file app l2 interleave mapping width height report layouts emit_c =
+  match read_program file app with
+  | Error e ->
+    prerr_endline ("occ: " ^ e);
+    1
+  | Ok (program, app) -> (
+    match build_config ~l2 ~interleave ~mapping ~width ~height with
+    | exception Invalid_argument e ->
+      prerr_endline ("occ: " ^ e);
+      1
+    | ccfg ->
+      let analysis = Lang.Analysis.analyze program in
+      let profile =
+        Option.map
+          (fun a arr -> Workloads.Profile.for_transform a analysis arr)
+          app
+      in
+      let rep = Core.Transform.run ?profile ccfg analysis in
+      if report then Format.printf "// %a@." Core.Transform.pp_report rep;
+      if layouts then
+        List.iter
+          (fun d ->
+            if d.Core.Transform.optimized then
+              Format.printf "// %a@." Core.Layout.pp d.Core.Transform.layout)
+          rep.Core.Transform.decisions;
+      let transformed = Core.Transform.rewrite_program rep program in
+      (match emit_c with
+      | Some path ->
+        Lang.Codegen.emit_to_file ~name:"kernel" path transformed;
+        Format.printf "// C code written to %s@." path
+      | None -> ());
+      Format.printf "%a@." Lang.Ast.pp_program transformed;
+      0)
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Source file.")
+
+let app_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "app" ] ~docv:"NAME" ~doc:"Use a built-in application model.")
+
+let l2 =
+  Arg.(
+    value & opt string "private"
+    & info [ "l2" ] ~docv:"ORG" ~doc:"L2 organization: private or shared.")
+
+let interleave =
+  Arg.(
+    value & opt string "line"
+    & info [ "interleave" ] ~docv:"GRAN" ~doc:"Interleaving: line or page.")
+
+let mapping =
+  Arg.(
+    value & opt string "M1"
+    & info [ "mapping" ] ~docv:"MAP"
+        ~doc:"L2-to-MC mapping: M1, M2, or a controller count (8, 16).")
+
+let width =
+  Arg.(value & opt int 8 & info [ "width" ] ~docv:"W" ~doc:"Mesh width.")
+
+let height =
+  Arg.(value & opt int 8 & info [ "height" ] ~docv:"H" ~doc:"Mesh height.")
+
+let report =
+  Arg.(value & flag & info [ "report" ] ~doc:"Print the per-array report.")
+
+let layouts =
+  Arg.(value & flag & info [ "layouts" ] ~doc:"Print the chosen layouts.")
+
+let emit_c =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-c" ] ~docv:"FILE"
+        ~doc:"Also write the transformed program as C with OpenMP pragmas.")
+
+let cmd =
+  let doc = "compiler-guided off-chip access localization (PLDI 2015)" in
+  Cmd.v
+    (Cmd.info "occ" ~doc)
+    Term.(
+      const run $ file_arg $ app_arg $ l2 $ interleave $ mapping $ width
+      $ height $ report $ layouts $ emit_c)
+
+let () = exit (Cmd.eval' cmd)

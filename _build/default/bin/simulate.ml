@@ -1,0 +1,169 @@
+(* simulate — run one application model through the full-system simulator
+   and print the statistics the paper reports.
+
+     simulate apsi
+     simulate apsi --optimized
+     simulate fma3d --optimized --mapping M2
+     simulate swim --interleave page --policy first-touch
+     simulate apsi --optimal             # the Section 2 optimal scheme *)
+
+open Cmdliner
+
+let build_config ~l2 ~interleave ~policy ~mapping ~width ~height ~tpc ~optimal
+    ~full_scale =
+  let base = if full_scale then Sim.Config.default () else Sim.Config.scaled () in
+  let cfg = Sim.Config.mesh ~width ~height base in
+  let cfg =
+    match mapping with
+    | "M1" -> cfg
+    | "M2" -> Sim.Config.with_cluster cfg (Core.Cluster.m2 ~width ~height)
+    | m -> (
+      match int_of_string_opt m with
+      | Some mcs ->
+        Sim.Config.with_cluster cfg (Core.Cluster.with_mcs ~width ~height ~mcs)
+      | None -> invalid_arg ("unknown mapping " ^ m))
+  in
+  {
+    cfg with
+    Sim.Config.l2_org =
+      (match l2 with
+      | "private" -> Sim.Config.Private_l2
+      | "shared" -> Sim.Config.Shared_l2
+      | s -> invalid_arg ("unknown L2 organization " ^ s));
+    interleaving =
+      (match interleave with
+      | "line" -> Dram.Address_map.Line_interleaved
+      | "page" -> Dram.Address_map.Page_interleaved
+      | s -> invalid_arg ("unknown interleaving " ^ s));
+    page_policy =
+      (match policy with
+      | "hardware" -> Sim.Config.Hardware
+      | "first-touch" -> Sim.Config.First_touch
+      | "mc-aware" -> Sim.Config.Mc_aware
+      | s -> invalid_arg ("unknown policy " ^ s));
+    threads_per_core = tpc;
+    optimal;
+  }
+
+let run name optimized l2 interleave policy mapping width height tpc optimal
+    full_scale show_map dump_trace =
+  match Workloads.Suite.by_name name with
+  | exception Not_found ->
+    Printf.eprintf "simulate: unknown application %S (known: %s)\n" name
+      (String.concat ", " Workloads.Suite.names);
+    1
+  | app -> (
+    match
+      build_config ~l2 ~interleave ~policy ~mapping ~width ~height ~tpc
+        ~optimal ~full_scale
+    with
+    | exception Invalid_argument e ->
+      prerr_endline ("simulate: " ^ e);
+      1
+    | cfg ->
+      let program = Workloads.App.program app in
+      let analysis = Lang.Analysis.analyze program in
+      let index_lookup = Workloads.App.index_lookup app in
+      let profile a = Workloads.Profile.for_transform app analysis a in
+      Format.printf "%s on %a@." app.Workloads.App.name Sim.Config.pp cfg;
+      if show_map then print_string (Sim.Platform_map.render cfg);
+      let prepared =
+        if optimized then
+          Sim.Runner.prepare cfg ~optimized:true
+            ~warmup_phases:app.Workloads.App.warmup_nests ~index_lookup
+            ~profile program
+        else
+          Sim.Runner.prepare cfg ~optimized:false
+            ~warmup_phases:app.Workloads.App.warmup_nests ~index_lookup
+            program
+      in
+      (match dump_trace with
+      | Some path ->
+        Sim.Tracefile.dump path prepared.Sim.Runner.job.Sim.Engine.phases;
+        Format.printf "trace (%d accesses) written to %s@."
+          (Sim.Tracefile.total_accesses prepared.Sim.Runner.job.Sim.Engine.phases)
+          path
+      | None -> ());
+      let r = Sim.Runner.run_many cfg ~jobs:[ prepared ] in
+      Format.printf "%a@." Sim.Stats.pp_summary r.Sim.Engine.stats;
+      Format.printf "steady-state execution time: %d cycles@."
+        r.Sim.Engine.measured_time;
+      Format.printf "controller occupancy:";
+      Array.iter (fun o -> Format.printf " %.2f" o) r.Sim.Engine.mc_occupancy;
+      Format.printf "@.row-buffer hit rate:";
+      Array.iter (fun o -> Format.printf " %.2f" o) r.Sim.Engine.mc_row_hit_rate;
+      Format.printf "@.";
+      0)
+
+let name_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"APP" ~doc:"Application model to simulate.")
+
+let optimized =
+  Arg.(value & flag & info [ "optimized" ] ~doc:"Apply the layout pass first.")
+
+let l2 =
+  Arg.(
+    value & opt string "private"
+    & info [ "l2" ] ~docv:"ORG" ~doc:"L2 organization: private or shared.")
+
+let interleave =
+  Arg.(
+    value & opt string "line"
+    & info [ "interleave" ] ~docv:"GRAN" ~doc:"Interleaving: line or page.")
+
+let policy =
+  Arg.(
+    value & opt string "hardware"
+    & info [ "policy" ] ~docv:"POL"
+        ~doc:"Page policy: hardware, first-touch or mc-aware.")
+
+let mapping =
+  Arg.(
+    value & opt string "M1"
+    & info [ "mapping" ] ~docv:"MAP" ~doc:"L2-to-MC mapping: M1, M2, 8, 16.")
+
+let width = Arg.(value & opt int 8 & info [ "width" ] ~docv:"W" ~doc:"Mesh width.")
+
+let height =
+  Arg.(value & opt int 8 & info [ "height" ] ~docv:"H" ~doc:"Mesh height.")
+
+let tpc =
+  Arg.(
+    value & opt int 1
+    & info [ "threads-per-core" ] ~docv:"N" ~doc:"Threads per core.")
+
+let optimal =
+  Arg.(
+    value & flag
+    & info [ "optimal" ] ~doc:"Idealized optimal scheme (Section 2).")
+
+let full_scale =
+  Arg.(
+    value & flag
+    & info [ "full-scale" ]
+        ~doc:"Use the Table 1 cache sizes instead of the scaled ones.")
+
+let show_map =
+  Arg.(
+    value & flag
+    & info [ "map" ] ~doc:"Draw the mesh, clusters and controllers first.")
+
+let dump_trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-trace" ] ~docv:"FILE"
+        ~doc:"Write the per-thread access trace to a file.")
+
+let cmd =
+  let doc = "simulate an application on the NoC manycore platform" in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ name_arg $ optimized $ l2 $ interleave $ policy $ mapping
+      $ width $ height $ tpc $ optimal $ full_scale $ show_map $ dump_trace)
+
+let () = exit (Cmd.eval' cmd)

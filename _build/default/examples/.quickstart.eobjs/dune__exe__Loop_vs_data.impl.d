@@ -1,0 +1,1 @@
+examples/loop_vs_data.ml: Affine Core Lang List Printf Sim String

@@ -1,0 +1,1 @@
+examples/loop_vs_data.mli:

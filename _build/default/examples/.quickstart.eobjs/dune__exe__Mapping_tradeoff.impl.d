@@ -1,0 +1,1 @@
+examples/mapping_tradeoff.ml: Array Core List Printf Sim Workloads

@@ -1,0 +1,1 @@
+examples/spmv_indexed.ml: Affine Array Core Format Lang List Printf Sim Workloads

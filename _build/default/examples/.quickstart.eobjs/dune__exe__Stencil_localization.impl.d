@@ -1,0 +1,1 @@
+examples/stencil_localization.ml: Array Core Printf Sim Workloads

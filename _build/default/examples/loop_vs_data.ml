@@ -1,0 +1,78 @@
+(* Loop restructuring vs data layout transformation (Section 1).
+
+   The paper chooses data transformations over loop transformations
+   because the latter "are constrained by data and control dependences",
+   while data transformations "are essentially a kind of renaming and not
+   affected by dependences".  This example makes the argument executable:
+
+   1. a column-walking kernel where loop interchange is legal — both the
+      loop pass and the layout pass help;
+   2. the same kernel with a diagonal dependence — interchange becomes
+      illegal, the loop pass gives up, and only the layout pass still
+      localizes the off-chip accesses.
+
+     dune exec examples/loop_vs_data.exe *)
+
+let free_src =
+  {|
+param N = 320;
+array A[N][N];
+parfor j = 0 to N-1 {
+  for i = 0 to N-1 {
+    A[i][j] = A[i][j] + 1;
+  }
+}
+|}
+
+let blocked_src =
+  {|
+param N = 320;
+array A[N][N];
+parfor j = 1 to N-2 {
+  for i = 1 to N-2 {
+    A[i][j] = A[i-1][j+1] + 1;
+  }
+}
+|}
+
+let () =
+  let cfg = Sim.Config.scaled () in
+  let show name src =
+    let program = Lang.Parser.parse src in
+    let analysis = Lang.Analysis.analyze program in
+    Printf.printf "--- %s ---\n" name;
+    (* dependence analysis *)
+    let distances = Core.Loop_transform.dependence_distances analysis ~nest_id:0 in
+    Printf.printf "dependence distances: %s\n"
+      (if distances = [] then "(none)"
+       else String.concat ", " (List.map Affine.Vec.to_string distances));
+    (* the loop pass *)
+    let lt = Core.Loop_transform.run analysis in
+    Printf.printf "loop pass: %d permuted, %d aligned, %d blocked\n"
+      lt.Core.Loop_transform.permuted_nests lt.Core.Loop_transform.already_aligned
+      lt.Core.Loop_transform.blocked;
+    (* the data pass *)
+    let report = Core.Transform.run (Sim.Config.customize_config cfg) analysis in
+    Printf.printf "layout pass: %.0f%% of arrays optimized\n"
+      report.Core.Transform.pct_arrays_optimized;
+    (* simulate: original, loop-restructured, layout-transformed *)
+    let base = Sim.Runner.run cfg ~optimized:false program in
+    let looped =
+      Sim.Runner.run cfg ~optimized:false lt.Core.Loop_transform.program
+    in
+    let layout = Sim.Runner.run cfg ~optimized:true program in
+    let t (r : Sim.Engine.result) = r.Sim.Engine.stats.Sim.Stats.finish_time in
+    let gain r =
+      100. *. (1. -. (float_of_int (t r) /. float_of_int (t base)))
+    in
+    Printf.printf
+      "execution: original %d cycles | loop-restructured %+.1f%% | \
+       layout-transformed %+.1f%%\n\n"
+      (t base) (gain looped) (gain layout)
+  in
+  show "interchange legal (no loop-carried dependence)" free_src;
+  show "interchange blocked by a (1,-1) dependence" blocked_src;
+  print_endline
+    "The second kernel shows the paper's point: the dependence pins the\n\
+     loop order, but renaming the data (the layout transformation) is\n\
+     still free to localize every off-chip access."

@@ -1,0 +1,56 @@
+(* The locality / memory-level-parallelism tradeoff (Fig. 8, Fig. 17/18).
+
+   Mapping M1 gives every cluster its own corner controller (best
+   locality); M2 gives each half of the mesh two controllers (twice the
+   memory parallelism, longer distances).  The compiler analysis of
+   Section 4 weighs distance-to-MC against profiled bank pressure and
+   picks a mapping per application.  This example reproduces the paper's
+   finding: M1 wins for a compute-bound stencil (apsi), M2 wins for the
+   bank-hammering fma3d.
+
+     dune exec examples/mapping_tradeoff.exe *)
+
+let () =
+  let base = Sim.Config.scaled () in
+  let m2cfg = Sim.Config.with_cluster base (Core.Cluster.m2 ~width:8 ~height:8) in
+  let candidates =
+    [
+      (base.Sim.Config.cluster, base.Sim.Config.placement);
+      (m2cfg.Sim.Config.cluster, m2cfg.Sim.Config.placement);
+    ]
+  in
+  List.iter
+    (fun (cl, pl) ->
+      let m = Core.Mapping_select.evaluate base.Sim.Config.topo cl pl in
+      Printf.printf "%-3s: avg distance-to-MC %.2f hops, %d controller(s) per cluster\n"
+        cl.Core.Cluster.name m.Core.Mapping_select.avg_distance
+        m.Core.Mapping_select.mcs_per_cluster)
+    candidates;
+  print_newline ();
+  List.iter
+    (fun name ->
+      let app = Workloads.Suite.by_name name in
+      let program = Workloads.App.program app in
+      let w = app.Workloads.App.warmup_nests in
+      let run cfg optimized = Sim.Runner.run cfg ~optimized ~warmup_phases:w program in
+      let base_run = run base false in
+      let p1 = run base true and p2 = run m2cfg true in
+      let gain (r : Sim.Engine.result) =
+        100.
+        *. (1.
+           -. float_of_int r.Sim.Engine.measured_time
+              /. float_of_int base_run.Sim.Engine.measured_time)
+      in
+      (* profile bank pressure under M1 and let the compiler choose *)
+      let pressure =
+        let occ = p1.Sim.Engine.mc_occupancy in
+        Array.fold_left ( +. ) 0. occ /. float_of_int (Array.length occ)
+      in
+      let chosen, _ =
+        Core.Mapping_select.choose base.Sim.Config.topo ~candidates
+          ~bank_pressure:pressure
+      in
+      Printf.printf
+        "%-10s M1 gain %+6.1f%%   M2 gain %+6.1f%%   bank pressure %.2f  ->  compiler picks %s\n"
+        name (gain p1) (gain p2) pressure chosen.Core.Cluster.name)
+    [ "apsi"; "swim"; "fma3d"; "minighost" ]

@@ -1,0 +1,41 @@
+(* Stencil localization: where do off-chip requests go?
+
+   Runs the swim shallow-water stencil with and without the pass and
+   prints, for each of the four controllers, how many requests arrive
+   from each cluster — the Fig. 6/13 story as a table: after the
+   transformation, controller j serves (almost) only cluster j.
+
+     dune exec examples/stencil_localization.exe *)
+
+let () =
+  let cfg = Sim.Config.scaled () in
+  let app = Workloads.Suite.by_name "swim" in
+  let program = Workloads.App.program app in
+  let cluster = cfg.Sim.Config.cluster in
+  let topo = cfg.Sim.Config.topo in
+  let show label r =
+    let s = (r : Sim.Engine.result).Sim.Engine.stats in
+    (* requests per (cluster, controller) *)
+    let m = Array.make_matrix 4 4 0 in
+    Array.iteri
+      (fun node row ->
+        let cl = Core.Cluster.cluster_of_node cluster topo node in
+        Array.iteri (fun mc c -> m.(cl).(mc) <- m.(cl).(mc) + c) row)
+      s.Sim.Stats.node_mc_requests;
+    Printf.printf "%s: requests from cluster -> controller\n" label;
+    Printf.printf "            MC0     MC1     MC2     MC3\n";
+    Array.iteri
+      (fun cl row ->
+        Printf.printf "  cluster%d" cl;
+        Array.iter (fun c -> Printf.printf " %7d" c) row;
+        print_newline ())
+      m;
+    let total = Array.fold_left (fun a r -> a + Array.fold_left ( + ) 0 r) 0 m in
+    let local = m.(0).(0) + m.(1).(1) + m.(2).(2) + m.(3).(3) in
+    Printf.printf "  local fraction: %.1f%%\n\n"
+      (100. *. float_of_int local /. float_of_int (max 1 total))
+  in
+  show "ORIGINAL"
+    (Sim.Runner.run cfg ~optimized:false ~warmup_phases:1 program);
+  show "OPTIMIZED"
+    (Sim.Runner.run cfg ~optimized:true ~warmup_phases:1 program)

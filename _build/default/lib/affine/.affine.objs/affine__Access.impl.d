@@ -1,0 +1,1 @@
+lib/affine/access.ml: Format Matrix Vec

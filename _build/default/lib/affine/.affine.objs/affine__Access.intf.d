@@ -1,0 +1,1 @@
+lib/affine/access.mli: Format Matrix Vec

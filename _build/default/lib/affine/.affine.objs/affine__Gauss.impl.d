@@ -1,0 +1,1 @@
+lib/affine/gauss.ml: Array List Matrix Vec

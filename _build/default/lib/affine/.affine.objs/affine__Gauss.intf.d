@@ -1,0 +1,1 @@
+lib/affine/gauss.mli: Matrix Vec

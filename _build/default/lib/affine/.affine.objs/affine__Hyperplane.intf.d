@@ -1,0 +1,1 @@
+lib/affine/hyperplane.mli: Format Vec

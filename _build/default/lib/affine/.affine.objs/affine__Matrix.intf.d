@@ -1,0 +1,1 @@
+lib/affine/matrix.mli: Format Vec

@@ -1,0 +1,1 @@
+lib/affine/smith.ml: Array List Matrix

@@ -1,0 +1,1 @@
+lib/affine/smith.mli: Matrix

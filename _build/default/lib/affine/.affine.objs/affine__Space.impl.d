@@ -1,0 +1,1 @@
+lib/affine/space.ml: Array Format Fun List Vec

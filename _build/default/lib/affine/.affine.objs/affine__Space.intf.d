@@ -1,0 +1,1 @@
+lib/affine/space.mli: Format Vec

@@ -1,0 +1,1 @@
+lib/affine/unimodular.ml: Array Gauss Matrix Vec

@@ -1,0 +1,1 @@
+lib/affine/unimodular.mli: Matrix Vec

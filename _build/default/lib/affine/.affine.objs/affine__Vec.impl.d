@@ -1,0 +1,1 @@
+lib/affine/vec.ml: Array Format

@@ -1,0 +1,126 @@
+(* Column echelon form by unimodular column operations, with the column
+   transformation accumulated.  All operations are exact. *)
+
+let swap_cols m i j =
+  Array.iter
+    (fun r ->
+      let t = r.(i) in
+      r.(i) <- r.(j);
+      r.(j) <- t)
+    m
+
+(* col_j <- col_j - q * col_i *)
+let submul_col m q i j =
+  Array.iter (fun r -> r.(j) <- r.(j) - (q * r.(i))) m
+
+let negate_col m j = Array.iter (fun r -> r.(j) <- -r.(j)) m
+
+let column_echelon m0 =
+  let h = Matrix.copy m0 in
+  let nr = Matrix.rows h and nc = Matrix.cols h in
+  let c = Matrix.identity nc in
+  let pivot_col = ref 0 in
+  for r = 0 to nr - 1 do
+    if !pivot_col < nc then begin
+      (* Euclidean elimination within row [r] over columns >= !pivot_col:
+         reduce until at most one nonzero remains, then move it to the
+         pivot position. *)
+      let nonzero () =
+        let acc = ref [] in
+        for j = nc - 1 downto !pivot_col do
+          if h.(r).(j) <> 0 then acc := j :: !acc
+        done;
+        !acc
+      in
+      let rec reduce () =
+        match nonzero () with
+        | [] | [ _ ] -> ()
+        | js ->
+          (* pick the column with the smallest |entry| as the reducer *)
+          let best =
+            List.fold_left
+              (fun b j -> if abs h.(r).(j) < abs h.(r).(b) then j else b)
+              (List.hd js) js
+          in
+          List.iter
+            (fun j ->
+              if j <> best then begin
+                let q = h.(r).(j) / h.(r).(best) in
+                if q <> 0 then begin
+                  submul_col h q best j;
+                  submul_col c q best j
+                end
+              end)
+            js;
+          reduce ()
+      in
+      reduce ();
+      match nonzero () with
+      | [] -> () (* row has no pivot; kernel unaffected *)
+      | [ j ] ->
+        if j <> !pivot_col then begin
+          swap_cols h j !pivot_col;
+          swap_cols c j !pivot_col
+        end;
+        if h.(r).(!pivot_col) < 0 then begin
+          negate_col h !pivot_col;
+          negate_col c !pivot_col
+        end;
+        incr pivot_col
+      | _ -> assert false
+    end
+  done;
+  (h, c, !pivot_col)
+
+let nullspace m =
+  let _, c, rank = column_echelon m in
+  let nc = Matrix.cols m in
+  let basis = ref [] in
+  for j = nc - 1 downto rank do
+    basis := Matrix.col c j :: !basis
+  done;
+  !basis
+
+let count_nonzero v = Array.fold_left (fun n x -> if x = 0 then n else n + 1) 0 v
+
+let max_norm v = Array.fold_left (fun n x -> max n (abs x)) 0 v
+
+let kernel_vector m =
+  match nullspace m with
+  | [] -> None
+  | b :: rest ->
+    let better u v =
+      let cu = count_nonzero u and cv = count_nonzero v in
+      if cu <> cv then cu < cv else max_norm u < max_norm v
+    in
+    let best = List.fold_left (fun b v -> if better v b then v else b) b rest in
+    Some (Vec.primitive best)
+
+(* Particular integer solution of m·x = b: with m·c = h in column echelon
+   form, solve h·y = b by forward substitution (checking integrality),
+   then x = c·y. *)
+let solve m b =
+  if Matrix.rows m <> Vec.dim b then invalid_arg "Gauss.solve";
+  let h, c, rank = column_echelon m in
+  let nr = Matrix.rows m and nc = Matrix.cols m in
+  let y = Array.make nc 0 in
+  let ok = ref true in
+  let col = ref 0 in
+  (* h is in column echelon form: walk rows, matching pivots *)
+  for r = 0 to nr - 1 do
+    if !ok then begin
+      let residual = ref b.(r) in
+      for j = 0 to !col - 1 do
+        residual := !residual - (h.(r).(j) * y.(j))
+      done;
+      if !col < rank && h.(r).(!col) <> 0 then begin
+        if !residual mod h.(r).(!col) <> 0 then ok := false
+        else begin
+          y.(!col) <- !residual / h.(r).(!col);
+          incr col
+        end
+      end
+      else if !residual <> 0 then ok := false
+    end
+  done;
+  if !ok then Some (Matrix.mul_vec c y) else None

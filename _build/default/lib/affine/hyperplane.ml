@@ -1,0 +1,11 @@
+type t = { normal : Vec.t; offset : int }
+
+let make normal offset = { normal; offset }
+
+let orthogonal_to_dim ~dim ~rank ~offset = { normal = Vec.unit rank dim; offset }
+
+let contains h p = Vec.dot h.normal p = h.offset
+
+let same_family a b = Vec.equal (Vec.primitive a.normal) (Vec.primitive b.normal)
+
+let pp ppf h = Format.fprintf ppf "%a·x = %d" Vec.pp h.normal h.offset

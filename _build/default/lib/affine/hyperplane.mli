@@ -1,0 +1,24 @@
+(** Hyperplanes in iteration and data spaces.
+
+    A hyperplane in a [k]-dimensional space is the set of points [p] with
+    [h·p = c] for a normal vector [h] and offset [c] (paper, Section 5.1).
+    Families of parallel hyperplanes orthogonal to a chosen dimension
+    partition the iteration space into per-core chunks and the data space
+    into per-core data blocks. *)
+
+type t = { normal : Vec.t; offset : int }
+
+val make : Vec.t -> int -> t
+
+val orthogonal_to_dim : dim:int -> rank:int -> offset:int -> t
+(** The hyperplane [{p | p.(dim) = offset}] in a [rank]-dimensional space:
+    the normal is the unit vector along [dim]. *)
+
+val contains : t -> Vec.t -> bool
+(** [contains h p] is [h.normal·p = h.offset]. *)
+
+val same_family : t -> t -> bool
+(** Two hyperplanes are in the same parallel family when their primitive
+    normals coincide. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+(* Classical Smith normal form by alternating row and column reductions.
+   Row operations accumulate into [u], column operations into [v], so
+   u·m·v = s holds throughout. *)
+
+let swap_rows m i j =
+  let t = m.(i) in
+  m.(i) <- m.(j);
+  m.(j) <- t
+
+let swap_cols m i j =
+  Array.iter
+    (fun r ->
+      let t = r.(i) in
+      r.(i) <- r.(j);
+      r.(j) <- t)
+    m
+
+(* row_j <- row_j - q * row_i *)
+let submul_row m q i j =
+  Array.iteri (fun c x -> m.(j).(c) <- m.(j).(c) - (q * x)) m.(i)
+
+let submul_col m q i j =
+  Array.iter (fun r -> r.(j) <- r.(j) - (q * r.(i))) m
+
+let negate_row m i = m.(i) <- Array.map (fun x -> -x) m.(i)
+
+let negate_col m j = Array.iter (fun r -> r.(j) <- -r.(j)) m
+
+let decompose m0 =
+  let s = Matrix.copy m0 in
+  let nr = Matrix.rows s and nc = Matrix.cols s in
+  let u = Matrix.identity nr and v = Matrix.identity nc in
+  let pivot_nonzero k =
+    (* move some nonzero entry of the lower-right block to (k, k) *)
+    let found = ref None in
+    for i = nr - 1 downto k do
+      for j = nc - 1 downto k do
+        if s.(i).(j) <> 0 then found := Some (i, j)
+      done
+    done;
+    match !found with
+    | None -> false
+    | Some (i, j) ->
+      if i <> k then begin
+        swap_rows s i k;
+        swap_rows u i k
+      end;
+      if j <> k then begin
+        swap_cols s j k;
+        swap_cols v j k
+      end;
+      true
+  in
+  (* clear row k and column k around the pivot (k, k) by gcd reduction;
+     swaps pull fresh entries into the other dimension, so iterate until
+     both are verifiably clear (|pivot| shrinks at every swap, so this
+     terminates) *)
+  let rec reduce k =
+    for i = k + 1 to nr - 1 do
+      if s.(i).(k) <> 0 then begin
+        if abs s.(i).(k) < abs s.(k).(k) then begin
+          swap_rows s i k;
+          swap_rows u i k
+        end;
+        let q = s.(i).(k) / s.(k).(k) in
+        if q <> 0 then begin
+          submul_row s q k i;
+          submul_row u q k i
+        end
+      end
+    done;
+    for j = k + 1 to nc - 1 do
+      if s.(k).(j) <> 0 then begin
+        if abs s.(k).(j) < abs s.(k).(k) then begin
+          swap_cols s j k;
+          swap_cols v j k
+        end;
+        let q = s.(k).(j) / s.(k).(k) in
+        if q <> 0 then begin
+          submul_col s q k j;
+          submul_col v q k j
+        end
+      end
+    done;
+    let clear = ref true in
+    for i = k + 1 to nr - 1 do
+      if s.(i).(k) <> 0 then clear := false
+    done;
+    for j = k + 1 to nc - 1 do
+      if s.(k).(j) <> 0 then clear := false
+    done;
+    if not !clear then reduce k
+  in
+  let n = min nr nc in
+  let diagonalize from =
+    for k = from to n - 1 do
+      if pivot_nonzero k then begin
+        reduce k;
+        if s.(k).(k) < 0 then begin
+          negate_row s k;
+          negate_row u k
+        end
+      end
+    done
+  in
+  diagonalize 0;
+  (* enforce the divisibility chain d_k | d_{k+1}: each violation is fixed
+     by folding column k+1 into column k — the gcd descent at (k, k) then
+     absorbs d_{k+1} — followed by re-diagonalization of the tail, which
+     the fold disturbs.  Each fold strictly reduces d_k, so this
+     terminates. *)
+  let rec divisibility () =
+    let violation = ref None in
+    for k = n - 2 downto 0 do
+      let a = s.(k).(k) and b = s.(k + 1).(k + 1) in
+      if a <> 0 && b mod a <> 0 then violation := Some k
+    done;
+    match !violation with
+    | None -> ()
+    | Some k ->
+      Array.iter (fun r -> r.(k) <- r.(k) + r.(k + 1)) s;
+      Array.iter (fun r -> r.(k) <- r.(k) + r.(k + 1)) v;
+      diagonalize k;
+      divisibility ()
+  in
+  divisibility ();
+  (* normalize any negative diagonal *)
+  for k = 0 to n - 1 do
+    if s.(k).(k) < 0 then begin
+      negate_col s k;
+      negate_col v k
+    end
+  done;
+  (u, s, v)
+
+let diagonal m =
+  let _, s, _ = decompose m in
+  let n = min (Matrix.rows s) (Matrix.cols s) in
+  List.filter (fun d -> d <> 0) (List.init n (fun k -> s.(k).(k)))
+
+let rank m = List.length (diagonal m)

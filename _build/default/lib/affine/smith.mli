@@ -1,0 +1,19 @@
+(** Smith Normal Form.
+
+    For any integer matrix [m] there are unimodular [u, v] with
+    [u·m·v = s] diagonal and each diagonal entry dividing the next.  The
+    form underlies the lattice facts the layout machinery relies on — a
+    primitive vector extends to a unimodular basis, the kernel of an
+    integer matrix is a direct summand — and the test suite uses it to
+    cross-validate {!Gauss} and {!Unimodular}. *)
+
+val decompose : Matrix.t -> Matrix.t * Matrix.t * Matrix.t
+(** [decompose m] is [(u, s, v)] with [u·m·v = s], [u] and [v] unimodular
+    and [s] in Smith normal form (non-negative diagonal, each entry
+    dividing the next). *)
+
+val diagonal : Matrix.t -> int list
+(** The invariant factors (nonzero diagonal of the Smith form). *)
+
+val rank : Matrix.t -> int
+(** Rank over the rationals = number of nonzero invariant factors. *)

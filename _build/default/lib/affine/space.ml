@@ -1,0 +1,77 @@
+type t = { lo : Vec.t; hi : Vec.t }
+
+let make ~lo ~hi =
+  if Vec.dim lo <> Vec.dim hi then invalid_arg "Space.make: dimension mismatch";
+  Array.iteri
+    (fun d l -> if l > hi.(d) + 1 then invalid_arg "Space.make: bad bounds")
+    lo;
+  { lo; hi }
+
+let of_extents ns =
+  let lo = Vec.zero (List.length ns)
+  and hi = Vec.of_list (List.map (fun n -> n - 1) ns) in
+  make ~lo ~hi
+
+let rank s = Vec.dim s.lo
+
+let extent s d = s.hi.(d) - s.lo.(d) + 1
+
+let size s =
+  let n = ref 1 in
+  for d = 0 to rank s - 1 do
+    n := !n * max 0 (extent s d)
+  done;
+  !n
+
+let mem s p =
+  Vec.dim p = rank s
+  && Array.for_all (fun d -> s.lo.(d) <= p.(d) && p.(d) <= s.hi.(d))
+       (Array.init (rank s) Fun.id)
+
+let iter f s =
+  let r = rank s in
+  if size s > 0 then begin
+    let p = Vec.copy s.lo in
+    let rec loop d =
+      if d = r then f p
+      else
+        for x = s.lo.(d) to s.hi.(d) do
+          p.(d) <- x;
+          loop (d + 1)
+        done
+    in
+    loop 0
+  end
+
+(* Even partition of [n] points into [chunks]: the first [n mod chunks]
+   chunks get one extra point. *)
+let chunk_bounds n chunks index =
+  let base = n / chunks and rem = n mod chunks in
+  let start =
+    (index * base) + min index rem
+  in
+  let len = base + (if index < rem then 1 else 0) in
+  (start, start + len - 1)
+
+let chunk s ~dim ~chunks ~index =
+  if chunks <= 0 || index < 0 || index >= chunks then invalid_arg "Space.chunk";
+  let n = extent s dim in
+  let st, en = chunk_bounds n chunks index in
+  let lo = Vec.copy s.lo and hi = Vec.copy s.hi in
+  lo.(dim) <- s.lo.(dim) + st;
+  hi.(dim) <- s.lo.(dim) + en;
+  { lo; hi }
+
+let chunk_of_point s ~dim ~chunks x =
+  let n = extent s dim in
+  let off = x - s.lo.(dim) in
+  if off < 0 || off >= n then invalid_arg "Space.chunk_of_point";
+  let base = n / chunks and rem = n mod chunks in
+  (* The first [rem] chunks have [base+1] points. *)
+  let boundary = rem * (base + 1) in
+  if off < boundary then off / (base + 1)
+  else if base = 0 then chunks - 1
+  else rem + ((off - boundary) / base)
+
+let pp ppf s =
+  Format.fprintf ppf "[%a .. %a]" Vec.pp s.lo Vec.pp s.hi

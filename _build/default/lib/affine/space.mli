@@ -1,0 +1,45 @@
+(** Rectangular iteration and data spaces.
+
+    The paper's target codes have affine loop bounds; the kernels we model
+    (and the paper's own examples) use rectangular domains, so a space is a
+    vector of inclusive per-dimension bounds.  Iteration spaces are
+    partitioned into contiguous chunks along the parallel dimension
+    (OpenMP static scheduling); data spaces into data blocks along the data
+    partitioning dimension. *)
+
+type t = { lo : Vec.t; hi : Vec.t }
+(** Inclusive bounds; the space is [{p | lo ≤ p ≤ hi componentwise}]. *)
+
+val make : lo:Vec.t -> hi:Vec.t -> t
+(** Raises [Invalid_argument] on dimension mismatch or if some [lo.(d) >
+    hi.(d) + 1] (empty dimensions with [hi = lo - 1] are allowed). *)
+
+val of_extents : int list -> t
+(** [of_extents [n1; n2]] is the space [0..n1-1 × 0..n2-1]. *)
+
+val rank : t -> int
+
+val extent : t -> int -> int
+(** [extent s d] is the number of points along dimension [d]. *)
+
+val size : t -> int
+(** Total number of points. *)
+
+val mem : t -> Vec.t -> bool
+
+val iter : (Vec.t -> unit) -> t -> unit
+(** Enumerates all points in lexicographic order.  The vector passed to the
+    callback is reused between calls; copy it if you keep it. *)
+
+val chunk : t -> dim:int -> chunks:int -> index:int -> t
+(** [chunk s ~dim ~chunks ~index] is the [index]-th of [chunks] contiguous
+    chunks of [s] along dimension [dim], sized as evenly as possible with
+    the remainder spread over the leading chunks (OpenMP static
+    scheduling).  A chunk may be empty when there are more chunks than
+    points. *)
+
+val chunk_of_point : t -> dim:int -> chunks:int -> int -> int
+(** [chunk_of_point s ~dim ~chunks x] is the index of the chunk that the
+    coordinate [x] (along [dim]) falls into — the inverse of {!chunk}. *)
+
+val pp : Format.formatter -> t -> unit

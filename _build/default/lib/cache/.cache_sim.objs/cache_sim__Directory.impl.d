@@ -1,0 +1,1 @@
+lib/cache/directory.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/cache/sacache.ml: Array Option

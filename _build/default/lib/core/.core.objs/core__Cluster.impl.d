@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Format List Noc Printf

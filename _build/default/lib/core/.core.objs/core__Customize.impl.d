@@ -1,0 +1,1 @@
+lib/core/customize.ml: Affine Array Cluster Fun Layout List Noc

@@ -1,0 +1,1 @@
+lib/core/customize.mli: Affine Cluster Layout Noc

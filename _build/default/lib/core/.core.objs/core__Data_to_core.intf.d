@@ -1,0 +1,1 @@
+lib/core/data_to_core.mli: Affine

@@ -1,0 +1,1 @@
+lib/core/indexed.ml: Affine Array Float List Option

@@ -1,0 +1,1 @@
+lib/core/layout.ml: Affine Array Format Fun Lang List Option Printf

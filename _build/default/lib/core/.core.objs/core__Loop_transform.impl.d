@@ -1,0 +1,1 @@
+lib/core/loop_transform.ml: Affine Array Fun Lang List String

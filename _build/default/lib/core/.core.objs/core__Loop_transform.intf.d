@@ -1,0 +1,1 @@
+lib/core/loop_transform.mli: Affine Lang

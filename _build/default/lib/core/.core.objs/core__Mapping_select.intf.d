@@ -1,0 +1,1 @@
+lib/core/mapping_select.mli: Cluster Noc

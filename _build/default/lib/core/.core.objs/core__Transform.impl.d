@@ -1,0 +1,1 @@
+lib/core/transform.ml: Affine Array Customize Data_to_core Format Indexed Lang Layout List Printf String

@@ -1,0 +1,217 @@
+module Vec = Affine.Vec
+module Matrix = Affine.Matrix
+
+type l2_kind = Private_l2 | Shared_l2
+
+type config = {
+  cluster : Cluster.t;
+  topo : Noc.Topology.t;
+  placement : Noc.Placement.t;
+  l2 : l2_kind;
+  p_elems : int;
+  elem_bytes : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Interval arithmetic over the rows of U: extents and normalizing shift of
+   the transformed (bounding-box) data space. *)
+let transformed_extents ~u ~extents =
+  let n = Array.length extents in
+  let lo = Array.make n 0 and hi = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let row = Matrix.row u i in
+    for j = 0 to n - 1 do
+      let c = row.(j) in
+      let a = 0 and b = extents.(j) - 1 in
+      lo.(i) <- lo.(i) + min (c * a) (c * b);
+      hi.(i) <- hi.(i) + max (c * a) (c * b)
+    done
+  done;
+  (Array.init n (fun i -> hi.(i) - lo.(i) + 1), Vec.neg lo)
+
+open Layout
+
+(* R(r_v) decomposition pieces for the private-L2 case.  [block] is the
+   data-block (thread) index Div(D v, b). *)
+let private_pieces (c : Cluster.t) block =
+  let cx_dim =
+    { expr = Mod (Div (block, c.ny * c.cy * c.nx), c.cx); extent = c.cx }
+  and x_in = { expr = Mod (Div (block, c.ny * c.cy), c.nx); extent = c.nx }
+  and cy_dim = { expr = Mod (Div (block, c.ny), c.cy); extent = c.cy }
+  and y_in = { expr = Mod (block, c.ny); extent = c.ny } in
+  (cx_dim, x_in, cy_dim, y_in)
+
+let allowed_mcs cfg ~home_thread =
+  let c = cfg.cluster in
+  let num_mcs = Cluster.num_mcs c in
+  let node = Cluster.node_of_thread c cfg.topo home_thread in
+  let cluster = Cluster.cluster_of_node c cfg.topo node in
+  let desired = Cluster.mcs_of_cluster c cluster in
+  (* adjacency: strictly closer than the largest pairwise MC distance
+     (for corner placements: same-edge controllers, not the diagonal) *)
+  let dist m m' =
+    Noc.Topology.distance cfg.topo
+      (Noc.Placement.mc_node cfg.placement m)
+      (Noc.Placement.mc_node cfg.placement m')
+  in
+  let max_pair = ref 0 in
+  for a = 0 to num_mcs - 1 do
+    for b = 0 to num_mcs - 1 do
+      max_pair := max !max_pair (dist a b)
+    done
+  done;
+  let allowed = Array.make num_mcs false in
+  List.iter
+    (fun d ->
+      allowed.(d) <- true;
+      for m = 0 to num_mcs - 1 do
+        if dist m d < !max_pair then allowed.(m) <- true
+      done)
+    desired;
+  allowed
+
+let customize cfg ~array ~extents ~u ~v =
+  let c = cfg.cluster in
+  let cores = Cluster.num_cores c in
+  let num_mcs = Cluster.num_mcs c in
+  assert (num_mcs = Noc.Placement.count cfg.placement);
+  let extents', a_shift = transformed_extents ~u ~extents in
+  let n = Array.length extents' in
+  let p = cfg.p_elems in
+  let kp = c.k * p in
+  (* data-block size along the partition dimension, padded so every core
+     gets a full block and (for 1-D arrays) blocks divide into chunks *)
+  let b0 = ceil_div extents'.(v) cores in
+  match cfg.l2 with
+  | Private_l2 ->
+    let out =
+      if n = 1 then begin
+        (* v is also the fastest dimension: interleave inside the block.
+           The block size must be exactly ceil(extent/cores) so that the
+           data-block index coincides with the owning thread; the within-
+           block offset is strip-mined into k·p-sized slots, padding the
+           last partial slot (intra-array padding). *)
+        let b = b0 in
+        let block = Div (D v, b) in
+        let cx_dim, x_in, cy_dim, y_in = private_pieces c block in
+        [|
+          x_in;
+          y_in;
+          { expr = Div (Mod (D v, b), kp); extent = ceil_div b kp };
+          cx_dim;
+          cy_dim;
+          { expr = Mod (Mod (D v, b), kp); extent = kp };
+        |]
+      end
+      else begin
+        let b = b0 in
+        let last = n - 1 in
+        assert (v <> last);
+        let block = Div (D v, b) in
+        let cx_dim, x_in, cy_dim, y_in = private_pieces c block in
+        let chunks = ceil_div extents'.(last) kp in
+        Array.of_list
+          (List.concat
+             [
+               (* dimensions other than v and the fastest one, in order *)
+               List.filter_map
+                 (fun d ->
+                   if d = v || d = last then None
+                   else Some { expr = D d; extent = extents'.(d) })
+                 (List.init n Fun.id);
+               [ x_in; y_in; { expr = Mod (D v, b); extent = b } ];
+               [
+                 { expr = Div (D last, kp); extent = chunks };
+                 cx_dim;
+                 cy_dim;
+                 { expr = Mod (D last, kp); extent = kp };
+               ];
+             ])
+      end
+    in
+    Layout.simplify
+      (Layout.make ~array ~u ~a_shift ~out ~orig_extents:extents
+         ~elem_bytes:cfg.elem_bytes ~p_elems:p ())
+  | Shared_l2 ->
+    (* Home permutation: owner thread o's blocks are homed at a bank near
+       o's own node whose controller (home mod num_mcs at the address
+       level) is acceptable for o's cluster.  This realizes the intent of
+       the paper's delta-skip with bounded displacement: on-chip locality
+       costs at most a couple of hops exactly where perfect co-location
+       is impossible (Eqs. 4-5). *)
+    let home_table =
+      let allowed = Array.init cores (fun o -> allowed_mcs cfg ~home_thread:o) in
+      let mc_ok o h = cores mod num_mcs <> 0 || allowed.(o).(h mod num_mcs) in
+      let taken = Array.make cores false in
+      let table = Array.make cores (-1) in
+      (* first pass: owners whose own node has an acceptable controller
+         are homed exactly there (the common case) *)
+      for o = 0 to cores - 1 do
+        let preferred = Cluster.node_of_thread c cfg.topo o in
+        if mc_ok o preferred then begin
+          table.(o) <- preferred;
+          taken.(preferred) <- true
+        end
+      done;
+      (* second pass: the rest take the nearest free node with an
+         acceptable controller (or the nearest free node at all) *)
+      for o = 0 to cores - 1 do
+        if table.(o) < 0 then begin
+          let preferred = Cluster.node_of_thread c cfg.topo o in
+          let best = ref (-1) and best_score = ref max_int in
+          for h = 0 to cores - 1 do
+            if not taken.(h) then begin
+              let dist = Noc.Topology.distance cfg.topo preferred h in
+              let score = dist + if mc_ok o h then 0 else 1000 in
+              if score < !best_score then begin
+                best_score := score;
+                best := h
+              end
+            end
+          done;
+          taken.(!best) <- true;
+          table.(o) <- !best
+        end
+      done;
+      table
+    in
+    let home block = { expr = Perm (Mod (block, cores), home_table); extent = cores } in
+    let out =
+      if n = 1 then begin
+        let b = ceil_div b0 p * p in
+        let block = Div (D v, b) in
+        [|
+          { expr = Div (block, cores); extent = ceil_div (ceil_div extents'.(v) b) cores };
+          { expr = Div (Mod (D v, b), p); extent = b / p };
+          home block;
+          { expr = Mod (D v, p); extent = p };
+        |]
+      end
+      else begin
+        let b = b0 in
+        let last = n - 1 in
+        assert (v <> last);
+        let block = Div (D v, b) in
+        let chunks = ceil_div extents'.(last) p in
+        Array.of_list
+          (List.concat
+             [
+               List.filter_map
+                 (fun d ->
+                   if d = v || d = last then None
+                   else Some { expr = D d; extent = extents'.(d) })
+                 (List.init n Fun.id);
+               [
+                 { expr = Div (block, cores); extent = ceil_div (ceil_div extents'.(v) b) cores };
+                 { expr = Mod (D v, b); extent = b };
+                 { expr = Div (D last, p); extent = chunks };
+                 home block;
+                 { expr = Mod (D last, p); extent = p };
+               ];
+             ])
+      end
+    in
+    Layout.simplify
+      (Layout.make ~array ~u ~a_shift ~out ~orig_extents:extents
+         ~elem_bytes:cfg.elem_bytes ~p_elems:p ())

@@ -1,0 +1,108 @@
+module Vec = Affine.Vec
+module Matrix = Affine.Matrix
+module Access = Affine.Access
+
+let default_threshold = 0.30
+
+(* Solve the m×m float system g·x = rhs by Gaussian elimination with
+   partial pivoting; [None] if (near) singular. *)
+let solve_dense g rhs =
+  let n = Array.length rhs in
+  let a = Array.map Array.copy g in
+  let b = Array.copy rhs in
+  let eps = 1e-9 in
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    (* pivot *)
+    let p = ref k in
+    for i = k + 1 to n - 1 do
+      if abs_float a.(i).(k) > abs_float a.(!p).(k) then p := i
+    done;
+    if abs_float a.(!p).(k) < eps then ok := false
+    else begin
+      if !p <> k then begin
+        let t = a.(k) in
+        a.(k) <- a.(!p);
+        a.(!p) <- t;
+        let t = b.(k) in
+        b.(k) <- b.(!p);
+        b.(!p) <- t
+      end;
+      for i = k + 1 to n - 1 do
+        let f = a.(i).(k) /. a.(k).(k) in
+        for j = k to n - 1 do
+          a.(i).(j) <- a.(i).(j) -. (f *. a.(k).(j))
+        done;
+        b.(i) <- b.(i) -. (f *. b.(k))
+      done
+    end
+  done;
+  if not !ok then None
+  else begin
+    let x = Array.make n 0. in
+    for i = n - 1 downto 0 do
+      let s = ref b.(i) in
+      for j = i + 1 to n - 1 do
+        s := !s -. (a.(i).(j) *. x.(j))
+      done;
+      x.(i) <- !s /. a.(i).(i)
+    done;
+    Some x
+  end
+
+let approximate ~samples =
+  match samples with
+  | [] -> None
+  | (i0, a0) :: _ ->
+    let m = Vec.dim i0 and n = Vec.dim a0 in
+    if
+      not
+        (List.for_all (fun (i, a) -> Vec.dim i = m && Vec.dim a = n) samples)
+    then None
+    else begin
+      (* normal equations for the design [i | 1]: (XᵀX)β = Xᵀy *)
+      let dim = m + 1 in
+      let xtx = Array.make_matrix dim dim 0. in
+      List.iter
+        (fun (i, _) ->
+          let row = Array.init dim (fun j -> if j < m then float_of_int i.(j) else 1.) in
+          for r = 0 to dim - 1 do
+            for c = 0 to dim - 1 do
+              xtx.(r).(c) <- xtx.(r).(c) +. (row.(r) *. row.(c))
+            done
+          done)
+        samples;
+      let fit_dim d =
+        let xty = Array.make dim 0. in
+        List.iter
+          (fun (i, a) ->
+            let y = float_of_int a.(d) in
+            for r = 0 to dim - 1 do
+              let xr = if r < m then float_of_int i.(r) else 1. in
+              xty.(r) <- xty.(r) +. (xr *. y)
+            done)
+          samples;
+        Option.map
+          (fun beta ->
+            ( Array.init m (fun j -> int_of_float (Float.round beta.(j))),
+              int_of_float (Float.round beta.(m)) ))
+          (solve_dense xtx xty)
+      in
+      let fits = List.init n fit_dim in
+      if List.exists Option.is_none fits then None
+      else begin
+        let rows = List.map (fun f -> fst (Option.get f)) fits in
+        let offs = List.map (fun f -> snd (Option.get f)) fits in
+        let access = Access.make (Matrix.of_rows rows) (Vec.of_list offs) in
+        let mismatches =
+          List.fold_left
+            (fun bad (i, a) ->
+              if Vec.equal (Access.apply access i) a then bad else bad + 1)
+            0 samples
+        in
+        let inaccuracy =
+          float_of_int mismatches /. float_of_int (List.length samples)
+        in
+        Some (access, inaccuracy)
+      end
+    end

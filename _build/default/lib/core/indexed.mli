@@ -1,0 +1,19 @@
+(** Profiling-based approximation of indexed array accesses (Section 5.4).
+
+    References like [a[col[j]]] are not affine; the paper extracts the
+    dense access pattern from a profile and fits an affine function that
+    approximates the addresses.  Over- or under-approximation is safe —
+    the fit only steers layout selection — but a bad fit (paper: more
+    than 30% inaccuracy) means the reference should not be optimized. *)
+
+val approximate :
+  samples:(Affine.Vec.t * Affine.Vec.t) list ->
+  (Affine.Access.t * float) option
+(** [approximate ~samples] fits [a ≈ A·i + o] by per-dimension integer
+    least squares over [(iteration, data-vector)] profile pairs.  Returns
+    the fitted access function and its {e inaccuracy}: the fraction of
+    samples whose data vector differs from the prediction.  [None] when
+    there are no samples or the dimensions are inconsistent. *)
+
+val default_threshold : float
+(** Maximum acceptable inaccuracy (0.30, the paper's "more than 30%"). *)

@@ -1,0 +1,139 @@
+module Vec = Affine.Vec
+module Matrix = Affine.Matrix
+
+type dim_expr =
+  | D of int
+  | Div of dim_expr * int
+  | Mod of dim_expr * int
+  | Perm of dim_expr * int array
+
+type out_dim = { expr : dim_expr; extent : int }
+
+type t = {
+  array : string;
+  u : Matrix.t;
+  a_shift : Vec.t;
+  out : out_dim array;
+  orig_extents : int array;
+  elem_bytes : int;
+  p_elems : int;
+}
+
+let identity ~array ~extents ~elem_bytes =
+  {
+    array;
+    u = Matrix.identity (Array.length extents);
+    a_shift = Vec.zero (Array.length extents);
+    out = Array.mapi (fun i n -> { expr = D i; extent = n }) extents;
+    orig_extents = Array.copy extents;
+    elem_bytes;
+    p_elems = 1;
+  }
+
+let is_identity l =
+  Matrix.equal l.u (Matrix.identity (Array.length l.orig_extents))
+  && Array.length l.out = Array.length l.orig_extents
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun i d -> d.expr = D i && d.extent = l.orig_extents.(i))
+          l.out)
+  && Vec.is_zero l.a_shift
+
+let make ~array ~u ?a_shift ~out ~orig_extents ~elem_bytes ~p_elems () =
+  let a_shift =
+    match a_shift with Some s -> s | None -> Vec.zero (Matrix.rows u)
+  in
+  { array; u; a_shift; out; orig_extents; elem_bytes; p_elems }
+
+let rec simplify_expr = function
+  | D i -> D i
+  | Div (e, 1) -> simplify_expr e
+  | Div (e, k) -> Div (simplify_expr e, k)
+  | Mod (e, k) -> Mod (simplify_expr e, k)
+  | Perm (e, t) -> Perm (simplify_expr e, t)
+
+let simplify l =
+  let out =
+    Array.of_list
+      (List.filter_map
+         (fun d ->
+           if d.extent = 1 then None
+           else Some { d with expr = simplify_expr d.expr })
+         (Array.to_list l.out))
+  in
+  (* a degenerate layout must keep at least one dimension *)
+  let out = if Array.length out = 0 then [| { expr = D 0; extent = 1 } |] else out in
+  { l with out }
+
+let size_elems l = Array.fold_left (fun n d -> n * d.extent) 1 l.out
+
+let size_bytes l = size_elems l * l.elem_bytes
+
+let rec eval_dim e a' =
+  match e with
+  | D i -> a'.(i)
+  | Div (e, k) -> eval_dim e a' / k
+  | Mod (e, k) -> eval_dim e a' mod k
+  | Perm (e, t) -> t.(eval_dim e a')
+
+let offset_of_index l a =
+  let a' = Vec.add (Matrix.mul_vec l.u a) l.a_shift in
+  let off = ref 0 in
+  Array.iter (fun d -> off := (!off * d.extent) + eval_dim d.expr a') l.out;
+  !off
+
+let rec pp_dim_expr ~names ppf = function
+  | D i -> Format.pp_print_string ppf (List.nth names i)
+  | Div (e, k) -> Format.fprintf ppf "(%a)/%d" (pp_dim_expr ~names) e k
+  | Mod (e, k) -> Format.fprintf ppf "(%a)%%%d" (pp_dim_expr ~names) e k
+  | Perm (e, _) -> Format.fprintf ppf "__home[%a]" (pp_dim_expr ~names) e
+
+(* Symbolic U·s over AST subscript expressions. *)
+let transformed_components u subs =
+  let subs = Array.of_list subs in
+  Array.init (Matrix.rows u) (fun i ->
+      let acc = ref None in
+      Array.iteri
+        (fun j c ->
+          if c <> 0 then begin
+            let term =
+              if c = 1 then subs.(j)
+              else if c = -1 then Lang.Ast.Neg subs.(j)
+              else Lang.Ast.Mul (Lang.Ast.Int c, subs.(j))
+            in
+            acc :=
+              Some (match !acc with None -> term | Some e -> Lang.Ast.Add (e, term))
+          end)
+        (Matrix.row u i);
+      Option.value !acc ~default:(Lang.Ast.Int 0))
+
+let transformed_subscripts l subs =
+  if List.length subs <> Array.length l.orig_extents then
+    invalid_arg "Layout.transformed_subscripts";
+  let comps = transformed_components l.u subs in
+  let comps =
+    Array.mapi
+      (fun i e ->
+        if l.a_shift.(i) = 0 then e else Lang.Ast.Add (e, Lang.Ast.Int l.a_shift.(i)))
+      comps
+  in
+  let rec to_expr = function
+    | D i -> comps.(i)
+    | Div (e, k) -> Lang.Ast.Div (to_expr e, Lang.Ast.Int k)
+    | Mod (e, k) -> Lang.Ast.Mod (to_expr e, Lang.Ast.Int k)
+    | Perm (e, _) ->
+      (* emitted as a compiler-generated lookup (index array) *)
+      Lang.Ast.Load { Lang.Ast.array = "__home"; subs = [ to_expr e ] }
+  in
+  Array.to_list (Array.map (fun d -> to_expr d.expr) l.out)
+
+let pp ppf l =
+  let names =
+    List.init (Array.length l.orig_extents) (fun i -> Printf.sprintf "a%d" i)
+  in
+  Format.fprintf ppf "@[<v>%s: U =@,%a@,dims:" l.array Matrix.pp l.u;
+  Array.iter
+    (fun d ->
+      Format.fprintf ppf "@,  [%a] x%d" (pp_dim_expr ~names) d.expr d.extent)
+    l.out;
+  Format.fprintf ppf "@]"

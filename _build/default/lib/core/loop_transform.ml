@@ -1,0 +1,191 @@
+module Vec = Affine.Vec
+module Matrix = Affine.Matrix
+module Access = Affine.Access
+module Analysis = Lang.Analysis
+module Ast = Lang.Ast
+
+type result = {
+  program : Ast.program;
+  permuted_nests : int;
+  already_aligned : int;
+  blocked : int;
+}
+
+(* A perfect nest: a chain of loops each containing exactly one inner
+   loop, with assignments only at the innermost level. *)
+let perfect_nest stmt =
+  let rec go acc = function
+    | Ast.Loop l -> (
+      match l.Ast.body with
+      | [ (Ast.Loop _ as inner) ] -> go (l :: acc) inner
+      | body when List.for_all (function Ast.Assign _ -> true | _ -> false) body
+        ->
+        Some (List.rev (l :: acc), body)
+      | _ -> None)
+    | Ast.Assign _ | Ast.If _ -> None
+  in
+  go [] stmt
+
+(* Normalize a distance to be lexicographically non-negative. *)
+let lex_normalize d =
+  let rec sign i =
+    if i >= Vec.dim d then 0
+    else if d.(i) > 0 then 1
+    else if d.(i) < 0 then -1
+    else sign (i + 1)
+  in
+  if sign 0 < 0 then Vec.neg d else d
+
+let lex_positive d =
+  let rec go i =
+    if i >= Vec.dim d then false
+    else if d.(i) > 0 then true
+    else if d.(i) < 0 then false
+    else go (i + 1)
+  in
+  go 0
+
+(* All uniform dependence distances of a nest, plus whether any pair was
+   not analyzable (different access matrices, indexed subscripts, or
+   references at different depths). *)
+let nest_dependences (analysis : Analysis.t) ~nest_id =
+  let occs =
+    List.concat_map
+      (fun (info : Analysis.array_info) ->
+        List.filter_map
+          (fun (o : Analysis.occurrence) ->
+            if o.Analysis.nest_id = nest_id then
+              Some (info.Analysis.decl.Ast.name, o)
+            else None)
+          info.Analysis.occurrences)
+      analysis.Analysis.arrays
+  in
+  let depth =
+    List.fold_left (fun a (_, o) -> max a (List.length o.Analysis.iters)) 0 occs
+  in
+  let distances = ref [] and unknown = ref false in
+  let classify (_, (o : Analysis.occurrence)) =
+    match o.Analysis.kind with
+    | Analysis.Affine_ref a when List.length o.Analysis.iters = depth -> Some a
+    | _ ->
+      unknown := true;
+      None
+  in
+  List.iter
+    (fun ((n1, o1) as p1) ->
+      if o1.Analysis.is_write then
+        List.iter
+          (fun ((n2, _) as p2) ->
+            if String.equal n1 n2 then
+              match (classify p1, classify p2) with
+              | Some a1, Some a2 ->
+                if Matrix.equal a1.Access.matrix a2.Access.matrix then begin
+                  let b = Vec.sub a1.Access.offset a2.Access.offset in
+                  match Affine.Gauss.solve a1.Access.matrix b with
+                  | Some d when not (Vec.is_zero d) ->
+                    distances := lex_normalize d :: !distances
+                  | Some _ -> () (* same element: loop-independent *)
+                  | None -> () (* no integer solution: independent *)
+                end
+                else unknown := true
+              | _ -> ())
+          occs)
+    occs;
+  (!distances, !unknown)
+
+let dependence_distances analysis ~nest_id = fst (nest_dependences analysis ~nest_id)
+
+let permute_vec perm d = Array.map (fun p -> d.(p)) perm
+
+let legal_permutation distances perm =
+  List.for_all
+    (fun d -> Vec.is_zero d || lex_positive (permute_vec perm d))
+    distances
+
+(* Which loop position drives the slowest-varying subscript?  Weighted by
+   trip count over the nest's affine references. *)
+let dim0_driver (analysis : Analysis.t) ~nest_id ~depth =
+  let score = Array.make depth 0 in
+  List.iter
+    (fun (info : Analysis.array_info) ->
+      List.iter
+        (fun (o : Analysis.occurrence) ->
+          if o.Analysis.nest_id = nest_id then
+            match o.Analysis.kind with
+            | Analysis.Affine_ref a when Access.depth a = depth ->
+              let row0 = Matrix.row a.Access.matrix 0 in
+              Array.iteri
+                (fun q c -> if c <> 0 then score.(q) <- score.(q) + o.Analysis.trip_count)
+                row0
+            | _ -> ())
+        info.Analysis.occurrences)
+    analysis.Analysis.arrays;
+  let best = ref 0 in
+  Array.iteri (fun q s -> if s > score.(!best) then best := q) score;
+  if score.(!best) = 0 then None else Some !best
+
+(* Rebuild a perfect nest with loops in [perm] order; only the new
+   outermost loop is parallel. *)
+let rebuild loops body perm =
+  let arr = Array.of_list loops in
+  let ordered = Array.to_list (Array.map (fun p -> arr.(p)) perm) in
+  let rec build = function
+    | [] -> body
+    | (l : Ast.loop) :: rest ->
+      [ Ast.Loop { l with Ast.parallel = false; body = build rest } ]
+  in
+  match build ordered with
+  | [ Ast.Loop outer ] -> Ast.Loop { outer with Ast.parallel = true }
+  | _ -> assert false
+
+let run (analysis : Analysis.t) =
+  let permuted = ref 0 and aligned = ref 0 and blocked = ref 0 in
+  let transform_nest nest_id stmt =
+    match perfect_nest stmt with
+    | None ->
+      incr blocked;
+      stmt
+    | Some (loops, body) -> (
+      let depth = List.length loops in
+      let distances, unknown = nest_dependences analysis ~nest_id in
+      match dim0_driver analysis ~nest_id ~depth with
+      | None ->
+        incr blocked;
+        stmt
+      | Some target -> (
+        let outer_parallel =
+          match loops with l :: _ -> l.Ast.parallel | [] -> false
+        in
+        if target = 0 && outer_parallel then begin
+          incr aligned;
+          stmt
+        end
+        else begin
+          (* move [target] to the front, keep the rest in order *)
+          let perm =
+            Array.of_list
+              (target :: List.filter (fun q -> q <> target) (List.init depth Fun.id))
+          in
+          (* legality: dependences survive the permutation AND the new
+             outer loop carries none (so it may run parallel) *)
+          let outer_free =
+            List.for_all (fun d -> d.(target) = 0) distances
+          in
+          if (not unknown) && outer_free && legal_permutation distances perm
+          then begin
+            incr permuted;
+            rebuild loops body perm
+          end
+          else begin
+            incr blocked;
+            stmt
+          end
+        end))
+  in
+  let nests = List.mapi transform_nest analysis.Analysis.program.Ast.nests in
+  {
+    program = { analysis.Analysis.program with Ast.nests };
+    permuted_nests = !permuted;
+    already_aligned = !aligned;
+    blocked = !blocked;
+  }

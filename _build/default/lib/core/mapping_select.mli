@@ -1,0 +1,33 @@
+(** Compiler selection among candidate L2-to-MC mappings (Section 4).
+
+    Fully automatic derivation of the best mapping is impractical, but
+    given a candidate set the compiler can weigh (1) distance-to-MC and
+    (2) memory-level parallelism and pick the most effective one — the
+    analysis that favours M2 over M1 for fma3d and minighost. *)
+
+type metrics = {
+  avg_distance : float;
+      (** mean hops from a core to the controllers of its cluster *)
+  mcs_per_cluster : int;  (** [k] — the MLP a cluster enjoys *)
+}
+
+val evaluate : Noc.Topology.t -> Cluster.t -> Noc.Placement.t -> metrics
+
+val estimated_cost :
+  Noc.Topology.t ->
+  Cluster.t ->
+  Noc.Placement.t ->
+  bank_pressure:float ->
+  float
+(** Expected off-chip round-trip cost under the mapping:
+    [2·avg_distance·per_hop + queue_wait], with the queueing term scaled
+    by the profiled [bank_pressure] (mean bank-queue occupancy under the
+    default mapping) and divided across the cluster's [k] controllers. *)
+
+val choose :
+  Noc.Topology.t ->
+  candidates:(Cluster.t * Noc.Placement.t) list ->
+  bank_pressure:float ->
+  Cluster.t * Noc.Placement.t
+(** The candidate with the lowest {!estimated_cost}.  Raises
+    [Invalid_argument] on an empty candidate list. *)

@@ -1,0 +1,247 @@
+module Vec = Affine.Vec
+module Analysis = Lang.Analysis
+module Ast = Lang.Ast
+
+type why_kept =
+  | Index_array
+  | No_parallel_reference
+  | No_solution
+  | Bad_approximation of float
+
+type decision = {
+  info : Analysis.array_info;
+  layout : Layout.t;
+  optimized : bool;
+  kept : why_kept option;
+  satisfied_weight : int;
+  total_weight : int;
+}
+
+type report = {
+  decisions : decision list;
+  pct_arrays_optimized : float;
+  pct_refs_satisfied : float;
+}
+
+(* Collect the weighted references that participate in solving: affine
+   references under a parallel loop, plus profiled approximations of
+   indexed references.  Returns the refs and the worst approximation
+   inaccuracy encountered (to report arrays dropped for bad fits). *)
+let weighted_refs ?profile ~threshold (info : Analysis.array_info) =
+  let refs = ref [] and worst_fit = ref None in
+  let total = ref 0 in
+  List.iter
+    (fun (o : Analysis.occurrence) ->
+      match (o.kind, o.par_dim) with
+      | Analysis.Affine_ref access, Some u ->
+        total := !total + o.trip_count;
+        refs :=
+          { Data_to_core.access; u; weight = o.trip_count } :: !refs
+      | Analysis.Affine_ref _, None -> ()
+      | Analysis.Indexed_ref, Some u -> (
+        total := !total + o.trip_count;
+        match profile with
+        | None -> ()
+        | Some f -> (
+          match Indexed.approximate ~samples:(f info.decl.Ast.name) with
+          | Some (access, inaccuracy) when inaccuracy <= threshold ->
+            refs :=
+              { Data_to_core.access; u; weight = o.trip_count } :: !refs
+          | Some (_, inaccuracy) ->
+            worst_fit :=
+              Some
+                (match !worst_fit with
+                | None -> inaccuracy
+                | Some w -> max w inaccuracy)
+          | None -> ()))
+      | Analysis.Indexed_ref, None -> ())
+    info.occurrences;
+  (List.rev !refs, !total, !worst_fit)
+
+let decide ?profile ~threshold (cfg : Customize.config)
+    (info : Analysis.array_info) =
+  let name = info.decl.Ast.name in
+  let identity =
+    Layout.identity ~array:name ~extents:info.extents
+      ~elem_bytes:cfg.Customize.elem_bytes
+  in
+  let keep why total =
+    {
+      info;
+      layout = identity;
+      optimized = false;
+      kept = Some why;
+      satisfied_weight = 0;
+      total_weight = total;
+    }
+  in
+  if info.decl.Ast.index_array then keep Index_array 0
+  else begin
+    let refs, total, worst_fit = weighted_refs ?profile ~threshold info in
+    match refs with
+    | [] -> (
+      match worst_fit with
+      | Some w -> keep (Bad_approximation w) total
+      | None -> keep No_parallel_reference total)
+    | _ -> (
+      (* data-partition dimension: the slowest-varying (footnote 3) *)
+      let v = 0 in
+      match Data_to_core.solve ~refs ~v with
+      | None -> keep No_solution total
+      | Some sol ->
+        let layout =
+          Customize.customize cfg ~array:name ~extents:info.extents
+            ~u:sol.Data_to_core.u_matrix ~v
+        in
+        {
+          info;
+          layout;
+          optimized = true;
+          kept = None;
+          satisfied_weight = sol.Data_to_core.satisfied_weight;
+          total_weight = total;
+        })
+  end
+
+let run ?profile ?(threshold = Indexed.default_threshold)
+    (cfg : Customize.config) (analysis : Analysis.t) =
+  let decisions =
+    List.map (decide ?profile ~threshold cfg) analysis.Analysis.arrays
+  in
+  let data_arrays =
+    List.filter (fun d -> not d.info.Analysis.decl.Ast.index_array) decisions
+  in
+  let n_opt = List.length (List.filter (fun d -> d.optimized) data_arrays) in
+  let n_all = List.length data_arrays in
+  let sat = List.fold_left (fun a d -> a + d.satisfied_weight) 0 data_arrays in
+  let tot = List.fold_left (fun a d -> a + d.total_weight) 0 data_arrays in
+  {
+    decisions;
+    pct_arrays_optimized =
+      (if n_all = 0 then 0. else 100. *. float_of_int n_opt /. float_of_int n_all);
+    pct_refs_satisfied =
+      (if tot = 0 then 0. else 100. *. float_of_int sat /. float_of_int tot);
+  }
+
+let layout_of report name =
+  let d =
+    List.find
+      (fun d -> String.equal d.info.Analysis.decl.Ast.name name)
+      report.decisions
+  in
+  d.layout
+
+(* Does any chosen layout use a Perm dimension (the shared-L2 home
+   lookup)?  If so the rewritten program needs the compiler-emitted
+   __home index array declared. *)
+let uses_home_lookup report =
+  let rec expr_uses = function
+    | Layout.D _ -> false
+    | Layout.Div (e, _) | Layout.Mod (e, _) -> expr_uses e
+    | Layout.Perm _ -> true
+  in
+  List.exists
+    (fun d ->
+      d.optimized
+      && Array.exists
+           (fun (od : Layout.out_dim) -> expr_uses od.Layout.expr)
+           d.layout.Layout.out)
+    report.decisions
+
+let home_table_size report =
+  List.fold_left
+    (fun acc d ->
+      let rec expr_size = function
+        | Layout.D _ -> 0
+        | Layout.Div (e, _) | Layout.Mod (e, _) -> expr_size e
+        | Layout.Perm (_, t) -> Array.length t
+      in
+      Array.fold_left
+        (fun acc (od : Layout.out_dim) -> max acc (expr_size od.Layout.expr))
+        acc d.layout.Layout.out)
+    0 report.decisions
+
+let rewrite_program report (p : Ast.program) =
+  let layout name =
+    List.find_opt
+      (fun d -> String.equal d.info.Analysis.decl.Ast.name name)
+      report.decisions
+  in
+  let rewrite_ref (r : Ast.ref_) subs' =
+    match layout r.Ast.array with
+    | Some d when d.optimized ->
+      { r with Ast.subs = Layout.transformed_subscripts d.layout subs' }
+    | _ -> { r with Ast.subs = subs' }
+  in
+  let rec rewrite_expr = function
+    | (Ast.Int _ | Ast.Var _) as e -> e
+    | Ast.Neg a -> Ast.Neg (rewrite_expr a)
+    | Ast.Add (a, b) -> Ast.Add (rewrite_expr a, rewrite_expr b)
+    | Ast.Sub (a, b) -> Ast.Sub (rewrite_expr a, rewrite_expr b)
+    | Ast.Mul (a, b) -> Ast.Mul (rewrite_expr a, rewrite_expr b)
+    | Ast.Div (a, b) -> Ast.Div (rewrite_expr a, rewrite_expr b)
+    | Ast.Mod (a, b) -> Ast.Mod (rewrite_expr a, rewrite_expr b)
+    | Ast.Load r -> Ast.Load (rewrite_ref r (List.map rewrite_expr r.Ast.subs))
+  in
+  let rec rewrite_stmt = function
+    | Ast.Assign (lhs, rhs) ->
+      Ast.Assign
+        (rewrite_ref lhs (List.map rewrite_expr lhs.Ast.subs), rewrite_expr rhs)
+    | Ast.Loop l -> Ast.Loop { l with Ast.body = List.map rewrite_stmt l.body }
+    | Ast.If c ->
+      Ast.If
+        {
+          c with
+          Ast.lhs = rewrite_expr c.Ast.lhs;
+          rhs = rewrite_expr c.Ast.rhs;
+          then_ = List.map rewrite_stmt c.Ast.then_;
+          else_ = List.map rewrite_stmt c.Ast.else_;
+        }
+  in
+  let rewrite_decl (d : Ast.decl) =
+    match layout d.Ast.name with
+    | Some dec when dec.optimized ->
+      {
+        d with
+        Ast.extents =
+          Array.to_list
+            (Array.map
+               (fun (od : Layout.out_dim) -> Ast.Int od.Layout.extent)
+               dec.layout.Layout.out);
+      }
+    | _ -> d
+  in
+  let decls = List.map rewrite_decl p.Ast.decls in
+  let decls =
+    if uses_home_lookup report then
+      (* the compiler-emitted home-bank lookup (shared L2) *)
+      { Ast.name = "__home";
+        extents = [ Ast.Int (home_table_size report) ];
+        index_array = true }
+      :: decls
+    else decls
+  in
+  { p with Ast.decls; Ast.nests = List.map rewrite_stmt p.Ast.nests }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>arrays optimized: %.1f%%, references satisfied: %.1f%%"
+    r.pct_arrays_optimized r.pct_refs_satisfied;
+  List.iter
+    (fun d ->
+      let name = d.info.Analysis.decl.Ast.name in
+      if d.optimized then
+        Format.fprintf ppf "@,  %s: optimized (%d/%d weight satisfied)" name
+          d.satisfied_weight d.total_weight
+      else
+        let why =
+          match d.kept with
+          | Some Index_array -> "index array"
+          | Some No_parallel_reference -> "no parallel affine reference"
+          | Some No_solution -> "no non-trivial solution"
+          | Some (Bad_approximation f) ->
+            Printf.sprintf "approximation inaccuracy %.0f%%" (100. *. f)
+          | None -> "?"
+        in
+        Format.fprintf ppf "@,  %s: kept (%s)" name why)
+    r.decisions;
+  Format.fprintf ppf "@]"

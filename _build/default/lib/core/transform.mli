@@ -1,0 +1,50 @@
+(** The full layout-transformation pass (Algorithm 1).
+
+    Iterates over every array of the program; for each, determines the
+    Data-to-Core mapping from all its references (weighted by trip
+    count), then customizes the layout for the configured L2 organization,
+    interleaving granularity and L2-to-MC mapping.  Indexed references are
+    approximated from a profile when one is supplied; arrays whose best
+    approximation exceeds the inaccuracy threshold, or that have no
+    parallel affine reference, keep their original layout. *)
+
+type why_kept =
+  | Index_array  (** auxiliary integer array, never transformed *)
+  | No_parallel_reference
+  | No_solution  (** only the trivial [gᵥ] exists *)
+  | Bad_approximation of float  (** indexed fit above threshold *)
+
+type decision = {
+  info : Lang.Analysis.array_info;
+  layout : Layout.t;
+  optimized : bool;
+  kept : why_kept option;  (** [Some _] iff not optimized *)
+  satisfied_weight : int;  (** reference weight the chosen layout satisfies *)
+  total_weight : int;
+}
+
+type report = {
+  decisions : decision list;
+  pct_arrays_optimized : float;  (** Table 2, column 2 (data arrays only) *)
+  pct_refs_satisfied : float;  (** Table 2, column 3 (weighted) *)
+}
+
+val run :
+  ?profile:(string -> (Affine.Vec.t * Affine.Vec.t) list) ->
+  ?threshold:float ->
+  Customize.config ->
+  Lang.Analysis.t ->
+  report
+(** [profile array] returns (iteration, data-vector) samples for arrays
+    with indexed references (default: no profile, such arrays are kept). *)
+
+val layout_of : report -> string -> Layout.t
+(** Layout chosen for an array (identity when kept).  Raises [Not_found]
+    for unknown arrays. *)
+
+val rewrite_program : report -> Lang.Ast.program -> Lang.Ast.program
+(** The transformed source: every reference to an optimized array gets its
+    customized subscripts (Fig. 9c) and declarations get the padded
+    extents. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/dram/address_map.mli:

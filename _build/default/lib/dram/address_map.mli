@@ -1,0 +1,47 @@
+(** Physical-address interpretation (Fig. 5).
+
+    With [n] memory controllers, [log n] bits of the physical address
+    select the controller.  Taking them just above the cache-line offset
+    gives cache-line interleaving; just above the page offset gives page
+    interleaving.  Within a controller, the remaining address bits select
+    the bank and the row (row buffer = 4 KB, Table 1). *)
+
+type interleaving = Line_interleaved | Page_interleaved
+
+type t = {
+  interleaving : interleaving;
+  line_bytes : int;  (** L2 line size — the interleaving unit, 256 B *)
+  page_bytes : int;  (** OS page and DRAM row-buffer size, 4 KB *)
+  num_mcs : int;
+  banks_per_mc : int;
+}
+
+val make :
+  interleaving:interleaving ->
+  ?line_bytes:int ->
+  ?page_bytes:int ->
+  num_mcs:int ->
+  ?banks_per_mc:int ->
+  unit ->
+  t
+
+val mc_of_paddr : t -> int -> int
+(** Controller owning a physical byte address. *)
+
+val bank_of_paddr : t -> int -> int
+(** Bank within the owning controller. *)
+
+val row_of_paddr : t -> int -> int
+(** DRAM row within the bank (row buffer granularity). *)
+
+val mc_of_vaddr_line : t -> int -> int
+(** Controller selected by the {e virtual} address under cache-line
+    interleaving.  Valid because with line interleaving the MC-selection
+    bits sit inside the page offset, so virtual-to-physical translation
+    does not modify them (Section 3) — this is the property the compiler
+    exploits.  Raises [Invalid_argument] under page interleaving, where
+    the OS controls those bits. *)
+
+val page_of_vaddr : t -> int -> int
+
+val frame_of_paddr : t -> int -> int

@@ -1,0 +1,70 @@
+(** FR-FCFS memory controller (First-Ready, First-Come-First-Served).
+
+    The scheduling policy of the simulated platform (Table 1, [16]): among
+    the requests queued for a bank, one that hits the currently open row is
+    served first; otherwise the oldest request wins.  Banks operate in
+    parallel; the data bus of the channel serializes bursts.
+
+    The controller is driven by a discrete-event engine: requests are
+    {!enqueue}d with their arrival time; {!advance} issues everything that
+    can start by the given time and reports completions; {!next_wake} says
+    when issuing could next make progress. *)
+
+type completion = {
+  id : int;  (** caller's request identifier *)
+  start : int;  (** cycle the bank began the access *)
+  finish : int;  (** cycle the data burst completed *)
+  queue_delay : int;  (** start − arrival: time spent queued *)
+  row_hit : bool;
+}
+
+type t
+
+type scheduler =
+  | Fr_fcfs  (** first-ready (row hit) first, then oldest — Table 1 *)
+  | Fcfs  (** strict arrival order per bank: the naive baseline *)
+
+type row_policy =
+  | Open_page  (** rows stay open between accesses (default) *)
+  | Closed_page  (** auto-precharge: every access pays the full cycle *)
+
+val create :
+  ?timing:Timing.t ->
+  ?channels:int ->
+  ?scheduler:scheduler ->
+  ?row_policy:row_policy ->
+  banks:int ->
+  unit ->
+  t
+(** [channels] (default 1) independent data buses; bank [b] transfers on
+    channel [b mod channels].  The evaluated platform uses two channels
+    per controller (1 GB per controller; the paper notes M1 performs well
+    "assuming the number of channels per memory controller is
+    sufficiently large"). *)
+
+val enqueue :
+  t -> now:int -> bank:int -> row:int -> ?write:bool -> id:int -> unit -> unit
+(** [write] requests (writebacks) have lower priority: they are drained
+    when their bank has no pending read, or when the controller's write
+    queue exceeds a drain watermark — so they do not close the rows that
+    pending reads are streaming from. *)
+
+val advance : t -> now:int -> completion list
+(** Issues, in feasible-start order, every pending request whose start time
+    is at most [now].  Idempotent when nothing can start. *)
+
+val next_wake : t -> int option
+(** Earliest cycle at which {!advance} would issue at least one request;
+    [None] when the queue is empty. *)
+
+val pending : t -> int
+
+val served : t -> int
+
+val row_hits : t -> int
+
+val occupancy : t -> at:int -> float
+(** Time-averaged number of queued requests over [0, at] — the bank-queue
+    utilization metric of Fig. 18. *)
+
+val reset : t -> unit

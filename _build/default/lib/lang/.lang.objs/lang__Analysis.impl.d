@@ -1,0 +1,1 @@
+lib/lang/analysis.ml: Affine Array Ast Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/lang/codegen.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Format Hashtbl Lexer List Printf

@@ -1,0 +1,117 @@
+(** Abstract syntax of the mini affine loop-nest language.
+
+    This is the input language of the layout-transformation pass: array
+    declarations plus (possibly parallel) rectangular loop nests whose
+    statements assign between affine array references.  Subscripts may also
+    go through integer index arrays ([a[col[j]]]), which is the irregular
+    case handled by profiling-based approximation (paper, Section 5.4). *)
+
+type expr =
+  | Int of int
+  | Var of string  (** loop iterator or program parameter *)
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr  (** integer division, used by transformed code *)
+  | Mod of expr * expr
+  | Load of ref_  (** array read appearing inside an expression *)
+
+and ref_ = { array : string; subs : expr list }
+
+type relop = Lt | Le | Gt | Ge | Eq | Ne
+
+type stmt =
+  | Assign of ref_ * expr  (** [ref = expr;] — one write, several reads *)
+  | Loop of loop
+  | If of cond  (** the pass conservatively assumes both branches run *)
+
+and cond = { lhs : expr; op : relop; rhs : expr; then_ : stmt list; else_ : stmt list }
+
+and loop = {
+  index : string;
+  lo : expr;
+  hi : expr;  (** inclusive: [for i = lo to hi] *)
+  parallel : bool;  (** [parfor]: iterations block-distributed over cores *)
+  body : stmt list;
+}
+
+type decl = {
+  name : string;
+  extents : expr list;  (** per-dimension sizes, constant after params *)
+  index_array : bool;
+      (** integer-valued array used only in subscripts (e.g. CRS column
+          indices); never layout-transformed *)
+}
+
+type program = {
+  params : (string * int) list;  (** symbolic size parameters *)
+  decls : decl list;
+  nests : stmt list;  (** top-level loop nests, executed in order *)
+}
+
+let rec pp_expr ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Var s -> Format.pp_print_string ppf s
+  | Neg e -> Format.fprintf ppf "-%a" pp_atom e
+  | Add (a, b) -> Format.fprintf ppf "%a + %a" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf ppf "%a - %a" pp_expr a pp_atom b
+  | Mul (a, b) -> Format.fprintf ppf "%a*%a" pp_atom a pp_atom b
+  | Div (a, b) -> Format.fprintf ppf "%a/%a" pp_atom a pp_atom b
+  | Mod (a, b) -> Format.fprintf ppf "%a%%%a" pp_atom a pp_atom b
+  | Load r -> pp_ref ppf r
+
+and pp_atom ppf e =
+  match e with
+  | Int _ | Var _ | Load _ -> pp_expr ppf e
+  | Neg _ | Add _ | Sub _ | Mul _ | Div _ | Mod _ ->
+    Format.fprintf ppf "(%a)" pp_expr e
+
+and pp_ref ppf { array; subs } =
+  Format.pp_print_string ppf array;
+  List.iter (fun s -> Format.fprintf ppf "[%a]" pp_expr s) subs
+
+let pp_relop ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">="
+    | Eq -> "=="
+    | Ne -> "!=")
+
+let rec pp_stmt ppf = function
+  | Assign (r, e) -> Format.fprintf ppf "@[<h>%a = %a;@]" pp_ref r pp_expr e
+  | Loop l ->
+    Format.fprintf ppf "@[<v 2>%s %s = %a to %a {@,%a@]@,}"
+      (if l.parallel then "parfor" else "for")
+      l.index pp_expr l.lo pp_expr l.hi pp_body l.body
+  | If c ->
+    Format.fprintf ppf "@[<v 2>if (%a %a %a) {@,%a@]@,}" pp_expr c.lhs pp_relop
+      c.op pp_expr c.rhs pp_body c.then_;
+    if c.else_ <> [] then
+      Format.fprintf ppf "@[<v 2> else {@,%a@]@,}" pp_body c.else_
+
+and pp_body ppf body =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,")
+    pp_stmt ppf body
+
+let pp_decl ppf d =
+  Format.fprintf ppf "@[<h>%s %s%a;@]"
+    (if d.index_array then "index" else "array")
+    d.name
+    (fun ppf -> List.iter (fun e -> Format.fprintf ppf "[%a]" pp_expr e))
+    d.extents
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (n, v) -> Format.fprintf ppf "param %s = %d;@," n v) p.params;
+  List.iter (fun d -> Format.fprintf ppf "%a@," pp_decl d) p.decls;
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,")
+    pp_stmt ppf p.nests;
+  Format.fprintf ppf "@]"
+
+let program_to_string p = Format.asprintf "%a" pp_program p

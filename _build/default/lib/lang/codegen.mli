@@ -1,0 +1,24 @@
+(** C code generation.
+
+    The paper's implementation is a source-to-source translator inside
+    Open64: it consumes the parallelized program and emits C that the node
+    compiler then builds.  This module is that back end for the mini
+    language: it renders a (possibly layout-transformed) program as
+    compilable C with OpenMP pragmas, static-scheduled parallel loops, and
+    flattened array indexing.
+
+    Multi-dimensional arrays are emitted as flat [double]/[long] buffers
+    with explicit row-major index arithmetic, so the strip-mined
+    subscripts produced by the layout pass translate directly.  Index
+    arrays (including the compiler-emitted [__home] lookup of the
+    shared-L2 customization) become [long] buffers with an
+    initialization hook the caller fills in. *)
+
+val emit : ?name:string -> Ast.program -> string
+(** [emit p] is a complete C translation unit: array definitions, an
+    [init_<name>_index_arrays] stub for index-array contents, and a
+    [run_<name>] function containing the loop nests.  [name] defaults to
+    ["kernel"]. *)
+
+val emit_to_file : ?name:string -> string -> Ast.program -> unit
+(** Writes {!emit} output to a path. *)

@@ -1,0 +1,45 @@
+(** Trace-generating interpreter.
+
+    Runs a mini-language program with OpenMP-style static scheduling:
+    the iterations of each [parfor] are split into contiguous chunks, one
+    per thread, threads bound to cores in order (paper, footnote 5).  The
+    interpreter does not compute array values — it enumerates the memory
+    accesses each thread performs and encodes each as a virtual address,
+    using a caller-supplied address function (which is where the layout
+    transformation plugs in).
+
+    A top-level nest is a {e phase}; phases are separated by barriers
+    (OpenMP join), which the downstream engine honours. *)
+
+type access = int
+(** [(vaddr lsl 1) lor w] with [w = 1] for writes. *)
+
+val addr_of_access : access -> int
+
+val is_write : access -> bool
+
+type phase = access array array
+(** [phase.(t)] is thread [t]'s access stream for one top-level nest, in
+    program order. *)
+
+val trace :
+  threads:int ->
+  ?threads_per_core:int ->
+  addr_of:(string -> Affine.Vec.t -> int) ->
+  ?index_lookup:(string -> Affine.Vec.t -> int) ->
+  Ast.program ->
+  phase list
+(** [trace ~threads ~addr_of p] runs [p] with [threads] threads.
+    [addr_of array index_vector] must give the virtual address of an array
+    element (layout-dependent).  [index_lookup] supplies the {e values} of
+    index arrays (default: 0), used to resolve indexed subscripts; reads
+    of index arrays still appear in the trace via [addr_of].
+
+    [threads_per_core] (default 1) only affects how a [parfor] is split:
+    with [t] threads per core, threads [c·t .. c·t+t-1] share core [c] and
+    split that core's chunk among themselves, so the Data-to-Core mapping
+    is the same as with one thread per core (the paper's Fig. 24 setup).
+
+    Loops whose bounds are not constant at entry (they may depend on outer
+    iterators) are evaluated dynamically.  Statements outside any [parfor]
+    run on thread 0. *)

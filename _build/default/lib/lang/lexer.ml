@@ -1,0 +1,159 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_PARAM
+  | KW_ARRAY
+  | KW_INDEX
+  | KW_FOR
+  | KW_PARFOR
+  | KW_TO
+  | KW_IF
+  | KW_ELSE
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQUALS
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | SEMI
+  | EOF
+
+exception Error of string * int
+
+let keyword = function
+  | "param" -> Some KW_PARAM
+  | "array" -> Some KW_ARRAY
+  | "index" -> Some KW_INDEX
+  | "for" -> Some KW_FOR
+  | "parfor" -> Some KW_PARFOR
+  | "to" -> Some KW_TO
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let st = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      push (INT (int_of_string (String.sub src st (!i - st))))
+    end
+    else if is_ident_start c then begin
+      let st = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let s = String.sub src st (!i - st) in
+      push (match keyword s with Some k -> k | None -> IDENT s)
+    end
+    else if c = '<' then begin
+      if !i + 1 < n && src.[!i + 1] = '=' then begin
+        push LE;
+        i := !i + 2
+      end
+      else begin
+        push LT;
+        incr i
+      end
+    end
+    else if c = '>' then begin
+      if !i + 1 < n && src.[!i + 1] = '=' then begin
+        push GE;
+        i := !i + 2
+      end
+      else begin
+        push GT;
+        incr i
+      end
+    end
+    else if c = '=' && !i + 1 < n && src.[!i + 1] = '=' then begin
+      push EQEQ;
+      i := !i + 2
+    end
+    else if c = '!' && !i + 1 < n && src.[!i + 1] = '=' then begin
+      push NE;
+      i := !i + 2
+    end
+    else begin
+      (match c with
+      | '[' -> push LBRACKET
+      | ']' -> push RBRACKET
+      | '{' -> push LBRACE
+      | '}' -> push RBRACE
+      | '(' -> push LPAREN
+      | ')' -> push RPAREN
+      | '+' -> push PLUS
+      | '-' -> push MINUS
+      | '*' -> push STAR
+      | '/' -> push SLASH
+      | '%' -> push PERCENT
+      | '=' -> push EQUALS
+      | ';' -> push SEMI
+      | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !i)));
+      incr i
+    end
+  done;
+  List.rev (EOF :: !toks)
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "ident %s" s
+  | INT n -> Format.fprintf ppf "int %d" n
+  | KW_PARAM -> Format.pp_print_string ppf "param"
+  | KW_ARRAY -> Format.pp_print_string ppf "array"
+  | KW_INDEX -> Format.pp_print_string ppf "index"
+  | KW_FOR -> Format.pp_print_string ppf "for"
+  | KW_PARFOR -> Format.pp_print_string ppf "parfor"
+  | KW_TO -> Format.pp_print_string ppf "to"
+  | LBRACKET -> Format.pp_print_string ppf "["
+  | RBRACKET -> Format.pp_print_string ppf "]"
+  | LBRACE -> Format.pp_print_string ppf "{"
+  | RBRACE -> Format.pp_print_string ppf "}"
+  | LPAREN -> Format.pp_print_string ppf "("
+  | RPAREN -> Format.pp_print_string ppf ")"
+  | PLUS -> Format.pp_print_string ppf "+"
+  | MINUS -> Format.pp_print_string ppf "-"
+  | STAR -> Format.pp_print_string ppf "*"
+  | SLASH -> Format.pp_print_string ppf "/"
+  | PERCENT -> Format.pp_print_string ppf "%"
+  | EQUALS -> Format.pp_print_string ppf "="
+  | LT -> Format.pp_print_string ppf "<"
+  | LE -> Format.pp_print_string ppf "<="
+  | GT -> Format.pp_print_string ppf ">"
+  | GE -> Format.pp_print_string ppf ">="
+  | EQEQ -> Format.pp_print_string ppf "=="
+  | NE -> Format.pp_print_string ppf "!="
+  | SEMI -> Format.pp_print_string ppf ";"
+  | EOF -> Format.pp_print_string ppf "<eof>"
+  | KW_IF -> Format.pp_print_string ppf "if"
+  | KW_ELSE -> Format.pp_print_string ppf "else"

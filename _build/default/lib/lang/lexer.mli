@@ -1,0 +1,42 @@
+(** Hand-written lexer for the mini language. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_PARAM
+  | KW_ARRAY
+  | KW_INDEX
+  | KW_FOR
+  | KW_PARFOR
+  | KW_TO
+  | KW_IF
+  | KW_ELSE
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQUALS
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | SEMI
+  | EOF
+
+exception Error of string * int
+(** [Error (message, position)] — lexical error with byte offset. *)
+
+val tokenize : string -> token list
+(** Tokenizes a full source string.  Comments run from [//] to end of
+    line.  Raises {!Error} on an unexpected character. *)
+
+val pp_token : Format.formatter -> token -> unit

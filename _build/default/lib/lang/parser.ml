@@ -1,0 +1,261 @@
+exception Error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let expect st t =
+  if peek st = t then advance st
+  else
+    raise
+      (Error
+         (Format.asprintf "expected %a, found %a" Lexer.pp_token t
+            Lexer.pp_token (peek st)))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> raise (Error (Format.asprintf "expected identifier, found %a" Lexer.pp_token t))
+
+(* expr := term (("+"|"-") term)* *)
+let rec expr st =
+  let lhs = term st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Ast.Add (acc, term st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Ast.Sub (acc, term st))
+    | _ -> acc
+  in
+  loop lhs
+
+and term st =
+  let lhs = factor st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Ast.Mul (acc, factor st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (Ast.Div (acc, factor st))
+    | Lexer.PERCENT ->
+      advance st;
+      loop (Ast.Mod (acc, factor st))
+    | _ -> acc
+  in
+  loop lhs
+
+and factor st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    Ast.Int n
+  | Lexer.MINUS ->
+    advance st;
+    Ast.Neg (factor st)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.LBRACKET then Ast.Load { array = name; subs = subscripts st }
+    else Ast.Var name
+  | t -> raise (Error (Format.asprintf "unexpected token %a" Lexer.pp_token t))
+
+and subscripts st =
+  let rec loop acc =
+    if peek st = Lexer.LBRACKET then begin
+      advance st;
+      let e = expr st in
+      expect st Lexer.RBRACKET;
+      loop (e :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+let relop st =
+  match peek st with
+  | Lexer.LT -> advance st; Ast.Lt
+  | Lexer.LE -> advance st; Ast.Le
+  | Lexer.GT -> advance st; Ast.Gt
+  | Lexer.GE -> advance st; Ast.Ge
+  | Lexer.EQEQ -> advance st; Ast.Eq
+  | Lexer.NE -> advance st; Ast.Ne
+  | t -> raise (Error (Format.asprintf "expected comparison, found %a" Lexer.pp_token t))
+
+let rec stmt st =
+  match peek st with
+  | Lexer.KW_FOR | Lexer.KW_PARFOR -> Ast.Loop (loop_stmt st)
+  | Lexer.KW_IF -> if_stmt st
+  | Lexer.IDENT name ->
+    advance st;
+    let subs = subscripts st in
+    if subs = [] then raise (Error ("assignment target must be an array reference: " ^ name));
+    expect st Lexer.EQUALS;
+    let rhs = expr st in
+    expect st Lexer.SEMI;
+    Ast.Assign ({ array = name; subs }, rhs)
+  | t -> raise (Error (Format.asprintf "expected statement, found %a" Lexer.pp_token t))
+
+and if_stmt st =
+  expect st Lexer.KW_IF;
+  expect st Lexer.LPAREN;
+  let lhs = expr st in
+  let op = relop st in
+  let rhs = expr st in
+  expect st Lexer.RPAREN;
+  let block () =
+    expect st Lexer.LBRACE;
+    let rec items acc =
+      if peek st = Lexer.RBRACE then begin
+        advance st;
+        List.rev acc
+      end
+      else items (stmt st :: acc)
+    in
+    items []
+  in
+  let then_ = block () in
+  let else_ =
+    if peek st = Lexer.KW_ELSE then begin
+      advance st;
+      block ()
+    end
+    else []
+  in
+  Ast.If { Ast.lhs; op; rhs; then_; else_ }
+
+and loop_stmt st =
+  let parallel =
+    match peek st with
+    | Lexer.KW_PARFOR -> true
+    | Lexer.KW_FOR -> false
+    | _ -> assert false
+  in
+  advance st;
+  let index = ident st in
+  expect st Lexer.EQUALS;
+  let lo = expr st in
+  expect st Lexer.KW_TO;
+  let hi = expr st in
+  let body =
+    if peek st = Lexer.LBRACE then begin
+      advance st;
+      let rec items acc =
+        if peek st = Lexer.RBRACE then begin
+          advance st;
+          List.rev acc
+        end
+        else items (stmt st :: acc)
+      in
+      items []
+    end
+    else [ stmt st ]
+  in
+  { Ast.index; lo; hi; parallel; body }
+
+let program st =
+  let params = ref [] and decls = ref [] and nests = ref [] in
+  let rec const_eval e =
+    (* parameters may be used in later param definitions and extents *)
+    match e with
+    | Ast.Int n -> n
+    | Ast.Var x -> (
+      match List.assoc_opt x !params with
+      | Some v -> v
+      | None -> raise (Error ("unknown parameter " ^ x)))
+    | Ast.Neg a -> -const_eval a
+    | Ast.Add (a, b) -> const_eval a + const_eval b
+    | Ast.Sub (a, b) -> const_eval a - const_eval b
+    | Ast.Mul (a, b) -> const_eval a * const_eval b
+    | Ast.Div (a, b) -> const_eval a / const_eval b
+    | Ast.Mod (a, b) -> const_eval a mod const_eval b
+    | Ast.Load _ -> raise (Error "array reference in constant expression")
+  in
+  let rec items () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.KW_PARAM ->
+      advance st;
+      let name = ident st in
+      expect st Lexer.EQUALS;
+      let v = const_eval (expr st) in
+      expect st Lexer.SEMI;
+      params := !params @ [ (name, v) ];
+      items ()
+    | Lexer.KW_ARRAY | Lexer.KW_INDEX ->
+      let index_array = peek st = Lexer.KW_INDEX in
+      advance st;
+      let name = ident st in
+      let extents = subscripts st in
+      if extents = [] then raise (Error ("array without dimensions: " ^ name));
+      expect st Lexer.SEMI;
+      decls := !decls @ [ { Ast.name; extents; index_array } ];
+      items ()
+    | Lexer.KW_FOR | Lexer.KW_PARFOR ->
+      nests := !nests @ [ stmt st ];
+      items ()
+    | t -> raise (Error (Format.asprintf "unexpected top-level token %a" Lexer.pp_token t))
+  in
+  items ();
+  { Ast.params = !params; decls = !decls; nests = !nests }
+
+(* Scope checking: every referenced array declared, with matching rank. *)
+let check (p : Ast.program) =
+  let ranks = Hashtbl.create 16 in
+  List.iter (fun (d : Ast.decl) -> Hashtbl.replace ranks d.name (List.length d.extents)) p.decls;
+  let check_ref (r : Ast.ref_) =
+    match Hashtbl.find_opt ranks r.array with
+    | None -> raise (Error ("undeclared array " ^ r.array))
+    | Some rk ->
+      if rk <> List.length r.subs then
+        raise (Error (Printf.sprintf "array %s has rank %d, used with %d subscripts"
+                        r.array rk (List.length r.subs)))
+  in
+  let rec check_expr = function
+    | Ast.Int _ | Ast.Var _ -> ()
+    | Ast.Neg a -> check_expr a
+    | Ast.Add (a, b) | Ast.Sub (a, b) | Ast.Mul (a, b) | Ast.Div (a, b) | Ast.Mod (a, b) ->
+      check_expr a;
+      check_expr b
+    | Ast.Load r ->
+      check_ref r;
+      List.iter check_expr r.subs
+  in
+  let rec check_stmt = function
+    | Ast.Assign (r, e) ->
+      check_ref r;
+      List.iter check_expr r.subs;
+      check_expr e
+    | Ast.Loop l ->
+      check_expr l.lo;
+      check_expr l.hi;
+      List.iter check_stmt l.body
+    | Ast.If c ->
+      check_expr c.Ast.lhs;
+      check_expr c.Ast.rhs;
+      List.iter check_stmt c.Ast.then_;
+      List.iter check_stmt c.Ast.else_
+  in
+  List.iter check_stmt p.nests;
+  p
+
+let parse src = check (program { toks = Lexer.tokenize src })
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src

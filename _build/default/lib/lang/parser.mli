@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the mini language.
+
+    Grammar (see README for examples):
+    {v
+    program  ::= item*
+    item     ::= "param" IDENT "=" expr ";"
+               | ("array"|"index") IDENT ("[" expr "]")+ ";"
+               | loop
+    loop     ::= ("for"|"parfor") IDENT "=" expr "to" expr body
+    body     ::= "{" stmt* "}" | stmt
+    stmt     ::= loop | ref "=" expr ";"
+    ref      ::= IDENT ("[" expr "]")+
+    expr     ::= term (("+"|"-") term)*
+    term     ::= factor (("*"|"/"|"%") factor)*
+    factor   ::= INT | "-" factor | "(" expr ")" | IDENT | ref
+    v} *)
+
+exception Error of string
+(** Syntax or scoping error. *)
+
+val parse : string -> Ast.program
+(** Parses a full source string.  Checks that every referenced array is
+    declared and that subscript counts match declarations.  Raises
+    {!Error} or {!Lexer.Error} on malformed input. *)
+
+val parse_file : string -> Ast.program
+(** Reads and parses a file. *)

@@ -1,0 +1,1 @@
+lib/noc/placement.ml: Array Coord List Printf Topology

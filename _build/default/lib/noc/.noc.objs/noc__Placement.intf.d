@@ -1,0 +1,1 @@
+lib/noc/placement.mli: Coord Topology

@@ -1,0 +1,43 @@
+type config = { per_hop_latency : int; link_bytes : int }
+
+let default_config = { per_hop_latency = 4; link_bytes = 16 }
+
+type t = {
+  topo : Topology.t;
+  config : config;
+  free_at : int array;  (** per link-id: earliest cycle it can accept *)
+  mutable busy : int;
+}
+
+let create ?(config = default_config) topo =
+  { topo; config; free_at = Array.make (Topology.num_link_ids topo) 0; busy = 0 }
+
+let send net ~now ~src ~dst ~bytes =
+  if src = dst then (now, 0, 0)
+  else begin
+    let serialization =
+      max 1 ((bytes + net.config.link_bytes - 1) / net.config.link_bytes)
+    in
+    let t = ref now in
+    let hops = ref 0 in
+    List.iter
+      (fun link ->
+        let id = Topology.link_id net.topo link in
+        let start = max !t net.free_at.(id) in
+        net.free_at.(id) <- start + serialization;
+        net.busy <- net.busy + serialization;
+        t := start + net.config.per_hop_latency;
+        incr hops)
+      (Topology.xy_route net.topo ~src ~dst);
+    (* wormhole pipelining: header latency per hop, body flits pipeline
+       behind it and arrive [serialization-1] cycles after the header *)
+    let t = !t + serialization - 1 in
+    let unloaded = (!hops * net.config.per_hop_latency) + serialization - 1 in
+    (t, !hops, t - now - unloaded)
+  end
+
+let reset net =
+  Array.fill net.free_at 0 (Array.length net.free_at) 0;
+  net.busy <- 0
+
+let total_link_busy net = net.busy

@@ -1,0 +1,38 @@
+(** Link-level contention model for the mesh.
+
+    A message reserves, hop by hop, the directed links of its XY route.
+    Each link can start forwarding one message per [serialization] window
+    (packet length in flits over a 16-byte link); a message arriving at a
+    busy link waits for the link to free.  Per-hop latency covers the
+    2-cycle router pipeline plus wire traversal (the aggregate 4-cycle
+    per-hop figure of Table 1).
+
+    This is a wormhole approximation: it captures queueing delay — the
+    quantity the paper's localization attacks — without per-flit
+    simulation, and it makes off-chip and on-chip traffic contend for the
+    same links, which is the paper's second effect (off-chip traffic slows
+    on-chip accesses). *)
+
+type config = {
+  per_hop_latency : int;  (** cycles per link traversal, default 4 *)
+  link_bytes : int;  (** link width, default 16 *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Topology.t -> t
+
+val send : t -> now:int -> src:int -> dst:int -> bytes:int -> int * int * int
+(** [send net ~now ~src ~dst ~bytes] routes one message and returns
+    [(arrival_time, hops, contention_delay)] where [contention_delay] is
+    the extra time spent waiting for busy links beyond the unloaded
+    latency [hops · per_hop_latency].  [src = dst] delivers instantly. *)
+
+val reset : t -> unit
+(** Clears all link reservations (between experiment runs). *)
+
+val total_link_busy : t -> int
+(** Sum over links of cycles reserved so far — a load indicator used by
+    utilization statistics. *)

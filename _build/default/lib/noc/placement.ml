@@ -1,0 +1,128 @@
+type t = { name : string; nodes : int array }
+
+let count p = Array.length p.nodes
+
+let of_coords topo name coords =
+  {
+    name;
+    nodes =
+      Array.map
+        (fun c ->
+          if not (Topology.in_mesh topo c) then invalid_arg "Placement: off-mesh";
+          Topology.node_of_coord topo c)
+        coords;
+  }
+
+let corners topo =
+  let w = topo.Topology.width - 1 and h = topo.Topology.height - 1 in
+  of_coords topo "P1-corners"
+    [| Coord.make 0 0; Coord.make w 0; Coord.make 0 h; Coord.make w h |]
+
+let edge_centers topo =
+  let w = topo.Topology.width and h = topo.Topology.height in
+  of_coords topo "P2-edge-centers"
+    [|
+      Coord.make ((w / 2) - 1) 0;
+      Coord.make (w - 1) ((h / 2) - 1);
+      Coord.make 0 (h / 2);
+      Coord.make (w / 2) (h - 1);
+    |]
+
+let top_bottom topo =
+  let w = topo.Topology.width and h = topo.Topology.height in
+  of_coords topo "P3-top-bottom"
+    [|
+      Coord.make 1 0;
+      Coord.make (w - 2) 0;
+      Coord.make 1 (h - 1);
+      Coord.make (w - 2) (h - 1);
+    |]
+
+(* Perimeter nodes, clockwise from the NW corner. *)
+let perimeter topo =
+  let w = topo.Topology.width and h = topo.Topology.height in
+  let top = List.init w (fun x -> Coord.make x 0) in
+  let right = List.init (h - 2) (fun i -> Coord.make (w - 1) (i + 1)) in
+  let bottom = List.init w (fun x -> Coord.make (w - 1 - x) (h - 1)) in
+  let left = List.init (h - 2) (fun i -> Coord.make 0 (h - 2 - i)) in
+  Array.of_list (top @ right @ bottom @ left)
+
+let ring topo ~count =
+  let per = perimeter topo in
+  let n = Array.length per in
+  if count <= 0 || count > n then invalid_arg "Placement.ring";
+  of_coords topo
+    (Printf.sprintf "ring-%d" count)
+    (Array.init count (fun j -> per.(j * n / count)))
+
+let assign topo ~name ~sites ~centroids =
+  if Array.length sites < Array.length centroids then
+    invalid_arg "Placement.assign: not enough sites";
+  let n = Array.length centroids in
+  (* greedy seed in MC-index order *)
+  let used = Array.make (Array.length sites) false in
+  let chosen = Array.make n 0 in
+  Array.iteri
+    (fun m c ->
+      let best = ref (-1) and bestd = ref max_int in
+      Array.iteri
+        (fun i pc ->
+          if not used.(i) then begin
+            let d = Coord.manhattan c pc in
+            if d < !bestd then begin
+              bestd := d;
+              best := i
+            end
+          end)
+        sites;
+      assert (!best >= 0);
+      used.(!best) <- true;
+      chosen.(m) <- !best)
+    centroids;
+  (* 2-opt refinement: greedy can strand a later controller far from its
+     cluster (e.g. the edge-center placement); swap assignments while the
+     total centroid distance decreases *)
+  let dist m i = Coord.manhattan centroids.(m) sites.(i) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        let cur = dist a chosen.(a) + dist b chosen.(b) in
+        let swapped = dist a chosen.(b) + dist b chosen.(a) in
+        if swapped < cur then begin
+          let t = chosen.(a) in
+          chosen.(a) <- chosen.(b);
+          chosen.(b) <- t;
+          improved := true
+        end
+      done
+    done
+  done;
+  of_coords topo name (Array.map (fun i -> sites.(i)) chosen)
+
+let for_centroids topo ~name ~centroids =
+  assign topo ~name ~sites:(perimeter topo) ~centroids
+
+let mc_node p m = p.nodes.(m)
+
+let nearest p topo node =
+  let best = ref 0 and bestd = ref max_int in
+  Array.iteri
+    (fun m mn ->
+      let d = Topology.distance topo node mn in
+      if d < !bestd then begin
+        bestd := d;
+        best := m
+      end)
+    p.nodes;
+  !best
+
+let avg_distance p topo =
+  let total = ref 0 in
+  let n = Topology.nodes topo in
+  for node = 0 to n - 1 do
+    let m = nearest p topo node in
+    total := !total + Topology.distance topo node p.nodes.(m)
+  done;
+  float_of_int !total /. float_of_int n

@@ -1,0 +1,55 @@
+(** Memory-controller placements.
+
+    A placement assigns each MC an attachment node in the mesh.  The paper
+    evaluates the default corner placement (Fig. 8a, "P1") and two
+    alternatives enabled by flip-chip packaging (Fig. 26, "P2"/"P3"), plus
+    8- and 16-controller variants (Fig. 27). *)
+
+type t = { name : string; nodes : int array }
+(** [nodes.(m)] is the mesh node MC [m] attaches to.  MC indices are
+    meaningful: the physical-address interleaving maps line/page [i] to MC
+    [i mod count], and the layout customization relies on cluster [j]
+    being served by MCs [j·k .. j·k+k-1] (see {!Core.Cluster}). *)
+
+val count : t -> int
+
+val corners : Topology.t -> t
+(** P1: one MC at each corner, in the order NW, NE, SW, SE — matching the
+    cluster enumeration of Fig. 8a (MC1 top-left … MC4 bottom-right). *)
+
+val edge_centers : Topology.t -> t
+(** P2: MCs at the midpoints of the four edges (top, left, right, bottom).
+    Lower average distance-to-controller than the corners. *)
+
+val top_bottom : Topology.t -> t
+(** P3: MCs spread along the top and bottom edges. *)
+
+val ring : Topology.t -> count:int -> t
+(** [ring t ~count] spreads [count] MCs evenly around the mesh perimeter,
+    starting at the NW corner and proceeding clockwise; used for the 8-
+    and 16-MC configurations of Fig. 27. *)
+
+val assign :
+  Topology.t -> name:string -> sites:Coord.t array -> centroids:Coord.t array -> t
+(** [assign t ~name ~sites ~centroids] places MC [j] at the unused site
+    closest to [centroids.(j)] (greedy, in MC-index order).  This aligns
+    MC indices with cluster indices for any site set — corners, edge
+    centers, rings — which the interleaved layout requires.  Raises
+    [Invalid_argument] when there are fewer sites than centroids. *)
+
+val for_centroids : Topology.t -> name:string -> centroids:Coord.t array -> t
+(** [for_centroids t ~name ~centroids] places one MC per centroid at the
+    free perimeter node closest to it (greedy, in MC-index order).  Used to
+    attach MC [j] near cluster [j] for arbitrary cluster grids, preserving
+    the index correspondence the interleaved layout relies on. *)
+
+val nearest : t -> Topology.t -> int -> int
+(** [nearest p topo node] is the MC whose attachment node is closest to
+    [node] (ties broken towards the lower MC index) — what the paper's
+    "optimal scheme" assumes every request enjoys. *)
+
+val mc_node : t -> int -> int
+
+val avg_distance : t -> Topology.t -> float
+(** Mean over all nodes of the distance to the nearest MC: the static
+    figure of merit that favours P2 over P1/P3. *)

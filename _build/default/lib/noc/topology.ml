@@ -1,0 +1,49 @@
+type t = { width : int; height : int }
+
+type dir = East | West | North | South
+
+type link = { from_node : int; dir : dir }
+
+let make ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Topology.make";
+  { width; height }
+
+let nodes t = t.width * t.height
+
+let node_of_coord t (c : Coord.t) = (c.y * t.width) + c.x
+
+let coord_of_node t n = Coord.make (n mod t.width) (n / t.width)
+
+let in_mesh t (c : Coord.t) =
+  c.x >= 0 && c.x < t.width && c.y >= 0 && c.y < t.height
+
+let distance t a b = Coord.manhattan (coord_of_node t a) (coord_of_node t b)
+
+let step t n = function
+  | East -> n + 1
+  | West -> n - 1
+  | South -> n + t.width
+  | North -> n - t.width
+
+let xy_route t ~src ~dst =
+  let cs = coord_of_node t src and cd = coord_of_node t dst in
+  let route = ref [] in
+  let cur = ref src in
+  let move dir =
+    route := { from_node = !cur; dir } :: !route;
+    cur := step t !cur dir
+  in
+  (* X first *)
+  for _ = 1 to abs (cd.x - cs.x) do
+    move (if cd.x > cs.x then East else West)
+  done;
+  for _ = 1 to abs (cd.y - cs.y) do
+    move (if cd.y > cs.y then South else North)
+  done;
+  List.rev !route
+
+let dir_index = function East -> 0 | West -> 1 | North -> 2 | South -> 3
+
+let link_id _t l = (l.from_node * 4) + dir_index l.dir
+
+let num_link_ids t = 4 * nodes t

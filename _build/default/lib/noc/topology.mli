@@ -1,0 +1,35 @@
+(** Two-dimensional mesh topology with dimension-ordered (XY) routing.
+
+    Nodes are numbered row-major: node [y·width + x].  Links are directed;
+    a message from [a] to [b] first travels along X, then along Y
+    (deadlock-free XY routing, as in the simulated platform of Table 1). *)
+
+type t = { width : int; height : int }
+
+type dir = East | West | North | South
+
+type link = { from_node : int; dir : dir }
+(** The directed link leaving [from_node] towards [dir]. *)
+
+val make : width:int -> height:int -> t
+
+val nodes : t -> int
+
+val node_of_coord : t -> Coord.t -> int
+
+val coord_of_node : t -> int -> Coord.t
+
+val in_mesh : t -> Coord.t -> bool
+
+val distance : t -> int -> int -> int
+(** Manhattan distance between two nodes (= number of links an XY-routed
+    message traverses). *)
+
+val xy_route : t -> src:int -> dst:int -> link list
+(** The links traversed from [src] to [dst] under XY routing, in order.
+    Empty when [src = dst]. *)
+
+val link_id : t -> link -> int
+(** Dense link identifier in [0 .. 4·nodes-1], for indexing link state. *)
+
+val num_link_ids : t -> int

@@ -1,0 +1,1 @@
+lib/os/page_alloc.mli: Dram

@@ -1,0 +1,92 @@
+type policy =
+  | Hardware_interleaved
+  | First_touch of (int -> int)
+  | Mc_aware of { desired : int -> int option; fallback : int -> int }
+
+type t = {
+  map : Dram.Address_map.t;
+  policy : policy;
+  frames_per_mc : int;
+  table : (int, int) Hashtbl.t;  (** virtual page -> physical frame *)
+  next_local : int array;  (** per MC: next unused local frame index *)
+  mutable next_seq : int;  (** line-interleaved mode: next frame *)
+  mutable fallbacks : int;
+}
+
+let create ~map ~policy ?(frames_per_mc = 1 lsl 18) () =
+  {
+    map;
+    policy;
+    frames_per_mc;
+    table = Hashtbl.create 4096;
+    next_local = Array.make map.Dram.Address_map.num_mcs 0;
+    next_seq = 0;
+    fallbacks = 0;
+  }
+
+(* Global frame number of local frame [i] on controller [m]: under page
+   interleaving, frame g lives on MC (g mod num_mcs). *)
+let frame_on t m i = (i * t.map.Dram.Address_map.num_mcs) + m
+
+let alloc_on t m =
+  let num_mcs = t.map.Dram.Address_map.num_mcs in
+  (* try the desired controller, then the others round-robin *)
+  let rec try_mc i =
+    if i = num_mcs then failwith "Page_alloc: physical memory exhausted"
+    else
+      let m' = (m + i) mod num_mcs in
+      if t.next_local.(m') < t.frames_per_mc then begin
+        if i > 0 then t.fallbacks <- t.fallbacks + 1;
+        let local = t.next_local.(m') in
+        t.next_local.(m') <- local + 1;
+        frame_on t m' local
+      end
+      else try_mc (i + 1)
+  in
+  try_mc 0
+
+let translate t ~node ~vaddr =
+  let page_bytes = t.map.Dram.Address_map.page_bytes in
+  let vpage = vaddr / page_bytes in
+  let frame =
+    match Hashtbl.find_opt t.table vpage with
+    | Some f -> f
+    | None ->
+      let f =
+        match t.map.Dram.Address_map.interleaving with
+        | Dram.Address_map.Line_interleaved ->
+          (* MC bits are inside the page offset: any frame works *)
+          let f = t.next_seq in
+          t.next_seq <- f + 1;
+          f
+        | Dram.Address_map.Page_interleaved -> (
+          match t.policy with
+          | Hardware_interleaved ->
+            alloc_on t (vpage mod t.map.Dram.Address_map.num_mcs)
+          | First_touch cluster_mc -> alloc_on t (cluster_mc node)
+          | Mc_aware { desired; fallback } ->
+            alloc_on t
+              (match desired vpage with Some m -> m | None -> fallback node))
+      in
+      Hashtbl.replace t.table vpage f;
+      f
+  in
+  (frame * page_bytes) + (vaddr mod page_bytes)
+
+let mc_of_vpage t vpage =
+  match t.map.Dram.Address_map.interleaving with
+  | Dram.Address_map.Line_interleaved -> None
+  | Dram.Address_map.Page_interleaved ->
+    Option.map
+      (fun f -> f mod t.map.Dram.Address_map.num_mcs)
+      (Hashtbl.find_opt t.table vpage)
+
+let pages_allocated t = Hashtbl.length t.table
+
+let fallback_allocations t = t.fallbacks
+
+let reset t =
+  Hashtbl.reset t.table;
+  Array.fill t.next_local 0 (Array.length t.next_local) 0;
+  t.next_seq <- 0;
+  t.fallbacks <- 0

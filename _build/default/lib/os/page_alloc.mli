@@ -1,0 +1,48 @@
+(** Virtual-to-physical translation and page-allocation policies.
+
+    Under cache-line interleaving the MC-selection bits lie inside the page
+    offset, so translation is irrelevant to controller choice and frames
+    are handed out sequentially.  Under page interleaving the frame number
+    decides the controller, and the policy matters:
+
+    - {!Hardware_interleaved}: consecutive virtual pages rotate over
+      controllers — the paper's unoptimized page-interleaved baseline.
+    - {!First_touch}: the page is placed on the controller of the cluster
+      whose node touches it first (the OS baseline of Section 6.3, [20]).
+    - {!Mc_aware}: the compiler communicates the desired controller for
+      the virtual pages of the arrays it transformed (madvise-style); the
+      allocator honours the hint, placing unhinted pages (untransformed
+      arrays, index arrays) by first touch — the compiler/OS combination
+      the paper's Section 6.4 suggests.  When the hinted controller's
+      memory is full an alternate is used, so no page faults are added
+      (Section 5.3). *)
+
+type policy =
+  | Hardware_interleaved
+  | First_touch of (int -> int)
+      (** [node → cluster MC] for the first-touching node *)
+  | Mc_aware of { desired : int -> int option; fallback : int -> int }
+      (** [desired vpage] from the layout; [fallback node] is the
+          first-touch cluster controller for unhinted pages *)
+
+type t
+
+val create :
+  map:Dram.Address_map.t -> policy:policy -> ?frames_per_mc:int -> unit -> t
+(** [frames_per_mc] bounds each controller's pool (default: unbounded in
+    practice, 1 GB per controller as in Table 1's 4 GB capacity). *)
+
+val translate : t -> node:int -> vaddr:int -> int
+(** Physical address; allocates the page on first touch.  [node] is the
+    requesting mesh node (used by first-touch). *)
+
+val mc_of_vpage : t -> int -> int option
+(** Controller currently holding a virtual page, if allocated (page
+    interleaving only — under line interleaving pages span all MCs). *)
+
+val pages_allocated : t -> int
+
+val fallback_allocations : t -> int
+(** Pages that could not be placed on their desired controller. *)
+
+val reset : t -> unit

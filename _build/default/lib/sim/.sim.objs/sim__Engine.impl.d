@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Cache_sim Config Core Dram Event_heap Hashtbl Lang List Noc Os_sim Printf Stats String Sys

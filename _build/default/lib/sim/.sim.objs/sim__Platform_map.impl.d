@@ -1,0 +1,1 @@
+lib/sim/platform_map.ml: Array Buffer Config Core List Noc Printf String

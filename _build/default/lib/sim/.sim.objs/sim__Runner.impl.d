@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Config Core Engine Hashtbl Lang List Noc Option

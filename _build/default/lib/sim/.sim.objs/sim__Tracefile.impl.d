@@ -1,0 +1,1 @@
+lib/sim/tracefile.ml: Array Lang List Printf String

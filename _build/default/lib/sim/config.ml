@@ -1,0 +1,139 @@
+type l2_org = Private_l2 | Shared_l2
+
+type page_policy = Hardware | First_touch | Mc_aware
+
+type t = {
+  topo : Noc.Topology.t;
+  cluster : Core.Cluster.t;
+  placement : Noc.Placement.t;
+  l2_org : l2_org;
+  interleaving : Dram.Address_map.interleaving;
+  page_policy : page_policy;
+  l1_size : int;
+  l1_line : int;
+  l1_ways : int;
+  l2_size : int;
+  l2_line : int;
+  l2_ways : int;
+  l1_latency : int;
+  l2_latency : int;
+  directory_latency : int;
+  noc : Noc.Network.config;
+  timing : Dram.Timing.t;
+  banks_per_mc : int;
+  channels_per_mc : int;
+  mc_scheduler : Dram.Fr_fcfs.scheduler;
+  mc_row_policy : Dram.Fr_fcfs.row_policy;
+  page_bytes : int;
+  elem_bytes : int;
+  compute_cycles : int;
+  jitter : bool;
+  threads_per_core : int;
+  optimal : bool;
+  frames_per_mc : int;
+}
+
+let corner_sites (topo : Noc.Topology.t) =
+  let w = topo.width - 1 and h = topo.height - 1 in
+  [| Noc.Coord.make 0 0; Noc.Coord.make w 0; Noc.Coord.make 0 h; Noc.Coord.make w h |]
+
+let placement_for ?sites topo (cluster : Core.Cluster.t) =
+  let mcs = Core.Cluster.num_mcs cluster in
+  let centroids =
+    Array.init mcs (fun m ->
+        Core.Cluster.centroid_of_cluster cluster (Core.Cluster.cluster_of_mc cluster m))
+  in
+  match sites with
+  | Some sites -> Noc.Placement.assign topo ~name:"custom" ~sites ~centroids
+  | None ->
+    if mcs <= 4 then
+      Noc.Placement.assign topo ~name:"P1-corners" ~sites:(corner_sites topo)
+        ~centroids
+    else
+      Noc.Placement.for_centroids topo
+        ~name:(Printf.sprintf "perimeter-%d" mcs)
+        ~centroids
+
+let make_default ~l1_size ~l2_size =
+  let topo = Noc.Topology.make ~width:8 ~height:8 in
+  let cluster = Core.Cluster.m1 ~width:8 ~height:8 in
+  {
+    topo;
+    cluster;
+    placement = placement_for topo cluster;
+    l2_org = Private_l2;
+    interleaving = Dram.Address_map.Line_interleaved;
+    page_policy = Hardware;
+    l1_size;
+    l1_line = 64;
+    l1_ways = 2;
+    l2_size;
+    l2_line = 256;
+    l2_ways = (if l2_size >= 65536 then 16 else 4);
+    l1_latency = 2;
+    l2_latency = 10;
+    directory_latency = 3;
+    noc = Noc.Network.default_config;
+    timing = Dram.Timing.ddr3_1600;
+    banks_per_mc = 16;
+    channels_per_mc = 4;
+    mc_scheduler = Dram.Fr_fcfs.Fr_fcfs;
+    mc_row_policy = Dram.Fr_fcfs.Open_page;
+    page_bytes = 4096;
+    elem_bytes = 8;
+    compute_cycles = 16;
+    jitter = true;
+    threads_per_core = 1;
+    optimal = false;
+    frames_per_mc = 1 lsl 18;
+  }
+
+let default () = make_default ~l1_size:(16 * 1024) ~l2_size:(256 * 1024)
+
+(* Shrunk caches, same line sizes: keeps the workload models' scaled-down
+   working sets comfortably larger than the aggregate L2. *)
+let scaled () = make_default ~l1_size:4096 ~l2_size:16384
+
+let with_cluster t cluster = { t with cluster; placement = placement_for t.topo cluster }
+
+let address_map t =
+  Dram.Address_map.make ~interleaving:t.interleaving ~line_bytes:t.l2_line
+    ~page_bytes:t.page_bytes
+    ~num_mcs:(Core.Cluster.num_mcs t.cluster)
+    ~banks_per_mc:t.banks_per_mc ()
+
+let customize_config t =
+  let p_bytes =
+    match t.interleaving with
+    | Dram.Address_map.Line_interleaved -> t.l2_line
+    | Dram.Address_map.Page_interleaved -> t.page_bytes
+  in
+  {
+    Core.Customize.cluster = t.cluster;
+    topo = t.topo;
+    placement = t.placement;
+    l2 =
+      (match t.l2_org with
+      | Private_l2 -> Core.Customize.Private_l2
+      | Shared_l2 -> Core.Customize.Shared_l2);
+    p_elems = p_bytes / t.elem_bytes;
+    elem_bytes = t.elem_bytes;
+  }
+
+let mesh ~width ~height t =
+  let topo = Noc.Topology.make ~width ~height in
+  let cluster = Core.Cluster.m1 ~width ~height in
+  { t with topo; cluster; placement = placement_for topo cluster }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>mesh %dx%d, %a, %s L2 (%d B/node, %d B lines), L1 %d B, %s, %d \
+     MCs, %d banks/MC@]"
+    t.topo.width t.topo.height Core.Cluster.pp t.cluster
+    (match t.l2_org with Private_l2 -> "private" | Shared_l2 -> "shared")
+    t.l2_size t.l2_line t.l1_size
+    (match t.interleaving with
+    | Dram.Address_map.Line_interleaved -> "cache-line interleaved"
+    | Dram.Address_map.Page_interleaved -> "page interleaved")
+    (Core.Cluster.num_mcs t.cluster)
+    t.banks_per_mc

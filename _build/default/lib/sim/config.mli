@@ -1,0 +1,79 @@
+(** Simulated platform configuration (Table 1).
+
+    The [default] configuration reproduces Table 1: 8×8 mesh, two-issue
+    in-order cores, 16 KB 2-way L1s with 64 B lines, 256 KB 16-way L2s
+    with 256 B lines (per node), latencies 2/10/4 (L1/L2/hop), four
+    corner controllers with FR-FCFS and DDR3-1600 timing, 4 KB pages and
+    row buffers, cache-line interleaving, mapping M1.
+
+    The [scaled] configuration shrinks the caches (keeping line sizes and
+    associativity ratios) so that the scaled-down working sets of the
+    workload models exercise the off-chip path in seconds instead of
+    hours; every experiment uses it unless stated otherwise.  Relative
+    results are what the paper's evaluation is about. *)
+
+type l2_org = Private_l2 | Shared_l2
+
+type page_policy = Hardware | First_touch | Mc_aware
+
+type t = {
+  topo : Noc.Topology.t;
+  cluster : Core.Cluster.t;
+  placement : Noc.Placement.t;
+  l2_org : l2_org;
+  interleaving : Dram.Address_map.interleaving;
+  page_policy : page_policy;
+  l1_size : int;
+  l1_line : int;
+  l1_ways : int;
+  l2_size : int;  (** per node *)
+  l2_line : int;
+  l2_ways : int;
+  l1_latency : int;
+  l2_latency : int;
+  directory_latency : int;
+  noc : Noc.Network.config;
+  timing : Dram.Timing.t;
+  banks_per_mc : int;
+  channels_per_mc : int;
+  mc_scheduler : Dram.Fr_fcfs.scheduler;
+  mc_row_policy : Dram.Fr_fcfs.row_policy;
+  page_bytes : int;
+  elem_bytes : int;
+  compute_cycles : int;  (** issue cost charged per access *)
+  jitter : bool;
+      (** add deterministic per-thread issue jitter (0..compute_cycles-1
+          extra cycles per access).  Identical replayed streams would
+          otherwise keep a cluster's threads in perfect lockstep, sending
+          synchronized miss bursts to one controller — decorrelation real
+          cores get for free from microarchitectural noise *)
+  threads_per_core : int;
+  optimal : bool;  (** Section 2's optimal scheme *)
+  frames_per_mc : int;
+}
+
+val default : unit -> t
+
+val scaled : unit -> t
+
+val corner_sites : Noc.Topology.t -> Noc.Coord.t array
+
+val placement_for :
+  ?sites:Noc.Coord.t array -> Noc.Topology.t -> Core.Cluster.t -> Noc.Placement.t
+(** MC [j] placed at the unused site nearest cluster [j/k]'s centroid;
+    default sites are the mesh corners when there are at most four MCs,
+    the full perimeter otherwise. *)
+
+val with_cluster : t -> Core.Cluster.t -> t
+(** Replaces the mapping and recomputes a matching corner placement. *)
+
+val address_map : t -> Dram.Address_map.t
+
+val customize_config : t -> Core.Customize.config
+(** The pass-side view of this platform (p = line or page in elements). *)
+
+val mesh : width:int -> height:int -> t -> t
+(** Re-targets the configuration to another mesh size (Fig. 21),
+    rebuilding cluster and placement. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,575 @@
+module Sacache = Cache_sim.Sacache
+module Directory = Cache_sim.Directory
+module Fr_fcfs = Dram.Fr_fcfs
+module Address_map = Dram.Address_map
+module Page_alloc = Os_sim.Page_alloc
+
+type job = {
+  name : string;
+  phases : Lang.Interp.phase list;
+  node_of_thread : int array;
+  warmup_phases : int;
+      (** leading phases (initialization nests) excluded from the
+          statistics: the real applications amortize initialization over
+          thousands of compute iterations, the models run only a few *)
+}
+
+type result = {
+  stats : Stats.t;
+  measured_time : int;
+  job_measured : int array;
+      (** finish time minus the warmup barrier — the steady-state
+          execution time used for the paper's comparisons *)
+  job_finish : int array;
+  mc_occupancy : float array;
+  mc_row_hit_rate : float array;
+  pages_allocated : int;
+}
+
+(* A request walking the Fig. 2 path.  [pend_*] holds network legs whose
+   on-/off-chip category is not known yet (the leg to the directory). *)
+type req = {
+  rjob : int;
+  rthread : int;
+  rnode : int;  (** requester node (private) / L1 node (shared) *)
+  rpaddr : int;
+  rwrite : bool;
+  mutable home : int;  (** shared L2: home bank node *)
+  mutable pend_hops : int;
+  mutable pend_net : int;
+  mutable mc : int;
+  mutable mc_arrival : int;
+  measured : bool;  (** issued after warmup: counts towards statistics *)
+  resume : bool;
+      (** blocking (load / full store buffer): the thread restarts on fill;
+          non-blocking store fills just release a store-buffer slot *)
+}
+
+type action =
+  | Step of int * int  (** job, thread *)
+  | Dir_decide of req
+  | Owner_read of req * int  (** sharer node *)
+  | Home_decide of req
+  | Home_return of req
+  | Mc_arrive of req * bool  (** [true] = shared organization *)
+  | Fill of req
+  | Mc_wake of int
+  | Wb_arrive of int * int  (** mc, paddr *)
+
+type jstate = {
+  j : job;
+  jid : int;
+  mutable phase : int;
+  mutable streams : Lang.Interp.phase;
+  pos : int array;
+  mutable remaining : int;
+  mutable barrier : int;
+  mutable warmup_end : int;
+  mutable finished : bool;
+}
+
+let ctrl_bytes = 8
+
+let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
+  let topo = cfg.topo in
+  let nodes = Noc.Topology.nodes topo in
+  let num_mcs = Core.Cluster.num_mcs cfg.cluster in
+  let amap = Config.address_map cfg in
+  let net = Noc.Network.create ~config:cfg.noc topo in
+  let l1 =
+    Array.init nodes (fun _ ->
+        Sacache.create ~hash_sets:true ~size_bytes:cfg.l1_size
+          ~line_bytes:cfg.l1_line ~ways:cfg.l1_ways ())
+  in
+  let l2 =
+    Array.init nodes (fun _ ->
+        Sacache.create ~hash_sets:true ~size_bytes:cfg.l2_size
+          ~line_bytes:cfg.l2_line ~ways:cfg.l2_ways ())
+  in
+  let dir = Directory.create ~nodes in
+  let mcs =
+    Array.init num_mcs (fun _ ->
+        Fr_fcfs.create ~timing:cfg.timing ~channels:cfg.channels_per_mc
+          ~scheduler:cfg.mc_scheduler ~row_policy:cfg.mc_row_policy
+          ~banks:cfg.banks_per_mc ())
+  in
+  let mc_next_wake = Array.make num_mcs max_int in
+  let policy =
+    match cfg.page_policy with
+    | Config.Hardware -> Page_alloc.Hardware_interleaved
+    | Config.First_touch ->
+      Page_alloc.First_touch
+        (fun node ->
+          let cl = Core.Cluster.cluster_of_node cfg.cluster topo node in
+          List.hd (Core.Cluster.mcs_of_cluster cfg.cluster cl))
+    | Config.Mc_aware ->
+      let desired =
+        match desired_mc_of_vpage with
+        | Some f -> f
+        | None -> fun vpage -> Some (vpage mod num_mcs)
+      in
+      let fallback node =
+        let cl = Core.Cluster.cluster_of_node cfg.cluster topo node in
+        List.hd (Core.Cluster.mcs_of_cluster cfg.cluster cl)
+      in
+      Page_alloc.Mc_aware { desired; fallback }
+  in
+  let pa =
+    Page_alloc.create ~map:amap ~policy ~frames_per_mc:cfg.frames_per_mc ()
+  in
+  let stats = Stats.create ~nodes ~mcs:num_mcs in
+  let heap : action Event_heap.t = Event_heap.create () in
+  let js =
+    Array.of_list
+      (List.mapi
+         (fun jid j ->
+           {
+             j;
+             jid;
+             phase = -1;
+             streams = [||];
+             pos = Array.make (Array.length j.node_of_thread) 0;
+             remaining = 0;
+             barrier = 0;
+             warmup_end = 0;
+             finished = false;
+           })
+         jobs)
+  in
+  let job_finish = Array.make (Array.length js) 0 in
+  let mc_node m = Noc.Placement.mc_node cfg.placement m in
+  let nearest_mc node = Noc.Placement.nearest cfg.placement topo node in
+  let line_of paddr = paddr land lnot (cfg.l2_line - 1) in
+  let data_bytes = cfg.l2_line + ctrl_bytes in
+  let l1_fill_bytes = cfg.l1_line + ctrl_bytes in
+  let issue_cost = cfg.compute_cycles * cfg.threads_per_core in
+  let store_buffer_depth = 8 in
+  let outstanding_stores =
+    Array.map (fun s -> Array.make (Array.length s.j.node_of_thread) 0) js
+  in
+  (* per-thread xorshift state for issue jitter (deterministic) *)
+  let jitter_state =
+    Array.map
+      (fun s ->
+        Array.init (Array.length s.j.node_of_thread) (fun t ->
+            ((s.jid * 131) + t + 1) * 2654435761))
+      js
+  in
+  let jitter jid tid =
+    if (not cfg.jitter) || issue_cost <= 1 then 0
+    else begin
+      let x = jitter_state.(jid).(tid) in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 7) in
+      let x = x lxor (x lsl 17) in
+      jitter_state.(jid).(tid) <- x;
+      (x land max_int) mod issue_cost
+    end
+  in
+  (* bank-local view of a shared-L2 bank address: strip the bank-select
+     bits so a bank's sets index its own lines, not the global ones *)
+  let bank_local paddr =
+    let line = paddr / cfg.l2_line in
+    ((line / nodes) * cfg.l2_line) + (paddr mod cfg.l2_line)
+  in
+  let log_leg ~measured ~offchip hops cycles =
+    if measured then begin
+    let h = min hops Stats.max_hops in
+    if offchip then begin
+      stats.Stats.offchip_hops.(h) <- stats.Stats.offchip_hops.(h) + 1;
+      stats.Stats.offchip_net_cycles <- stats.Stats.offchip_net_cycles + cycles;
+      stats.Stats.offchip_messages <- stats.Stats.offchip_messages + 1
+    end
+    else begin
+      stats.Stats.onchip_hops.(h) <- stats.Stats.onchip_hops.(h) + 1;
+      stats.Stats.onchip_net_cycles <- stats.Stats.onchip_net_cycles + cycles;
+      stats.Stats.onchip_messages <- stats.Stats.onchip_messages + 1
+    end
+    end
+  in
+  let send ~now ~src ~dst ~bytes = Noc.Network.send net ~now ~src ~dst ~bytes in
+  (* outstanding controller requests, by id *)
+  let req_table : (int, [ `Read of req * bool | `Writeback ]) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let next_id = ref 0 in
+  let schedule_mc_wake m tw =
+    if tw < mc_next_wake.(m) then begin
+      mc_next_wake.(m) <- tw;
+      Event_heap.push heap ~time:tw (Mc_wake m)
+    end
+  in
+  let enqueue_mc ~now ~m ~id ?(write = false) paddr =
+    Fr_fcfs.enqueue mcs.(m) ~now ~bank:(Address_map.bank_of_paddr amap paddr)
+      ~row:(Address_map.row_of_paddr amap paddr)
+      ~write ~id ();
+    schedule_mc_wake m now
+  in
+  let writeback ~now ~src paddr =
+    if not cfg.optimal then begin
+      stats.Stats.writebacks <- stats.Stats.writebacks + 1;
+      let m = Address_map.mc_of_paddr amap paddr in
+      let arr, _, _ = send ~now ~src ~dst:(mc_node m) ~bytes:data_bytes in
+      Event_heap.push heap ~time:arr (Wb_arrive (m, paddr))
+    end
+  in
+  (* ---- thread execution ---- *)
+  let rec continue_thread jid tid t =
+    let s = js.(jid) in
+    let stream = s.streams.(tid) in
+    let n = Array.length stream in
+    let measured = s.phase >= s.j.warmup_phases in
+    let rec go t =
+      let i = s.pos.(tid) in
+      if i >= n then finish_thread s tid t
+      else begin
+        s.pos.(tid) <- i + 1;
+        let a = stream.(i) in
+        let vaddr = Lang.Interp.addr_of_access a
+        and wr = Lang.Interp.is_write a in
+        let node = s.j.node_of_thread.(tid) in
+        let paddr = Page_alloc.translate pa ~node ~vaddr in
+        if measured then
+          stats.Stats.total_accesses <- stats.Stats.total_accesses + 1;
+        let t = t + issue_cost + jitter jid tid in
+        match Sacache.access l1.(node) ~addr:paddr ~write:wr with
+        | Sacache.Hit ->
+          if measured then stats.Stats.l1_hits <- stats.Stats.l1_hits + 1;
+          go (t + cfg.l1_latency)
+        | Sacache.Miss _ ->
+          (* L1 fills at detection; L1 writebacks are not modeled *)
+          let blocking =
+            (not wr) || outstanding_stores.(jid).(tid) >= store_buffer_depth
+          in
+          if blocking then
+            miss_path jid tid node paddr wr ~measured ~resume:true
+              (t + cfg.l1_latency)
+          else begin
+            (* store buffer absorbs the write miss; the fill proceeds in
+               the background and the thread continues *)
+            outstanding_stores.(jid).(tid) <- outstanding_stores.(jid).(tid) + 1;
+            miss_path jid tid node paddr wr ~measured ~resume:false
+              (t + cfg.l1_latency);
+            go (t + cfg.l1_latency)
+          end
+      end
+    in
+    go t
+  and finish_thread s _tid t =
+    s.remaining <- s.remaining - 1;
+    s.barrier <- max s.barrier t;
+    if s.remaining = 0 then begin
+      let nphases = List.length s.j.phases in
+      if s.phase = s.j.warmup_phases - 1 then s.warmup_end <- s.barrier;
+      s.phase <- s.phase + 1;
+      if s.phase < nphases then begin
+        s.streams <- List.nth s.j.phases s.phase;
+        Array.fill s.pos 0 (Array.length s.pos) 0;
+        s.remaining <- Array.length s.j.node_of_thread;
+        for tid = 0 to Array.length s.j.node_of_thread - 1 do
+          Event_heap.push heap ~time:s.barrier (Step (s.jid, tid))
+        done
+      end
+      else begin
+        s.finished <- true;
+        job_finish.(s.jid) <- s.barrier;
+        stats.Stats.finish_time <- max stats.Stats.finish_time s.barrier
+      end
+    end
+  and miss_path jid tid node paddr wr ~measured ~resume t =
+    match cfg.l2_org with
+    | Config.Private_l2 -> miss_private jid tid node paddr wr ~measured ~resume t
+    | Config.Shared_l2 -> miss_shared jid tid node paddr wr ~measured ~resume t
+  and complete_request req t =
+    if req.resume then continue_thread req.rjob req.rthread t
+    else
+      outstanding_stores.(req.rjob).(req.rthread) <-
+        outstanding_stores.(req.rjob).(req.rthread) - 1
+  and miss_private jid tid node paddr wr ~measured ~resume t =
+    let t = t + cfg.l2_latency in
+    match Sacache.access l2.(node) ~addr:paddr ~write:wr with
+    | Sacache.Hit ->
+      if measured then stats.Stats.l2_hits <- stats.Stats.l2_hits + 1;
+      if resume then continue_thread jid tid t
+      else outstanding_stores.(jid).(tid) <- outstanding_stores.(jid).(tid) - 1
+    | Sacache.Miss { evicted; evicted_dirty } ->
+      let line = line_of paddr in
+      (match evicted with
+      | Some ev ->
+        Directory.remove_holder dir ~line:ev ~node;
+        if evicted_dirty then writeback ~now:t ~src:node ev
+      | None -> ());
+      let holder =
+        Directory.closest_holder dir ~line ~excluding:node
+          ~distance:(fun h -> Noc.Topology.distance topo node h)
+          ()
+      in
+      Directory.add_holder dir ~line ~node;
+      let req =
+        {
+          rjob = jid;
+          rthread = tid;
+          rnode = node;
+          rpaddr = paddr;
+          rwrite = wr;
+          home = node;
+          pend_hops = 0;
+          pend_net = 0;
+          mc = 0;
+          mc_arrival = 0;
+          measured;
+          resume;
+        }
+      in
+      if cfg.optimal then begin
+        (* oracle lookup at miss time: sharers keep the normal on-chip
+           path; off-chip goes straight to the nearest controller *)
+        match holder with
+        | Some _ ->
+          let m = Address_map.mc_of_paddr amap paddr in
+          let arr, hops, _ = send ~now:t ~src:node ~dst:(mc_node m) ~bytes:ctrl_bytes in
+          req.pend_hops <- hops;
+          req.pend_net <- arr - t;
+          Event_heap.push heap ~time:arr (Dir_decide req)
+        | None ->
+          let m = nearest_mc node in
+          req.mc <- m;
+          let arr, hops, _ = send ~now:t ~src:node ~dst:(mc_node m) ~bytes:ctrl_bytes in
+          log_leg ~measured:req.measured ~offchip:true hops (arr - t);
+          Event_heap.push heap ~time:arr (Mc_arrive (req, false))
+      end
+      else begin
+        let m = Address_map.mc_of_paddr amap paddr in
+        req.mc <- m;
+        let arr, hops, _ = send ~now:t ~src:node ~dst:(mc_node m) ~bytes:ctrl_bytes in
+        req.pend_hops <- hops;
+        req.pend_net <- arr - t;
+        Event_heap.push heap ~time:arr (Dir_decide req)
+      end
+  and miss_shared jid tid node paddr wr ~measured ~resume t =
+    let home = paddr / cfg.l2_line mod nodes in
+    let req =
+      {
+        rjob = jid;
+        rthread = tid;
+        rnode = node;
+        rpaddr = paddr;
+        rwrite = wr;
+        home;
+        pend_hops = 0;
+        pend_net = 0;
+        mc = 0;
+        mc_arrival = 0;
+        measured;
+        resume;
+      }
+    in
+    ignore wr;
+    if home = node then home_decide req t
+    else begin
+      let arr, hops, _ = send ~now:t ~src:node ~dst:home ~bytes:ctrl_bytes in
+      log_leg ~measured:req.measured ~offchip:false hops (arr - t);
+      Event_heap.push heap ~time:arr (Home_decide req)
+    end
+  and home_decide req t =
+    let t = t + cfg.l2_latency in
+    match Sacache.access l2.(req.home) ~addr:(bank_local req.rpaddr) ~write:false with
+    | Sacache.Hit ->
+      if req.measured then stats.Stats.l2_hits <- stats.Stats.l2_hits + 1;
+      send_home_to_requester req t
+    | Sacache.Miss { evicted; evicted_dirty } ->
+      (match evicted with
+      | Some ev when evicted_dirty ->
+        (* reconstruct a representative global address for the evicted
+           bank-local line: same bank, same local line *)
+        let local_line = ev / cfg.l2_line in
+        let global = ((local_line * nodes) + req.home) * cfg.l2_line in
+        writeback ~now:t ~src:req.home global
+      | _ -> ());
+      let m =
+        if cfg.optimal then nearest_mc req.home
+        else Address_map.mc_of_paddr amap req.rpaddr
+      in
+      req.mc <- m;
+      let arr, hops, _ = send ~now:t ~src:req.home ~dst:(mc_node m) ~bytes:ctrl_bytes in
+      log_leg ~measured:req.measured ~offchip:true hops (arr - t);
+      Event_heap.push heap ~time:arr (Mc_arrive (req, true))
+  and send_home_to_requester req t =
+    if req.home = req.rnode then complete_request req t
+    else begin
+      let arr, hops, _ =
+        send ~now:t ~src:req.home ~dst:req.rnode ~bytes:l1_fill_bytes
+      in
+      log_leg ~measured:req.measured ~offchip:false hops (arr - t);
+      Event_heap.push heap ~time:arr (Fill req)
+    end
+  and mc_arrive req shared t =
+    if req.measured then begin
+      stats.Stats.offchip_accesses <- stats.Stats.offchip_accesses + 1;
+      let origin = if shared then req.home else req.rnode in
+      stats.Stats.node_mc_requests.(origin).(req.mc) <-
+        stats.Stats.node_mc_requests.(origin).(req.mc) + 1
+    end;
+    req.mc_arrival <- t;
+    if cfg.optimal then begin
+      (* idealized controller: uncontended row-empty access *)
+      let finish = t + cfg.timing.Dram.Timing.row_empty in
+      if req.measured then
+        stats.Stats.memory_cycles <-
+          stats.Stats.memory_cycles + cfg.timing.Dram.Timing.row_empty;
+      mc_respond req shared finish
+    end
+    else begin
+      let id = !next_id in
+      incr next_id;
+      Hashtbl.replace req_table id (`Read (req, shared));
+      enqueue_mc ~now:t ~m:req.mc ~id req.rpaddr
+    end
+  and mc_respond req shared t =
+    let dst = if shared then req.home else req.rnode in
+    let arr, hops, _ = send ~now:t ~src:(mc_node req.mc) ~dst ~bytes:data_bytes in
+    log_leg ~measured:req.measured ~offchip:true hops (arr - t);
+    if shared then Event_heap.push heap ~time:arr (Home_return req)
+    else Event_heap.push heap ~time:arr (Fill req)
+  in
+  let dispatch t = function
+    | Step (jid, tid) -> continue_thread jid tid t
+    | Dir_decide req -> (
+      let t = t + cfg.directory_latency in
+      let line = line_of req.rpaddr in
+      let holder =
+        Directory.closest_holder dir ~line ~excluding:req.rnode
+          ~distance:(fun h -> Noc.Topology.distance topo req.rnode h)
+          ()
+      in
+      match holder with
+      | Some h ->
+        (* on-chip: the pending request leg was on-chip after all *)
+        log_leg ~measured:req.measured ~offchip:false req.pend_hops req.pend_net;
+        if req.measured then stats.Stats.l2_hits <- stats.Stats.l2_hits + 1;
+        (* a write transfer invalidates every other copy (coherence
+           traffic, charged on the links but not waited for) *)
+        if req.rwrite then
+          List.iter
+            (fun holder ->
+              if holder <> req.rnode && holder <> h then begin
+                Directory.remove_holder dir ~line ~node:holder;
+                ignore (Sacache.invalidate l2.(holder) ~addr:req.rpaddr);
+                ignore
+                  (send ~now:t ~src:(mc_node req.mc) ~dst:holder
+                     ~bytes:ctrl_bytes)
+              end)
+            (Directory.holders dir ~line);
+        let arr, hops, _ =
+          send ~now:t ~src:(mc_node req.mc) ~dst:h ~bytes:ctrl_bytes
+        in
+        log_leg ~measured:req.measured ~offchip:false hops (arr - t);
+        Event_heap.push heap ~time:arr
+          (Owner_read (req, h))
+      | None ->
+        log_leg ~measured:req.measured ~offchip:true req.pend_hops req.pend_net;
+        if cfg.optimal then begin
+          req.mc <- nearest_mc req.rnode;
+          mc_arrive req false t
+        end
+        else mc_arrive req false t)
+    | Owner_read (req, h) ->
+      let t = t + cfg.l2_latency in
+      (* the line is in h's L2 (kept in sync via the directory); a write
+         transfer takes it exclusively *)
+      if req.rwrite then begin
+        Directory.remove_holder dir ~line:(line_of req.rpaddr) ~node:h;
+        ignore (Sacache.invalidate l2.(h) ~addr:req.rpaddr)
+      end
+      else ignore (Sacache.access l2.(h) ~addr:req.rpaddr ~write:false);
+      let arr, hops, _ = send ~now:t ~src:h ~dst:req.rnode ~bytes:data_bytes in
+      log_leg ~measured:req.measured ~offchip:false hops (arr - t);
+      Event_heap.push heap ~time:arr (Fill req)
+    | Home_decide req -> home_decide req t
+    | Home_return req -> send_home_to_requester req t
+    | Mc_arrive (req, shared) -> mc_arrive req shared t
+    | Fill req -> complete_request req t
+    | Mc_wake m ->
+      (* stale wakes (superseded by an earlier reschedule) are dropped,
+         otherwise every stale pop would spawn a fresh wake and the event
+         population would snowball *)
+      if t = mc_next_wake.(m) then begin
+        mc_next_wake.(m) <- max_int;
+        let completions = Fr_fcfs.advance mcs.(m) ~now:t in
+        List.iter
+          (fun (c : Fr_fcfs.completion) ->
+            match Hashtbl.find_opt req_table c.id with
+            | Some (`Read (req, shared)) ->
+              Hashtbl.remove req_table c.id;
+              stats.Stats.memory_cycles <-
+                stats.Stats.memory_cycles + (c.finish - req.mc_arrival);
+              stats.Stats.memory_queue_cycles <-
+                stats.Stats.memory_queue_cycles + c.queue_delay;
+              if c.row_hit then stats.Stats.row_hits <- stats.Stats.row_hits + 1;
+              mc_respond req shared c.finish
+            | Some `Writeback ->
+              Hashtbl.remove req_table c.id
+            | None -> ())
+          completions;
+        match Fr_fcfs.next_wake mcs.(m) with
+        | Some tw -> schedule_mc_wake m (max tw (t + 1))
+        | None -> ()
+      end
+    | Wb_arrive (m, paddr) ->
+      let id = !next_id in
+      incr next_id;
+      Hashtbl.replace req_table id `Writeback;
+      enqueue_mc ~now:t ~m ~id ~write:true paddr
+  in
+  (* ---- start all jobs ---- *)
+  Array.iter
+    (fun s ->
+      let nthreads = Array.length s.j.node_of_thread in
+      match s.j.phases with
+      | [] ->
+        s.finished <- true;
+        job_finish.(s.jid) <- 0
+      | first :: _ ->
+        s.phase <- 0;
+        s.streams <- first;
+        s.remaining <- nthreads;
+        for tid = 0 to nthreads - 1 do
+          Event_heap.push heap ~time:0 (Step (s.jid, tid))
+        done)
+    js;
+  let debug = Sys.getenv_opt "OFFCHIP_DEBUG" <> None in
+  let ndisp = ref 0 in
+  let rec loop () =
+    match Event_heap.pop heap with
+    | None -> ()
+    | Some (t, action) ->
+      incr ndisp;
+      if debug && !ndisp mod 1_000_000 = 0 then
+        Printf.eprintf "[dispatch %dM] t=%d heap=%d acc=%d off=%d pending=%s\n%!"
+          (!ndisp / 1_000_000) t (Event_heap.size heap)
+          stats.Stats.total_accesses stats.Stats.offchip_accesses
+          (String.concat "," (Array.to_list (Array.map (fun m -> string_of_int (Fr_fcfs.pending m)) mcs)));
+      dispatch t action;
+      loop ()
+  in
+  loop ();
+  stats.Stats.page_fallbacks <- Page_alloc.fallback_allocations pa;
+  let job_measured =
+    Array.map (fun s -> max 0 (job_finish.(s.jid) - s.warmup_end)) js
+  in
+  let measured_time = Array.fold_left max 0 job_measured in
+  {
+    stats;
+    measured_time;
+    job_measured;
+    job_finish;
+    mc_occupancy =
+      Array.map (fun m -> Fr_fcfs.occupancy m ~at:(max 1 stats.Stats.finish_time)) mcs;
+    mc_row_hit_rate =
+      Array.map
+        (fun m ->
+          let s = Fr_fcfs.served m in
+          if s = 0 then 0. else float_of_int (Fr_fcfs.row_hits m) /. float_of_int s)
+        mcs;
+    pages_allocated = Page_alloc.pages_allocated pa;
+  }

@@ -1,0 +1,49 @@
+(** Discrete-event full-system simulation.
+
+    Each thread replays its access stream on an in-order core with
+    blocking misses: L1 hits are charged inline; an L1 miss walks the
+    Fig. 2 path for the configured L2 organization, with every network
+    leg reserving mesh links (contention) and every off-chip request
+    queueing at its FR-FCFS controller.  Top-level nests are separated by
+    per-job barriers (OpenMP join).
+
+    Model simplifications (documented in DESIGN.md): L1 writebacks are
+    not simulated; concurrent misses to the same line merge (an implicit
+    MSHR); caches fill at miss detection.  Under the optimal scheme
+    (Section 2), off-chip requests go to the nearest controller and
+    complete after an uncontended row-empty access, and writebacks are
+    dropped — exactly the idealization the paper describes. *)
+
+type job = {
+  name : string;
+  phases : Lang.Interp.phase list;
+  node_of_thread : int array;
+      (** mesh node of each of the job's threads (thread binding) *)
+  warmup_phases : int;
+      (** leading phases (initialization nests) excluded from statistics:
+          the real applications amortize initialization over thousands of
+          compute iterations while the models run only a few, so counting
+          it would grossly overweight transients *)
+}
+
+type result = {
+  stats : Stats.t;
+  measured_time : int;
+      (** finish time minus the warmup barrier: the steady-state execution
+          time compared across configurations (max over jobs) *)
+  job_measured : int array;  (** per-job steady-state time *)
+  job_finish : int array;  (** finish time of each job *)
+  mc_occupancy : float array;  (** per-controller mean queue length *)
+  mc_row_hit_rate : float array;
+  pages_allocated : int;
+}
+
+val run :
+  Config.t ->
+  ?desired_mc_of_vpage:(int -> int option) ->
+  jobs:job list ->
+  unit ->
+  result
+(** [desired_mc_of_vpage] feeds the {e MC-aware} page policy (ignored by
+    the others); [None] for a page means "no compiler hint" and the page
+    is placed by first touch. *)

@@ -1,0 +1,16 @@
+(** Binary min-heap of timestamped events.
+
+    Ties are broken by insertion order, which keeps runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** The earliest event, or [None] when empty. *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int

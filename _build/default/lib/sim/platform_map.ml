@@ -1,0 +1,55 @@
+let render (cfg : Config.t) =
+  let buf = Buffer.create 1024 in
+  let topo = cfg.Config.topo in
+  let cluster = cfg.Config.cluster in
+  let placement = cfg.Config.placement in
+  let num_mcs = Core.Cluster.num_mcs cluster in
+  let mc_at = Array.make (Noc.Topology.nodes topo) (-1) in
+  for m = 0 to num_mcs - 1 do
+    mc_at.(Noc.Placement.mc_node placement m) <- m
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "%dx%d mesh, mapping %s (cells show cluster; *m = controller m)\n"
+       topo.Noc.Topology.width topo.Noc.Topology.height cluster.Core.Cluster.name);
+  for y = 0 to topo.Noc.Topology.height - 1 do
+    Buffer.add_string buf "  ";
+    for x = 0 to topo.Noc.Topology.width - 1 do
+      let node = Noc.Topology.node_of_coord topo (Noc.Coord.make x y) in
+      let cl = Core.Cluster.cluster_of_node cluster topo node in
+      if mc_at.(node) >= 0 then
+        Buffer.add_string buf (Printf.sprintf "[%X*%X]" cl mc_at.(node))
+      else Buffer.add_string buf (Printf.sprintf "[ %X ]" cl)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  for j = 0 to Core.Cluster.num_clusters cluster - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  cluster %d -> controller(s) %s\n" j
+         (String.concat ", "
+            (List.map string_of_int (Core.Cluster.mcs_of_cluster cluster j))))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "  average distance to the nearest controller: %.2f hops\n"
+       (Noc.Placement.avg_distance placement topo));
+  Buffer.contents buf
+
+let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |]
+
+let render_heat (cfg : Config.t) values =
+  let topo = cfg.Config.topo in
+  if Array.length values <> Noc.Topology.nodes topo then
+    invalid_arg "Platform_map.render_heat";
+  let buf = Buffer.create 512 in
+  let vmax = Array.fold_left max 1 values in
+  for y = 0 to topo.Noc.Topology.height - 1 do
+    Buffer.add_string buf "  ";
+    for x = 0 to topo.Noc.Topology.width - 1 do
+      let v = values.(Noc.Topology.node_of_coord topo (Noc.Coord.make x y)) in
+      let level = v * (Array.length shades - 1) / vmax in
+      let c = shades.(level) in
+      Buffer.add_char buf c;
+      Buffer.add_char buf c
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

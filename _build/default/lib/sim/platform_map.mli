@@ -1,0 +1,16 @@
+(** ASCII rendering of the simulated platform.
+
+    Draws the mesh with each node's cluster, controller attachment points
+    and the cluster→controller assignment — the pictures of Figs. 1, 8,
+    26 and 27 as terminal output.  Used by [simulate --map] and the
+    documentation. *)
+
+val render : Config.t -> string
+(** A multi-line drawing: one cell per node showing its cluster index,
+    [*m] marking the node where controller [m] attaches, plus a legend
+    with each cluster's controllers and the average
+    distance-to-controller. *)
+
+val render_heat : Config.t -> int array -> string
+(** [render_heat cfg values] draws a per-node heat map (8 shades) of the
+    given per-node values — used for Fig. 13-style request maps. *)

@@ -1,0 +1,118 @@
+module Analysis = Lang.Analysis
+
+type prepared = {
+  program : Lang.Ast.program;
+  analysis : Lang.Analysis.t;
+  report : Core.Transform.report option;
+  job : Engine.job;
+  bases : (string * int) list;
+  desired_mc : int -> int option;
+      (** compiler page hints: the controller each virtual page of an
+          optimized array should live on (page interleaving) *)
+}
+
+let align_up x a = (x + a - 1) / a * a
+
+let prepare (cfg : Config.t) ~optimized ?threads ?(core_offset = 0)
+    ?(vaddr_base = 0) ?name ?(warmup_phases = 0)
+    ?(index_lookup = fun _ _ -> 0) ?profile program =
+  let analysis = Analysis.analyze program in
+  let ccfg = Config.customize_config cfg in
+  let report =
+    if optimized then Some (Core.Transform.run ?profile ccfg analysis)
+    else None
+  in
+  let layout_for (info : Analysis.array_info) =
+    match report with
+    | Some r -> Core.Transform.layout_of r info.Analysis.decl.Lang.Ast.name
+    | None ->
+      Core.Layout.identity ~array:info.Analysis.decl.Lang.Ast.name
+        ~extents:info.Analysis.extents ~elem_bytes:cfg.elem_bytes
+  in
+  (* base-address padding: align every array to num_mcs interleaving units
+     and to num_mcs pages, so the chunk-to-controller arithmetic holds
+     under both granularities *)
+  let num_mcs = Core.Cluster.num_mcs cfg.cluster in
+  let alignment =
+    let a = num_mcs * cfg.l2_line and b = num_mcs * cfg.page_bytes in
+    let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+    a * b / gcd a b
+  in
+  let next = ref (align_up (max vaddr_base alignment) alignment) in
+  let table = Hashtbl.create 16 in
+  let bases =
+    List.map
+      (fun (info : Analysis.array_info) ->
+        let layout = layout_for info in
+        let base = !next in
+        next := align_up (base + Core.Layout.size_bytes layout) alignment;
+        Hashtbl.replace table info.Analysis.decl.Lang.Ast.name (base, layout);
+        (info.Analysis.decl.Lang.Ast.name, base))
+      analysis.Analysis.arrays
+  in
+  let addr_of array index =
+    let base, layout = Hashtbl.find table array in
+    base + (Core.Layout.offset_of_index layout index * cfg.elem_bytes)
+  in
+  let cores_total = Noc.Topology.nodes cfg.topo in
+  let tpc = cfg.threads_per_core in
+  let threads =
+    match threads with Some t -> t | None -> cores_total * tpc
+  in
+  let phases =
+    Lang.Interp.trace ~threads ~threads_per_core:tpc ~addr_of
+      ~index_lookup:(fun a v -> index_lookup a v)
+      program
+  in
+  let node_of_thread =
+    Array.init threads (fun t ->
+        let core = (t / tpc) + core_offset in
+        Core.Cluster.node_of_thread cfg.cluster cfg.topo (core mod cores_total))
+  in
+  let job =
+    {
+      Engine.name = Option.value name ~default:"job";
+      phases;
+      node_of_thread;
+      warmup_phases;
+    }
+  in
+  (* page hints: only pages belonging to layout-optimized arrays carry a
+     desired controller; the rest are placed by the OS (first touch) *)
+  let hinted_ranges =
+    match report with
+    | None -> []
+    | Some r ->
+      List.filter_map
+        (fun (d : Core.Transform.decision) ->
+          if d.Core.Transform.optimized then begin
+            let name = d.Core.Transform.info.Lang.Analysis.decl.Lang.Ast.name in
+            let base, layout = Hashtbl.find table name in
+            let first = base / cfg.page_bytes in
+            let last = (base + Core.Layout.size_bytes layout - 1) / cfg.page_bytes in
+            Some (first, last)
+          end
+          else None)
+        r.Core.Transform.decisions
+  in
+  let desired_mc vpage =
+    if List.exists (fun (a, b) -> vpage >= a && vpage <= b) hinted_ranges then
+      Some (vpage mod num_mcs)
+    else None
+  in
+  { program; analysis; report; job; bases; desired_mc }
+
+let combined_hints preps vpage =
+  List.fold_left
+    (fun acc p -> match acc with Some _ -> acc | None -> p.desired_mc vpage)
+    None preps
+
+let run cfg ~optimized ?warmup_phases ?index_lookup ?profile program =
+  let p = prepare cfg ~optimized ?warmup_phases ?index_lookup ?profile program in
+  Engine.run cfg ~desired_mc_of_vpage:p.desired_mc ~jobs:[ p.job ] ()
+
+let run_many cfg ~jobs =
+  Engine.run cfg
+    ~desired_mc_of_vpage:(combined_hints jobs)
+    ~jobs:(List.map (fun p -> p.job) jobs)
+    ()

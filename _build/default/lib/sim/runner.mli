@@ -1,0 +1,48 @@
+(** End-to-end experiment runner: compile (optionally) with the layout
+    pass, lay the arrays out in virtual memory, generate the access
+    trace, and simulate it. *)
+
+type prepared = {
+  program : Lang.Ast.program;  (** original program *)
+  analysis : Lang.Analysis.t;
+  report : Core.Transform.report option;  (** [Some] when optimized *)
+  job : Engine.job;
+  bases : (string * int) list;  (** virtual base address of each array *)
+  desired_mc : int -> int option;
+      (** compiler page hints for the MC-aware policy: [Some m] for pages
+          of layout-optimized arrays, [None] (OS decides by first touch)
+          for everything else *)
+}
+
+val prepare :
+  Config.t ->
+  optimized:bool ->
+  ?threads:int ->
+  ?core_offset:int ->
+  ?vaddr_base:int ->
+  ?name:string ->
+  ?warmup_phases:int ->
+  ?index_lookup:(string -> int array -> int) ->
+  ?profile:(string -> (Affine.Vec.t * Affine.Vec.t) list) ->
+  Lang.Ast.program ->
+  prepared
+(** [threads] defaults to all cores × threads-per-core; [core_offset]
+    shifts the thread→core binding (multiprogrammed runs).  Array bases
+    are aligned to [num_mcs] interleaving units {e and} to [num_mcs]
+    pages — the paper's base-address padding — starting at
+    [vaddr_base]. *)
+
+val run :
+  Config.t ->
+  optimized:bool ->
+  ?warmup_phases:int ->
+  ?index_lookup:(string -> int array -> int) ->
+  ?profile:(string -> (Affine.Vec.t * Affine.Vec.t) list) ->
+  Lang.Ast.program ->
+  Engine.result
+(** Prepare + simulate one program alone on the whole machine. *)
+
+val run_many : Config.t -> jobs:prepared list -> Engine.result
+(** Simulate several prepared programs concurrently (multiprogrammed
+    workloads, Fig. 25).  Their virtual ranges must not overlap — use
+    distinct [vaddr_base]s. *)

@@ -1,0 +1,73 @@
+type t = {
+  mutable total_accesses : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable offchip_accesses : int;
+  mutable onchip_net_cycles : int;
+  mutable onchip_messages : int;
+  mutable offchip_net_cycles : int;
+  mutable offchip_messages : int;
+  mutable memory_cycles : int;
+  mutable memory_queue_cycles : int;
+  mutable row_hits : int;
+  onchip_hops : int array;
+  offchip_hops : int array;
+  node_mc_requests : int array array;
+  mutable finish_time : int;
+  mutable writebacks : int;
+  mutable page_fallbacks : int;
+}
+
+let max_hops = 64
+
+let create ~nodes ~mcs =
+  {
+    total_accesses = 0;
+    l1_hits = 0;
+    l2_hits = 0;
+    offchip_accesses = 0;
+    onchip_net_cycles = 0;
+    onchip_messages = 0;
+    offchip_net_cycles = 0;
+    offchip_messages = 0;
+    memory_cycles = 0;
+    memory_queue_cycles = 0;
+    row_hits = 0;
+    onchip_hops = Array.make (max_hops + 1) 0;
+    offchip_hops = Array.make (max_hops + 1) 0;
+    node_mc_requests = Array.init nodes (fun _ -> Array.make mcs 0);
+    finish_time = 0;
+    writebacks = 0;
+    page_fallbacks = 0;
+  }
+
+let div a b = if b = 0 then 0. else float_of_int a /. float_of_int b
+
+let avg_onchip_net t = div t.onchip_net_cycles t.onchip_messages
+
+let avg_offchip_net t = div t.offchip_net_cycles t.offchip_messages
+
+let avg_memory t = div t.memory_cycles t.offchip_accesses
+
+let offchip_fraction t = div t.offchip_accesses t.total_accesses
+
+let hop_cdf h =
+  let total = Array.fold_left ( + ) 0 h in
+  let acc = ref 0 in
+  Array.map
+    (fun n ->
+      acc := !acc + n;
+      if total = 0 then 1. else float_of_int !acc /. float_of_int total)
+    h
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "@[<v>accesses %d (L1 hits %d, L2 %d, off-chip %d = %.1f%%)@,\
+     net on-chip %.1f cyc/msg, off-chip %.1f cyc/msg, memory %.1f cyc \
+     (queue %.1f), row hits %d@,\
+     finish %d cycles, writebacks %d, page fallbacks %d@]"
+    t.total_accesses t.l1_hits t.l2_hits t.offchip_accesses
+    (100. *. offchip_fraction t)
+    (avg_onchip_net t) (avg_offchip_net t) (avg_memory t)
+    (div t.memory_queue_cycles t.offchip_accesses)
+    t.row_hits t.finish_time t.writebacks t.page_fallbacks

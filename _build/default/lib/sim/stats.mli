@@ -1,0 +1,52 @@
+(** Statistics collected by a simulation run — one counter per quantity
+    the paper reports.
+
+    "Network latency" is time spent traversing (and queueing for) mesh
+    links; an access's legs are attributed to the on-chip or off-chip
+    category depending on whether the access was ultimately served
+    on-chip (cache-to-cache or home-bank hit) or by a memory controller.
+    "Memory latency" is queue + service time at the controller. *)
+
+type t = {
+  mutable total_accesses : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;  (** served by some L2 (local, home or peer) *)
+  mutable offchip_accesses : int;
+  (* network latency sums and message counts *)
+  mutable onchip_net_cycles : int;
+  mutable onchip_messages : int;
+  mutable offchip_net_cycles : int;
+  mutable offchip_messages : int;
+  (* memory (controller) latency *)
+  mutable memory_cycles : int;  (** queue + service, reads only *)
+  mutable memory_queue_cycles : int;
+  mutable row_hits : int;
+  (* hop histograms for the Fig. 15 CDFs (index = links traversed) *)
+  onchip_hops : int array;
+  offchip_hops : int array;
+  (* off-chip requests per (requester node, controller) — Fig. 13 *)
+  node_mc_requests : int array array;
+  (* execution *)
+  mutable finish_time : int;
+  mutable writebacks : int;
+  mutable page_fallbacks : int;
+}
+
+val max_hops : int
+(** Histogram upper bound; longer routes saturate at this bucket. *)
+
+val create : nodes:int -> mcs:int -> t
+
+val avg_onchip_net : t -> float
+
+val avg_offchip_net : t -> float
+
+val avg_memory : t -> float
+
+val offchip_fraction : t -> float
+(** Off-chip accesses over total data accesses (Fig. 3). *)
+
+val hop_cdf : int array -> float array
+(** [hop_cdf h].(x) = fraction of messages traversing ≤ x links. *)
+
+val pp_summary : Format.formatter -> t -> unit

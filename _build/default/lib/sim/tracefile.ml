@@ -1,0 +1,66 @@
+let dump path phases =
+  let oc = open_out path in
+  output_string oc "# offchip trace v1\n";
+  List.iter
+    (fun (phase : Lang.Interp.phase) ->
+      Printf.fprintf oc "phase %d\n" (Array.length phase);
+      Array.iteri
+        (fun t stream ->
+          Printf.fprintf oc "t %d %d\n" t (Array.length stream);
+          Array.iter
+            (fun a ->
+              Printf.fprintf oc "%d %c\n"
+                (Lang.Interp.addr_of_access a)
+                (if Lang.Interp.is_write a then 'W' else 'R'))
+            stream)
+        phase)
+    phases;
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let line () = try Some (input_line ic) with End_of_file -> None in
+  let fail msg =
+    close_in ic;
+    failwith ("Tracefile.load: " ^ msg)
+  in
+  (match line () with
+  | Some "# offchip trace v1" -> ()
+  | _ -> fail "bad header");
+  let phases = ref [] in
+  let rec read_phases () =
+    match line () with
+    | None -> ()
+    | Some l -> (
+      match String.split_on_char ' ' l with
+      | [ "phase"; n ] ->
+        let nthreads = int_of_string n in
+        let streams =
+          Array.init nthreads (fun expect ->
+              match line () with
+              | Some tl -> (
+                match String.split_on_char ' ' tl with
+                | [ "t"; t; count ] when int_of_string t = expect ->
+                  Array.init (int_of_string count) (fun _ ->
+                      match line () with
+                      | Some al -> (
+                        match String.split_on_char ' ' al with
+                        | [ addr; "R" ] -> int_of_string addr lsl 1
+                        | [ addr; "W" ] -> (int_of_string addr lsl 1) lor 1
+                        | _ -> fail "bad access line")
+                      | None -> fail "truncated accesses")
+                | _ -> fail "bad thread header")
+              | None -> fail "truncated phase")
+        in
+        phases := streams :: !phases;
+        read_phases ()
+      | _ -> fail "bad phase header")
+  in
+  read_phases ();
+  close_in ic;
+  List.rev !phases
+
+let total_accesses phases =
+  List.fold_left
+    (fun acc ph -> acc + Array.fold_left (fun a s -> a + Array.length s) 0 ph)
+    0 phases

@@ -1,0 +1,24 @@
+(** Access-trace files.
+
+    Serializes the per-thread access streams the interpreter produces so
+    they can be inspected, diffed across layouts, or replayed by external
+    tools.  The format is line-oriented text:
+
+    {v
+    # offchip trace v1
+    phase <n-threads>
+    t <thread> <n-accesses>
+    <vaddr> R|W
+    ...
+    v}
+
+    [simulate --dump-trace FILE] writes one; {!load} reads it back into
+    the exact phases, so a round trip is the identity. *)
+
+val dump : string -> Lang.Interp.phase list -> unit
+(** Writes the phases to a path.  Raises [Sys_error] on IO failure. *)
+
+val load : string -> Lang.Interp.phase list
+(** Reads a trace file back.  Raises [Failure] on a malformed file. *)
+
+val total_accesses : Lang.Interp.phase list -> int

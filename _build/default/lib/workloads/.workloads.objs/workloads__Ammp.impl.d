@@ -1,0 +1,1 @@
+lib/workloads/ammp.ml: App

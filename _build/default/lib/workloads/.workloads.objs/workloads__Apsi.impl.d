@@ -1,0 +1,1 @@
+lib/workloads/apsi.ml: App

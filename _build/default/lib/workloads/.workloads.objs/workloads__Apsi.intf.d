@@ -1,0 +1,1 @@
+lib/workloads/apsi.mli: App

@@ -1,0 +1,1 @@
+lib/workloads/fma3d.ml: App

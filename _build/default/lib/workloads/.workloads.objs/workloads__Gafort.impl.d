@@ -1,0 +1,1 @@
+lib/workloads/gafort.ml: App

@@ -1,0 +1,1 @@
+lib/workloads/gafort.mli: App

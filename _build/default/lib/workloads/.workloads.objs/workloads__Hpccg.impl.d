@@ -1,0 +1,1 @@
+lib/workloads/hpccg.ml: App Array

@@ -1,0 +1,1 @@
+lib/workloads/minighost.mli: App

@@ -1,0 +1,1 @@
+lib/workloads/profile.ml: App Array Hashtbl Lang List String

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Ammp App Applu Apsi Art Fma3d Gafort Galgel Hpccg List Mgrid Minighost Minimd String Swim Wupwise

@@ -1,0 +1,27 @@
+(** ammp (SPEC OMP): molecular dynamics — short-range force accumulation
+    over neighboring particles, modeled with a 1-D window (this also
+    exercises the one-dimensional layout-customization path).  The
+    reversed initialization models allocation order differing from
+    compute order, defeating first-touch. *)
+
+let app =
+  App.make ~name:"ammp"
+    ~description:"molecular dynamics: windowed force accumulation (1-D)"
+    {|
+param N = 131072;
+array AX[N];
+array AF[N];
+array AV[N];
+// reversed-order init: first touch lands on the wrong cluster
+parfor i = 0 to N/16-1 {
+  AX[N-1-16*i] = i;
+  AF[N-1-16*i] = 0;
+  AV[N-1-16*i] = 0;
+}
+parfor i = 2 to N-3 {
+  AF[i] = AF[i] + AX[i-2] + AX[i-1] + AX[i] + AX[i+1] + AX[i+2];
+}
+parfor i = 0 to N-1 {
+  AV[i] = AV[i] + AF[i] + AX[i];
+}
+|}

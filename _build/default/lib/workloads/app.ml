@@ -1,0 +1,23 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  index_contents : (string * (int array -> int)) list;
+  first_touch_friendly : bool;
+  warmup_nests : int;
+}
+
+let make ~name ~description ?(index = []) ?(first_touch_friendly = false)
+    ?(warmup_nests = 1) source =
+  {
+    name;
+    description;
+    source;
+    index_contents = index;
+    first_touch_friendly;
+    warmup_nests;
+  }
+
+let program t = Lang.Parser.parse t.source
+
+let index_lookup t name v = (List.assoc name t.index_contents) v

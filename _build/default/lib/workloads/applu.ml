@@ -1,0 +1,35 @@
+(** applu (SPEC OMP): SSOR solver — successive sweeps parallel over
+    different dimensions, so the two nests prefer conflicting layouts and
+    the weighted-majority choice satisfies only part of the references
+    (visible in Table 2). *)
+
+let app =
+  App.make ~name:"applu"
+    ~description:"SSOR: sweeps with conflicting parallel dimensions"
+    {|
+param N = 320;
+array A[N][N];
+array B[N][N];
+// column-parallel sparse init: bad for first-touch
+parfor j0 = 0 to N/16-1 {
+  for i = 0 to N-1 {
+    A[i][16*j0] = i;
+    B[i][16*j0] = i + j0;
+  }
+}
+parfor i = 1 to N-2 {
+  for j = 1 to N-2 {
+    A[i][j] = A[i][j] + B[i][j] + B[i-1][j];
+  }
+}
+parfor j = 1 to N-2 {
+  for i = 1 to N-2 {
+    B[i][j] = B[i][j] + A[i][j] + A[i][j-1];
+  }
+}
+parfor i = 1 to N-2 {
+  for j = 1 to N-2 {
+    A[i][j] = A[i][j] + B[i+1][j];
+  }
+}
+|}

@@ -1,0 +1,31 @@
+(** apsi (SPEC OMP): mesoscale hydrodynamics — pollutant-transport
+    stencils over temperature/moisture/wind fields.  The app used for the
+    paper's Fig. 13 access-distribution maps. *)
+
+let app =
+  App.make ~name:"apsi"
+    ~description:"mesoscale hydrodynamics: transport stencils"
+    {|
+param N = 320;
+array T1[N][N];
+array Q1[N][N];
+array S1[N][N];
+// column-parallel sparse init: bad for first-touch
+parfor j0 = 0 to N/16-1 {
+  for i = 0 to N-1 {
+    T1[i][16*j0] = i + j0;
+    Q1[i][16*j0] = i - j0;
+    S1[i][16*j0] = j0;
+  }
+}
+parfor i = 1 to N-2 {
+  for j = 1 to N-2 {
+    T1[i][j] = T1[i][j] + Q1[i][j-1] + Q1[i][j+1] + S1[i-1][j] + S1[i+1][j];
+  }
+}
+parfor i = 0 to N-1 {
+  for j = 0 to N-1 {
+    Q1[i][j] = T1[i][j] + S1[i][j];
+  }
+}
+|}

@@ -1,0 +1,40 @@
+(** art (SPEC OMP): adaptive resonance theory neural network — F1/F2
+    layer weight products and weight updates.  The weight update is
+    guarded by the vigilance test, the conditional the pass handles by
+    conservatively assuming both branches execute (Section 4). *)
+
+let app =
+  App.make ~name:"art"
+    ~description:"ART neural net: weight products and updates"
+    {|
+param M0 = 512;
+param N0 = 288;
+array W[M0][N0];
+array IN0[N0];
+array OUT0[M0];
+// column-parallel sparse init: bad for first-touch
+parfor n0 = 0 to N0/16-1 {
+  IN0[16*n0] = n0;
+  for m = 0 to M0-1 {
+    W[m][16*n0] = m + n0;
+  }
+}
+for t0 = 0 to 1 {
+  parfor m = 0 to M0-1 {
+    OUT0[m] = 0;
+    for n = 0 to N0-1 {
+      OUT0[m] = OUT0[m] + W[m][n]*IN0[n];
+    }
+  }
+  // vigilance test: resonating rows learn, the rest decay
+  parfor m = 0 to M0-1 {
+    for n = 0 to N0-1 {
+      if (m % 4 == 0) {
+        W[m][n] = W[m][n] + OUT0[m]*IN0[n];
+      } else {
+        W[m][n] = W[m][n] - OUT0[m];
+      }
+    }
+  }
+}
+|}

@@ -1,0 +1,48 @@
+(** fma3d (SPEC OMP): crash simulation — element/nodal force gather with
+    wide halos.  One of the two applications with the highest inter-core
+    sharing and bank-queue pressure, for which the compiler analysis
+    prefers mapping M2 (two controllers per cluster) over M1. *)
+
+let app =
+  App.make ~name:"fma3d"
+    ~description:"crash simulation: wide-halo force gather, memory-bound"
+    {|
+param N = 320;
+array XE[N][N];
+array YE[N][N];
+array ZE[N][N];
+array FN[N][N];
+array MN[N][N];
+// column-parallel sparse init: bad for first-touch
+parfor j0 = 0 to N/16-1 {
+  for i = 0 to N-1 {
+    XE[i][16*j0] = i;
+    YE[i][16*j0] = j0;
+    ZE[i][16*j0] = i + j0;
+    FN[i][16*j0] = 0;
+    MN[i][16*j0] = 0;
+  }
+}
+// wide halos: i +/- 8 crosses data-block boundaries (heavy sharing)
+parfor i = 8 to N-9 {
+  for j = 0 to N-1 {
+    FN[i][j] = XE[i][j] + XE[i-8][j] + XE[i+8][j]
+             + YE[i][j] + YE[i-8][j] + YE[i+8][j]
+             + ZE[i][j] + MN[i][j];
+  }
+}
+parfor i = 8 to N-9 {
+  for j = 0 to N-1 {
+    MN[i][j] = FN[i][j] + FN[i-8][j] + FN[i+8][j] + ZE[i][j];
+  }
+}
+// contact search: line-strided sweeps with no spatial reuse — the
+// sustained bank-queue pressure the paper reports for this app
+for t0 = 0 to 31 {
+  parfor i = 0 to N-1 {
+    for j32 = 0 to N/32-1 {
+      ZE[i][32*j32] = MN[i][32*j32] + t0;
+    }
+  }
+}
+|}

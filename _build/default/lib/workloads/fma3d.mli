@@ -1,0 +1,4 @@
+(** The fma3d application model; see the implementation header for what it
+    models and which of the paper's per-app characteristics it carries. *)
+
+val app : App.t

@@ -1,0 +1,27 @@
+(** gafort (SPEC OMP): genetic algorithm — population rows are private to
+    their owning thread (shuffle/evaluation), which makes first-touch
+    placement effective (Section 6.3). *)
+
+let app =
+  App.make ~name:"gafort"
+    ~description:"genetic algorithm: per-individual gene sweeps"
+    ~first_touch_friendly:true
+    {|
+param N = 1024;
+param G = 144;
+array POP[N][G];
+array FIT[N];
+// owner-parallel init: first touch by the computing core
+parfor i = 0 to N-1 {
+  FIT[i] = 0;
+  for g0 = 0 to G/16-1 {
+    POP[i][16*g0] = i + g0;
+  }
+}
+parfor i = 0 to N-1 {
+  for g0 = 0 to G-1 {
+    FIT[i] = FIT[i] + POP[i][g0]*POP[i][g0];
+    POP[i][g0] = POP[i][g0] + 1;
+  }
+}
+|}

@@ -1,0 +1,34 @@
+(** galgel (SPEC OMP): Galerkin FEM for convection — dominated by dense
+    linear algebra with transposed operand access, the textbook case for
+    the dimension-permuting transformation (Fig. 9). *)
+
+let app =
+  App.make ~name:"galgel"
+    ~description:"Galerkin FEM: transposed-operand dense updates"
+    ~warmup_nests:2
+    {|
+param N = 320;
+array B1[N][N];
+array C1[N][N];
+// sparse inits, scrambled with respect to the compute partition
+parfor i0 = 0 to N/16-1 {
+  for j0 = 0 to N/16-1 {
+    B1[16*i0][16*j0] = i0 + j0;
+  }
+}
+parfor j0 = 0 to N/16-1 {
+  for i = 0 to N-1 {
+    C1[i][16*j0] = 0;
+  }
+}
+parfor j = 0 to N-1 {
+  for i = 0 to N-1 {
+    C1[j][i] = C1[j][i] + B1[i][j];
+  }
+}
+parfor j = 1 to N-2 {
+  for i = 0 to N-1 {
+    C1[j][i] = C1[j][i] + C1[j-1][i] + C1[j+1][i];
+  }
+}
+|}

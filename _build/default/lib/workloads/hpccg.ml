@@ -1,0 +1,42 @@
+(** hpccg (Mantevo): conjugate gradient — sparse matrix-vector product in
+    CRS form.  The source vector is accessed through the column-index
+    array; the profile-based approximation (Section 5.4) fits the banded
+    structure well, so the reference is optimized. *)
+
+let n = 32768
+
+let clamp lo hi x = max lo (min hi x)
+
+let cols v =
+  (* seven-point band: row i touches columns i-3 .. i+3 *)
+  clamp 0 (n - 1) (v.(0) - 3 + v.(1))
+
+let app =
+  App.make ~name:"hpccg"
+    ~description:"conjugate gradient: banded SpMV through index arrays"
+    ~index:[ ("COLS", cols) ]
+    {|
+param N = 32768;
+param NZ = 7;
+array VALS[N][NZ];
+index COLS[N][NZ];
+array XV[N];
+array PV[N];
+array RV[N];
+// reversed sparse init scrambles first-touch
+parfor i = 0 to N/16-1 {
+  XV[N-1-16*i] = i;
+  PV[N-1-16*i] = 0;
+  RV[N-1-16*i] = 0;
+  VALS[N-16*i-1][0] = i;
+}
+parfor i = 0 to N-1 {
+  RV[i] = 0;
+  for z = 0 to NZ-1 {
+    RV[i] = RV[i] + VALS[i][z]*XV[COLS[i][z]];
+  }
+}
+parfor i = 0 to N-1 {
+  PV[i] = RV[i] + PV[i];
+}
+|}

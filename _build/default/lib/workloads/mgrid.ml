@@ -1,0 +1,44 @@
+(** mgrid (SPEC OMP): multigrid solver — seven-point stencil relaxation on
+    a 3-D grid, with a coarse-grid restriction using stride-2 subscripts.
+    The sparse init is parallel over the middle dimension, scrambling
+    first-touch placement. *)
+
+let app =
+  App.make ~name:"mgrid"
+    ~description:"multigrid: 3-D seven-point relaxation + restriction"
+    ~warmup_nests:2
+    {|
+param M = 64;
+param MH = 32;
+array R[M][M][M];
+array Z[M][M][M];
+array RC[MH][MH][MH];
+// j-parallel sparse init: bad for first-touch
+parfor j = 0 to M-1 {
+  for i = 0 to M-1 {
+    R[i][j][0] = i + j;
+    Z[i][j][0] = 0;
+  }
+}
+parfor j = 0 to MH-1 {
+  for i = 0 to MH-1 {
+    RC[i][j][0] = 0;
+  }
+}
+parfor i = 1 to M-2 {
+  for j = 1 to M-2 {
+    for k = 1 to M-2 {
+      Z[i][j][k] = R[i][j][k] + R[i-1][j][k] + R[i+1][j][k]
+                 + R[i][j-1][k] + R[i][j+1][k] + R[i][j][k-1] + R[i][j][k+1];
+    }
+  }
+}
+// restriction to the coarse grid (stride-2 affine subscripts)
+parfor i = 0 to MH-1 {
+  for j = 0 to MH-1 {
+    for k = 0 to MH-1 {
+      RC[i][j][k] = Z[2*i][2*j][2*k];
+    }
+  }
+}
+|}

@@ -1,0 +1,38 @@
+(** minighost (Mantevo): halo-exchange finite difference — deep 27-point
+    style stencils over several variables.  Together with fma3d, the
+    highest inter-core sharing and bank-queue utilization; the compiler
+    analysis picks mapping M2 for it. *)
+
+let app =
+  App.make ~name:"minighost"
+    ~description:"halo-exchange stencil: deep halos, memory-bound"
+    {|
+param N = 320;
+array G1[N][N];
+array G2[N][N];
+array G3[N][N];
+// column-parallel sparse init: bad for first-touch
+parfor j0 = 0 to N/16-1 {
+  for i = 0 to N-1 {
+    G1[i][16*j0] = i + j0;
+    G2[i][16*j0] = 0;
+    G3[i][16*j0] = 0;
+  }
+}
+parfor i = 2 to N-3 {
+  for j = 2 to N-3 {
+    G2[i][j] = G1[i][j] + G1[i-2][j] + G1[i+2][j] + G1[i][j-2] + G1[i][j+2];
+    G3[i][j] = G2[i][j] + G2[i-1][j] + G2[i+1][j] + G1[i][j];
+  }
+}
+// boundary-buffer packing: line-strided stores with no spatial reuse;
+// the store buffers keep many fills in flight, producing the sustained
+// bank-queue pressure the paper reports for this app
+for t0 = 0 to 31 {
+  parfor i = 0 to N-1 {
+    for j32 = 0 to N/32-1 {
+      G3[i][32*j32] = G1[i][32*j32] + t0;
+    }
+  }
+}
+|}

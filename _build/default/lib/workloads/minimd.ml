@@ -1,0 +1,37 @@
+(** minimd (Mantevo): molecular dynamics — Lennard-Jones force loops over
+    per-atom neighbor lists.  Atoms are cell-sorted, so the neighbor-list
+    contents are near-affine and the Section 5.4 approximation succeeds;
+    owner-parallel initialization makes first-touch effective. *)
+
+let k_neigh = 12
+
+let n = 16384
+
+let clamp lo hi x = max lo (min hi x)
+
+let neigh v =
+  (* cell-sorted neighbors: atom i's k-th neighbor is near i *)
+  clamp 0 (n - 1) (v.(0) + v.(1) - (k_neigh / 2))
+
+let app =
+  App.make ~name:"minimd"
+    ~description:"molecular dynamics: neighbor-list force loops"
+    ~index:[ ("NEIGH", neigh) ]
+    ~first_touch_friendly:true
+    {|
+param N = 16384;
+param K = 12;
+array PX[N];
+array FX[N];
+index NEIGH[N][K];
+// owner-parallel init: first touch by the computing core
+parfor i = 0 to N-1 {
+  PX[i] = i;
+  FX[i] = 0;
+}
+parfor i = 0 to N-1 {
+  for k = 0 to K-1 {
+    FX[i] = FX[i] + PX[NEIGH[i][k]] - PX[i];
+  }
+}
+|}

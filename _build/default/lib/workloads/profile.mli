@@ -1,0 +1,16 @@
+(** Profile extraction for indexed references (Section 5.4).
+
+    Samples the iteration space of every nest containing an indexed
+    reference to the given array, evaluating the subscripts (through the
+    app's index-array contents) to produce the (iteration, data-vector)
+    pairs the affine approximation is fitted on. *)
+
+val samples :
+  App.t -> Lang.Analysis.t -> string -> (Affine.Vec.t * Affine.Vec.t) list
+(** [samples app analysis array] — at most ~1000 samples, strided evenly
+    over each relevant nest's iteration space.  Empty when the array has
+    no indexed occurrence or bounds cannot be evaluated. *)
+
+val for_transform :
+  App.t -> Lang.Analysis.t -> string -> (Affine.Vec.t * Affine.Vec.t) list
+(** The [profile] argument shape expected by {!Core.Transform.run}. *)

@@ -1,0 +1,20 @@
+let all =
+  [
+    Wupwise.app;
+    Swim.app;
+    Mgrid.app;
+    Applu.app;
+    Galgel.app;
+    Apsi.app;
+    Gafort.app;
+    Fma3d.app;
+    Art.app;
+    Ammp.app;
+    Hpccg.app;
+    Minighost.app;
+    Minimd.app;
+  ]
+
+let by_name name = List.find (fun (a : App.t) -> String.equal a.App.name name) all
+
+let names = List.map (fun (a : App.t) -> a.App.name) all

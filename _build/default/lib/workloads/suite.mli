@@ -1,0 +1,11 @@
+(** The 13-application suite of the paper's evaluation: all SPEC OMP
+    applications except equake, plus hpccg, minighost and minimd from
+    Mantevo. *)
+
+val all : App.t list
+(** In the paper's Figure order. *)
+
+val by_name : string -> App.t
+(** Raises [Not_found] for unknown names. *)
+
+val names : string list

@@ -1,0 +1,39 @@
+(** swim (SPEC OMP): shallow-water modeling — five-point stencils over
+    several grids.  The initialization is parallel over the other
+    dimension (a common Fortran idiom: init loops written column-major),
+    so pages are first touched far from their compute owner and
+    first-touch places them badly.  The init touches one element per
+    16-element group, enough to claim every page cheaply. *)
+
+let app =
+  App.make ~name:"swim"
+    ~description:"shallow water: five-point stencil sweeps"
+    {|
+param N = 320;
+array U[N][N];
+array V[N][N];
+array P[N][N];
+array UNEW[N][N];
+array VNEW[N][N];
+// column-parallel sparse init: scrambles first-touch placement
+parfor j0 = 0 to N/16-1 {
+  for i = 0 to N-1 {
+    U[i][16*j0] = i + j0;
+    V[i][16*j0] = i - j0;
+    P[i][16*j0] = i;
+    UNEW[i][16*j0] = 0;
+    VNEW[i][16*j0] = 0;
+  }
+}
+parfor i = 1 to N-2 {
+  for j = 1 to N-2 {
+    UNEW[i][j] = U[i][j] + P[i][j+1] - P[i][j-1] + V[i-1][j];
+    VNEW[i][j] = V[i][j] + P[i+1][j] - P[i-1][j] + U[i][j-1];
+  }
+}
+parfor i = 1 to N-2 {
+  for j = 1 to N-2 {
+    P[i][j] = P[i][j] - UNEW[i][j+1] + VNEW[i-1][j];
+  }
+}
+|}

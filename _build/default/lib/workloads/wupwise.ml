@@ -1,0 +1,32 @@
+(** wupwise (SPEC OMP): lattice QCD — dominated by complex matrix-vector
+    products (zgemm/zaxpy).  Initialization is owner-parallel (each core
+    first touches the pages it later computes on), which is why
+    first-touch placement works for this app (Section 6.3).  The init
+    touches one element per cache line per row — enough to claim every
+    page — so compute dominates the traffic. *)
+
+let app =
+  App.make ~name:"wupwise"
+    ~description:"lattice QCD: dense matrix-vector products"
+    ~first_touch_friendly:true
+    {|
+param N = 320;
+array A[N][N];
+array X[N];
+array Y[N];
+// owner-parallel initialization: pages first touched by their owner
+parfor i = 0 to N-1 {
+  X[i] = i;
+  Y[i] = 0;
+  for j0 = 0 to N/16-1 {
+    A[i][16*j0] = i + j0;
+  }
+}
+for t0 = 0 to 1 {
+  parfor i = 0 to N-1 {
+    for j = 0 to N-1 {
+      Y[i] = Y[i] + A[i][j]*X[j];
+    }
+  }
+}
+|}

@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine Alcotest Array Fmt Fun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache_sim Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Affine Alcotest Array Astring Core Format Hashtbl Lang List Noc Option String

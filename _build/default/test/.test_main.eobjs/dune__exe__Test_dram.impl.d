@@ -1,0 +1,1 @@
+test/test_dram.ml: Alcotest Dram Fun List QCheck QCheck_alcotest

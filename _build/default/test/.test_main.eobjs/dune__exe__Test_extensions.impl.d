@@ -1,0 +1,1 @@
+test/test_extensions.ml: Affine Alcotest Array Astring Core Lang List QCheck QCheck_alcotest Sim String Workloads

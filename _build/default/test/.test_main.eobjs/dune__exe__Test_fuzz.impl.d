@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Buffer Core Format Hashtbl Lang List Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Affine Alcotest Array Core Dram Hashtbl Lang List Printexc Printf QCheck QCheck_alcotest Sim Workloads

@@ -1,0 +1,1 @@
+test/test_lang.ml: Affine Alcotest Array Astring Lang List String Workloads

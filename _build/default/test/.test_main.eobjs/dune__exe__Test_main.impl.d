@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_affine Test_cache Test_core Test_dram Test_extensions Test_fuzz Test_integration Test_lang Test_misc Test_noc Test_os Test_sim Test_workloads

@@ -1,0 +1,1 @@
+test/test_misc.ml: Affine Alcotest Array Astring Core Dram Filename Format Lang List Noc Sim Sys

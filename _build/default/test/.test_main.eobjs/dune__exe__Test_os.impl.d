@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Dram List Os_sim Printf QCheck QCheck_alcotest

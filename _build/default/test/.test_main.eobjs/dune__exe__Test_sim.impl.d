@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Core Dram Filename Lang List Noc Option Printf QCheck QCheck_alcotest Sim Sys

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Core Lang List Printf Sim Workloads

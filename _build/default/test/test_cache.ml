@@ -1,0 +1,171 @@
+(* Tests for the cache substrate: set-associative LRU caches and the L2
+   tag directory. *)
+
+module Sacache = Cache_sim.Sacache
+module Directory = Cache_sim.Directory
+
+let mk ?(hash = false) ?(size = 1024) ?(line = 64) ?(ways = 2) () =
+  Sacache.create ~hash_sets:hash ~size_bytes:size ~line_bytes:line ~ways ()
+
+let is_hit = function Sacache.Hit -> true | Sacache.Miss _ -> false
+
+let test_geometry () =
+  let c = mk () in
+  Alcotest.(check int) "sets" 8 (Sacache.sets c);
+  Alcotest.(check int) "line bytes" 64 (Sacache.line_bytes c);
+  Alcotest.(check int) "line addr" 128 (Sacache.line_addr c 130);
+  Alcotest.check_raises "bad line size" (Invalid_argument "Sacache.create")
+    (fun () -> ignore (Sacache.create ~size_bytes:1024 ~line_bytes:48 ~ways:2 ()))
+
+let test_hit_after_fill () =
+  let c = mk () in
+  Alcotest.(check bool) "cold miss" false (is_hit (Sacache.access c ~addr:0 ~write:false));
+  Alcotest.(check bool) "then hit" true (is_hit (Sacache.access c ~addr:0 ~write:false));
+  Alcotest.(check bool) "same line hit" true (is_hit (Sacache.access c ~addr:63 ~write:false));
+  Alcotest.(check bool) "next line miss" false (is_hit (Sacache.access c ~addr:64 ~write:false))
+
+let test_lru_eviction () =
+  let c = mk () in
+  (* 2-way set 0: lines 0, 512 (8 sets × 64B = 512B stride aliases) *)
+  ignore (Sacache.access c ~addr:0 ~write:false);
+  ignore (Sacache.access c ~addr:512 ~write:false);
+  (* touch 0 so 512 becomes LRU *)
+  ignore (Sacache.access c ~addr:0 ~write:false);
+  (* a third line in set 0 must evict 512 *)
+  (match Sacache.access c ~addr:1024 ~write:false with
+  | Sacache.Miss { evicted = Some e; _ } -> Alcotest.(check int) "evicts LRU" 512 e
+  | _ -> Alcotest.fail "expected an eviction");
+  Alcotest.(check bool) "0 still resident" true (is_hit (Sacache.access c ~addr:0 ~write:false));
+  Alcotest.(check bool) "512 gone" false (is_hit (Sacache.access c ~addr:512 ~write:false))
+
+let test_dirty_writeback () =
+  (* direct-mapped: 16 sets, same-set stride 1024 *)
+  let c = mk ~ways:1 () in
+  ignore (Sacache.access c ~addr:0 ~write:true);
+  (match Sacache.access c ~addr:1024 ~write:false with
+  | Sacache.Miss { evicted = Some 0; evicted_dirty = true } -> ()
+  | _ -> Alcotest.fail "dirty line must be written back");
+  (* clean eviction *)
+  match Sacache.access c ~addr:2048 ~write:false with
+  | Sacache.Miss { evicted = Some 1024; evicted_dirty = false } -> ()
+  | _ -> Alcotest.fail "clean line eviction"
+
+let test_probe_invalidate () =
+  let c = mk () in
+  ignore (Sacache.access c ~addr:320 ~write:true);
+  Alcotest.(check bool) "probe finds it" true (Sacache.probe c ~addr:320);
+  Alcotest.(check bool) "invalidate reports dirty" true (Sacache.invalidate c ~addr:320);
+  Alcotest.(check bool) "gone after invalidate" false (Sacache.probe c ~addr:320);
+  Alcotest.(check bool) "invalidate missing is false" false (Sacache.invalidate c ~addr:320)
+
+let test_stats_and_clear () =
+  let c = mk () in
+  ignore (Sacache.access c ~addr:0 ~write:false);
+  ignore (Sacache.access c ~addr:0 ~write:false);
+  Alcotest.(check (pair int int)) "1 hit 1 miss" (1, 1) (Sacache.stats c);
+  Sacache.clear c;
+  Alcotest.(check (pair int int)) "cleared" (0, 0) (Sacache.stats c);
+  Alcotest.(check bool) "cold again" false (is_hit (Sacache.access c ~addr:0 ~write:false))
+
+let test_hash_spreads_aliases () =
+  (* addresses at stride sets*line alias to one set without hashing; the
+     XOR fold must spread them so a working set of #sets lines survives *)
+  let plain = mk ~ways:2 () and hashed = mk ~hash:true ~ways:2 () in
+  let stride = 8 * 64 in
+  let touch c =
+    for i = 0 to 7 do
+      ignore (Sacache.access c ~addr:(i * stride) ~write:false)
+    done;
+    (* second pass: count hits *)
+    let hits = ref 0 in
+    for i = 0 to 7 do
+      if is_hit (Sacache.access c ~addr:(i * stride) ~write:false) then incr hits
+    done;
+    !hits
+  in
+  Alcotest.(check int) "plain cache thrashes" 0 (touch plain);
+  Alcotest.(check bool) "hashed cache retains most" true (touch hashed >= 6)
+
+let prop_lru_working_set =
+  (* any working set of <= ways lines per set always hits after warmup *)
+  QCheck.Test.make ~name:"working set of `ways` lines per set stays resident"
+    ~count:100
+    (QCheck.make QCheck.Gen.(int_range 0 1000))
+    (fun base ->
+      let c = mk () in
+      let addrs = [ base * 64; (base * 64) + 4096 ] in
+      List.iter (fun a -> ignore (Sacache.access c ~addr:a ~write:false)) addrs;
+      List.for_all (fun a -> is_hit (Sacache.access c ~addr:a ~write:false)) addrs)
+
+(* --- directory --- *)
+
+let test_directory_basic () =
+  let d = Directory.create ~nodes:64 in
+  Alcotest.(check (list int)) "empty" [] (Directory.holders d ~line:0x100);
+  Directory.add_holder d ~line:0x100 ~node:5;
+  Directory.add_holder d ~line:0x100 ~node:63;
+  Alcotest.(check (list int)) "two holders" [ 5; 63 ] (Directory.holders d ~line:0x100);
+  Directory.remove_holder d ~line:0x100 ~node:5;
+  Alcotest.(check (list int)) "one left" [ 63 ] (Directory.holders d ~line:0x100);
+  Directory.remove_holder d ~line:0x100 ~node:63;
+  Alcotest.(check (list int)) "empty again" [] (Directory.holders d ~line:0x100)
+
+let test_directory_closest () =
+  let d = Directory.create ~nodes:64 in
+  Directory.add_holder d ~line:7 ~node:10;
+  Directory.add_holder d ~line:7 ~node:40;
+  let dist_from x n = abs (n - x) in
+  Alcotest.(check (option int)) "closest to 12" (Some 10)
+    (Directory.closest_holder d ~line:7 ~distance:(dist_from 12) ());
+  Alcotest.(check (option int)) "closest to 39" (Some 40)
+    (Directory.closest_holder d ~line:7 ~distance:(dist_from 39) ());
+  (* the requester itself is never returned *)
+  Alcotest.(check (option int)) "excluding self" (Some 40)
+    (Directory.closest_holder d ~line:7 ~excluding:10 ~distance:(dist_from 10) ());
+  Directory.remove_holder d ~line:7 ~node:40;
+  Alcotest.(check (option int)) "no other holder" None
+    (Directory.closest_holder d ~line:7 ~excluding:10 ~distance:(dist_from 0) ())
+
+let prop_directory_membership =
+  QCheck.Test.make ~name:"add/remove holder tracks membership" ~count:300
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 30) (pair (int_range 0 63) bool)))
+    (fun ops ->
+      let d = Directory.create ~nodes:64 in
+      let expected = Hashtbl.create 16 in
+      List.iter
+        (fun (node, add) ->
+          if add then begin
+            Directory.add_holder d ~line:1 ~node;
+            Hashtbl.replace expected node ()
+          end
+          else begin
+            Directory.remove_holder d ~line:1 ~node;
+            Hashtbl.remove expected node
+          end)
+        ops;
+      let want = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) expected []) in
+      Directory.holders d ~line:1 = want)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "cache.sacache",
+      [
+        Alcotest.test_case "geometry" `Quick test_geometry;
+        Alcotest.test_case "hit after fill" `Quick test_hit_after_fill;
+        Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+        Alcotest.test_case "dirty writeback" `Quick test_dirty_writeback;
+        Alcotest.test_case "probe/invalidate" `Quick test_probe_invalidate;
+        Alcotest.test_case "stats/clear" `Quick test_stats_and_clear;
+        Alcotest.test_case "set hashing" `Quick test_hash_spreads_aliases;
+      ]
+      @ qsuite [ prop_lru_working_set ] );
+    ( "cache.directory",
+      [
+        Alcotest.test_case "holders" `Quick test_directory_basic;
+        Alcotest.test_case "closest holder" `Quick test_directory_closest;
+      ]
+      @ qsuite [ prop_directory_membership ] );
+  ]

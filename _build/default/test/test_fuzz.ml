@@ -1,0 +1,139 @@
+(* Fuzzing the whole pipeline with randomly generated affine kernels:
+   every generated program must parse/print round-trip, produce injective
+   layouts under the pass, and conserve accesses through the simulator. *)
+
+module Ast = Lang.Ast
+module Gen = QCheck.Gen
+
+(* --- random affine kernel generator --- *)
+
+(* Subscript templates over the iterators (i outer, j inner). *)
+let subscript_choices_2d =
+  [
+    (fun () -> (Ast.Var "i", Ast.Var "j"));
+    (fun () -> (Ast.Var "j", Ast.Var "i"));
+    (fun () -> (Ast.Add (Ast.Var "i", Ast.Int 1), Ast.Var "j"));
+    (fun () -> (Ast.Var "i", Ast.Sub (Ast.Var "j", Ast.Int 1)));
+    (fun () -> (Ast.Var "i", Ast.Add (Ast.Var "j", Ast.Int 2)));
+  ]
+
+type kernel = { src : string; n : int }
+
+let gen_kernel : kernel Gen.t =
+  let open Gen in
+  let* n_arrays = int_range 1 3 in
+  let* n = map (fun k -> 8 * k) (int_range 4 8) in
+  let* refs_per_stmt = int_range 1 3 in
+  let* sub_choices =
+    list_size (return (n_arrays * refs_per_stmt)) (int_range 0 4)
+  in
+  let* par_inner = bool in
+  let arrays = List.init n_arrays (fun i -> Printf.sprintf "A%d" i) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "param N = %d;\n" n);
+  List.iter (fun a -> Buffer.add_string buf (Printf.sprintf "array %s[N][N];\n" a)) arrays;
+  let outer, inner = if par_inner then ("for", "parfor") else ("parfor", "for") in
+  Buffer.add_string buf
+    (Printf.sprintf "%s i = 2 to N-3 {\n  %s j = 2 to N-3 {\n" outer inner);
+  let choice = ref sub_choices in
+  let next_sub () =
+    match !choice with
+    | [] -> (Ast.Var "i", Ast.Var "j")
+    | c :: rest ->
+      choice := rest;
+      (List.nth subscript_choices_2d c) ()
+  in
+  List.iteri
+    (fun k a ->
+      let s1, s2 = next_sub () in
+      let rhs_arr = List.nth arrays ((k + 1) mod n_arrays) in
+      let r1, r2 = next_sub () in
+      Buffer.add_string buf
+        (Format.asprintf "    %s[%a][%a] = %s[%a][%a] + 1;\n" a Ast.pp_expr s1
+           Ast.pp_expr s2 rhs_arr Ast.pp_expr r1 Ast.pp_expr r2))
+    arrays;
+  Buffer.add_string buf "  }\n}\n";
+  return { src = Buffer.contents buf; n }
+
+let arb_kernel = QCheck.make ~print:(fun k -> k.src) gen_kernel
+
+(* --- properties --- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"random kernels print/parse round-trip" ~count:100
+    arb_kernel
+    (fun k ->
+      let p = Lang.Parser.parse k.src in
+      let printed = Ast.program_to_string p in
+      String.equal printed (Ast.program_to_string (Lang.Parser.parse printed)))
+
+let prop_layouts_injective =
+  QCheck.Test.make ~name:"pass layouts stay injective on random kernels"
+    ~count:40 arb_kernel
+    (fun k ->
+      let analysis = Lang.Analysis.analyze (Lang.Parser.parse k.src) in
+      let ccfg = Sim.Config.customize_config (Sim.Config.scaled ()) in
+      let report = Core.Transform.run ccfg analysis in
+      List.for_all
+        (fun (d : Core.Transform.decision) ->
+          let layout = d.Core.Transform.layout in
+          let seen = Hashtbl.create 1024 in
+          let ok = ref true in
+          let size = Core.Layout.size_elems layout in
+          (* sample the data space on a grid to keep the check cheap *)
+          let step = max 1 (k.n / 16) in
+          let x = ref 0 in
+          while !x < k.n do
+            let y = ref 0 in
+            while !y < k.n do
+              let off = Core.Layout.offset_of_index layout [| !x; !y |] in
+              if off < 0 || off >= size || Hashtbl.mem seen off then ok := false;
+              Hashtbl.replace seen off ();
+              y := !y + step
+            done;
+            x := !x + step
+          done;
+          !ok)
+        report.Core.Transform.decisions)
+
+let prop_simulation_conserves =
+  QCheck.Test.make ~name:"simulation conserves accesses on random kernels"
+    ~count:10 arb_kernel
+    (fun k ->
+      let p = Lang.Parser.parse k.src in
+      let cfg = Sim.Config.scaled () in
+      let check optimized =
+        let r = Sim.Runner.run cfg ~optimized p in
+        let s = r.Sim.Engine.stats in
+        s.Sim.Stats.total_accesses
+        = s.Sim.Stats.l1_hits + s.Sim.Stats.l2_hits + s.Sim.Stats.offchip_accesses
+        && s.Sim.Stats.finish_time > 0
+      in
+      check false && check true)
+
+let prop_trace_counts_match =
+  QCheck.Test.make ~name:"trace length is layout-independent" ~count:20
+    arb_kernel
+    (fun k ->
+      let p = Lang.Parser.parse k.src in
+      let count addr_of =
+        let phases = Lang.Interp.trace ~threads:8 ~addr_of p in
+        List.fold_left
+          (fun a ph -> a + Array.fold_left (fun a s -> a + Array.length s) 0 ph)
+          0 phases
+      in
+      count (fun _ v -> v.(0)) = count (fun _ v -> (v.(0) * 131) + v.(1)))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "fuzz",
+      qsuite
+        [
+          prop_roundtrip;
+          prop_layouts_injective;
+          prop_simulation_conserves;
+          prop_trace_counts_match;
+        ] );
+  ]

@@ -1,0 +1,193 @@
+(* Cross-module integration tests: end-to-end invariants that tie the
+   pass, the allocator and the simulator together. *)
+
+module Config = Sim.Config
+module Engine = Sim.Engine
+module Runner = Sim.Runner
+module Stats = Sim.Stats
+module Cluster = Core.Cluster
+
+let stencil_src =
+  {|
+param N = 128;
+array A[N][N];
+array B[N][N];
+parfor i = 1 to N-2 { for j = 1 to N-2 { A[i][j] = B[i][j] + B[i-1][j] + B[i+1][j]; } }
+parfor i = 1 to N-2 { for j = 1 to N-2 { B[i][j] = A[i][j] + A[i][j-1]; } }
+|}
+
+let stencil = Lang.Parser.parse stencil_src
+
+(* The defining end-to-end property: after the pass, off-chip requests are
+   overwhelmingly cluster-local (requester and controller in the same
+   quadrant). *)
+let test_offchip_locality () =
+  let cfg = Config.scaled () in
+  let topo = cfg.Config.topo and cl = cfg.Config.cluster in
+  let local_fraction r =
+    let s = (r : Engine.result).Engine.stats in
+    let local = ref 0 and total = ref 0 in
+    Array.iteri
+      (fun node row ->
+        Array.iteri
+          (fun mc count ->
+            total := !total + count;
+            let node_cluster = Cluster.cluster_of_node cl topo node in
+            if List.mem mc (Cluster.mcs_of_cluster cl node_cluster) then
+              local := !local + count)
+          row)
+      s.Stats.node_mc_requests;
+    float_of_int !local /. float_of_int (max 1 !total)
+  in
+  let orig = Runner.run cfg ~optimized:false stencil in
+  let opt = Runner.run cfg ~optimized:true stencil in
+  Alcotest.(check bool) "original is spread (~25% local)" true
+    (local_fraction orig < 0.40);
+  Alcotest.(check bool) "optimized is localized (>85%)" true
+    (local_fraction opt > 0.85)
+
+(* Under page interleaving with the MC-aware policy, every page of an
+   optimized run lands on the controller the layout asked for, with no
+   fallbacks. *)
+let test_mc_aware_pages_honored () =
+  let cfg =
+    {
+      (Config.scaled ()) with
+      Config.interleaving = Dram.Address_map.Page_interleaved;
+      page_policy = Config.Mc_aware;
+    }
+  in
+  let r = Runner.run cfg ~optimized:true stencil in
+  Alcotest.(check int) "no fallbacks" 0 r.Engine.stats.Stats.page_fallbacks;
+  Alcotest.(check bool) "pages allocated" true (r.Engine.pages_allocated > 0)
+
+(* First-touch vs MC-aware: for a kernel whose init runs on the "wrong"
+   dimension, the compiler+OS combination must beat first-touch. *)
+let test_beats_first_touch_on_scrambled_init () =
+  (* apsi initializes its grids column-parallel, so first-touch places
+     most pages on the wrong controller (Section 6.3) *)
+  let app = Workloads.Suite.by_name "apsi" in
+  let p = Workloads.App.program app in
+  let page policy =
+    {
+      (Config.scaled ()) with
+      Config.interleaving = Dram.Address_map.Page_interleaved;
+      page_policy = policy;
+    }
+  in
+  let ft = Runner.run (page Config.First_touch) ~optimized:false ~warmup_phases:1 p in
+  let ours = Runner.run (page Config.Mc_aware) ~optimized:true ~warmup_phases:1 p in
+  Alcotest.(check bool) "ours faster than first-touch" true
+    (ours.Engine.measured_time < ft.Engine.measured_time)
+
+(* The transformed program printed by the pass can be consumed again by
+   the front end (occ's output is valid input). *)
+let test_occ_output_reparses () =
+  let private_cfg = Config.customize_config (Config.scaled ()) in
+  let shared_cfg =
+    { private_cfg with Core.Customize.l2 = Core.Customize.Shared_l2 }
+  in
+  List.iter
+    (fun ccfg ->
+      List.iter
+        (fun app ->
+          let program = Workloads.App.program app in
+          let analysis = Lang.Analysis.analyze program in
+          let profile a = Workloads.Profile.for_transform app analysis a in
+          let report = Core.Transform.run ~profile ccfg analysis in
+          let printed =
+            Lang.Ast.program_to_string
+              (Core.Transform.rewrite_program report program)
+          in
+          (* shared-L2 rewrites reference the compiler-emitted __home
+             lookup, which rewrite_program must declare *)
+          match Lang.Parser.parse printed with
+          | _ -> ()
+          | exception e ->
+            Alcotest.failf "%s: rewritten program does not reparse (%s)"
+              app.Workloads.App.name (Printexc.to_string e))
+        Workloads.Suite.all)
+    [ private_cfg; shared_cfg ]
+
+(* Layout bijectivity as a property over random permutation matrices and
+   extents, for both L2 organizations. *)
+let prop_layout_bijective =
+  let gen =
+    QCheck.Gen.(
+      let* d0 = int_range 3 5 in
+      let* d1 = int_range 3 5 in
+      let* swap = bool in
+      let* shared = bool in
+      return (8 * d0, 8 * d1, swap, shared))
+  in
+  let print (a, b, s, sh) = Printf.sprintf "%dx%d swap=%b shared=%b" a b s sh in
+  QCheck.Test.make ~name:"customized layouts are injective" ~count:20
+    (QCheck.make ~print gen)
+    (fun (n0, n1, swap, shared) ->
+      let cfg = Config.customize_config (Config.scaled ()) in
+      let cfg =
+        if shared then { cfg with Core.Customize.l2 = Core.Customize.Shared_l2 }
+        else cfg
+      in
+      let u =
+        if swap then
+          Affine.Matrix.of_rows
+            [ Affine.Vec.of_list [ 0; 1 ]; Affine.Vec.of_list [ 1; 0 ] ]
+        else Affine.Matrix.identity 2
+      in
+      let layout =
+        Core.Customize.customize cfg ~array:"A" ~extents:[| n0; n1 |] ~u ~v:0
+      in
+      let seen = Hashtbl.create 1024 in
+      let ok = ref true in
+      let size = Core.Layout.size_elems layout in
+      for x = 0 to n0 - 1 do
+        for y = 0 to n1 - 1 do
+          let off = Core.Layout.offset_of_index layout [| x; y |] in
+          if off < 0 || off >= size || Hashtbl.mem seen off then ok := false;
+          Hashtbl.replace seen off ()
+        done
+      done;
+      !ok)
+
+(* Determinism across the whole stack: two identical full runs produce
+   identical statistics. *)
+let test_full_determinism () =
+  let app = Workloads.Suite.by_name "galgel" in
+  let program = Workloads.App.program app in
+  let cfg = Config.scaled () in
+  let go () =
+    let r = Runner.run cfg ~optimized:true ~warmup_phases:2 program in
+    ( r.Engine.stats.Stats.finish_time,
+      r.Engine.stats.Stats.offchip_accesses,
+      r.Engine.stats.Stats.onchip_messages )
+  in
+  let a = go () and b = go () in
+  Alcotest.(check (triple int int int)) "identical stats" a b
+
+(* The optimal scheme bounds the compiler scheme: optimal execution time
+   is never worse than the optimized layout's. *)
+let test_optimal_bounds_compiler () =
+  let cfg = Config.scaled () in
+  let optimal = { cfg with Config.optimal = true } in
+  let opt = Runner.run cfg ~optimized:true ~warmup_phases:0 stencil in
+  let ideal = Runner.run optimal ~optimized:false ~warmup_phases:0 stencil in
+  Alcotest.(check bool) "optimal <= compiler-optimized" true
+    (ideal.Engine.stats.Stats.finish_time
+    <= opt.Engine.stats.Stats.finish_time)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "integration",
+      [
+        Alcotest.test_case "off-chip locality" `Quick test_offchip_locality;
+        Alcotest.test_case "MC-aware pages honored" `Quick test_mc_aware_pages_honored;
+        Alcotest.test_case "beats first-touch" `Quick test_beats_first_touch_on_scrambled_init;
+        Alcotest.test_case "occ output reparses" `Quick test_occ_output_reparses;
+        Alcotest.test_case "full determinism" `Quick test_full_determinism;
+        Alcotest.test_case "optimal bounds compiler" `Quick test_optimal_bounds_compiler;
+      ]
+      @ qsuite [ prop_layout_bijective ] );
+  ]

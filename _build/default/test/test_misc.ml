@@ -1,0 +1,161 @@
+(* Edge cases and smoke coverage for the smaller public surfaces:
+   pretty-printers, file IO paths, argument validation, the platform
+   renderer. *)
+
+module Vec = Affine.Vec
+module Matrix = Affine.Matrix
+
+(* --- printers never raise and contain the essentials --- *)
+
+let contains s sub = Astring.String.is_infix ~affix:sub s
+
+let test_pp_smoke () =
+  let v = Vec.of_list [ 1; -2; 3 ] in
+  Alcotest.(check string) "vec" "(1, -2, 3)" (Vec.to_string v);
+  let m = Matrix.of_rows [ v; Vec.zero 3 ] in
+  Alcotest.(check bool) "matrix mentions rows" true
+    (contains (Matrix.to_string m) "(0, 0, 0)");
+  let h = Affine.Hyperplane.make v 7 in
+  Alcotest.(check bool) "hyperplane" true
+    (contains (Format.asprintf "%a" Affine.Hyperplane.pp h) "= 7");
+  let s = Affine.Space.of_extents [ 2; 3 ] in
+  Alcotest.(check bool) "space" true
+    (contains (Format.asprintf "%a" Affine.Space.pp s) "(1, 2)")
+
+let test_cluster_pp () =
+  let c = Core.Cluster.m1 ~width:8 ~height:8 in
+  let s = Format.asprintf "%a" Core.Cluster.pp c in
+  Alcotest.(check bool) "mentions geometry" true (contains s "2x2 clusters")
+
+let test_layout_pp () =
+  let cfg = Sim.Config.customize_config (Sim.Config.scaled ()) in
+  let layout =
+    Core.Customize.customize cfg ~array:"A" ~extents:[| 64; 64 |]
+      ~u:(Matrix.identity 2) ~v:0
+  in
+  let s = Format.asprintf "%a" Core.Layout.pp layout in
+  Alcotest.(check bool) "mentions U" true (contains s "U =");
+  Alcotest.(check bool) "mentions dims" true (contains s "dims")
+
+let test_report_pp () =
+  let cfg = Sim.Config.customize_config (Sim.Config.scaled ()) in
+  let analysis =
+    Lang.Analysis.analyze
+      (Lang.Parser.parse
+         {|
+array A[64][64];
+index I[8];
+parfor i = 0 to 63 { for j = 0 to 63 { A[i][j] = 1; } }
+|})
+  in
+  let report = Core.Transform.run cfg analysis in
+  let s = Format.asprintf "%a" Core.Transform.pp_report report in
+  Alcotest.(check bool) "optimized array listed" true (contains s "A: optimized");
+  Alcotest.(check bool) "index array reason" true (contains s "index array")
+
+let test_config_pp () =
+  let s = Format.asprintf "%a" Sim.Config.pp (Sim.Config.default ()) in
+  Alcotest.(check bool) "mesh size" true (contains s "mesh 8x8");
+  Alcotest.(check bool) "interleaving" true (contains s "cache-line interleaved")
+
+(* --- platform renderer --- *)
+
+let test_platform_map () =
+  let cfg = Sim.Config.scaled () in
+  let s = Sim.Platform_map.render cfg in
+  Alcotest.(check bool) "controller 0 marked" true (contains s "*0");
+  Alcotest.(check bool) "controller 3 marked" true (contains s "*3");
+  Alcotest.(check bool) "legend" true (contains s "cluster 0 -> controller(s) 0");
+  (* every cluster digit appears *)
+  List.iter
+    (fun d -> Alcotest.(check bool) ("cluster " ^ d) true (contains s ("[ " ^ d ^ " ]")))
+    [ "0"; "1"; "2"; "3" ]
+
+let test_platform_heat () =
+  let cfg = Sim.Config.scaled () in
+  let values = Array.make 64 0 in
+  values.(0) <- 100;
+  let s = Sim.Platform_map.render_heat cfg values in
+  Alcotest.(check bool) "hot corner" true (contains s "#");
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Platform_map.render_heat") (fun () ->
+      ignore (Sim.Platform_map.render_heat cfg (Array.make 3 0)))
+
+(* --- file IO paths --- *)
+
+let test_parse_file () =
+  let path = Filename.temp_file "offchip" ".mc" in
+  let oc = open_out path in
+  output_string oc "array A[4];\nparfor i = 0 to 3 { A[i] = i; }\n";
+  close_out oc;
+  let p = Lang.Parser.parse_file path in
+  Sys.remove path;
+  Alcotest.(check int) "one nest" 1 (List.length p.Lang.Ast.nests)
+
+let test_codegen_to_file () =
+  let path = Filename.temp_file "offchip" ".c" in
+  Lang.Codegen.emit_to_file ~name:"t" path
+    (Lang.Parser.parse "array A[4];\nparfor i = 0 to 3 { A[i] = i; }");
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let c = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "has run function" true (contains c "void run_t(void)")
+
+(* --- argument validation --- *)
+
+let test_validation () =
+  Alcotest.check_raises "vec unit out of range" (Invalid_argument "Vec.unit")
+    (fun () -> ignore (Vec.unit 3 5));
+  Alcotest.check_raises "matrix mul mismatch" (Invalid_argument "Matrix.mul")
+    (fun () -> ignore (Matrix.mul (Matrix.identity 2) (Matrix.identity 3)));
+  Alcotest.check_raises "topology zero" (Invalid_argument "Topology.make")
+    (fun () -> ignore (Noc.Topology.make ~width:0 ~height:4));
+  Alcotest.check_raises "fr_fcfs bad bank" (Invalid_argument "Fr_fcfs.enqueue")
+    (fun () ->
+      Dram.Fr_fcfs.enqueue (Dram.Fr_fcfs.create ~banks:2 ()) ~now:0 ~bank:7
+        ~row:0 ~id:0 ());
+  Alcotest.check_raises "interp bad threads"
+    (Invalid_argument "Interp.trace: bad thread configuration") (fun () ->
+      ignore
+        (Lang.Interp.trace ~threads:3 ~threads_per_core:2
+           ~addr_of:(fun _ _ -> 0)
+           (Lang.Parser.parse "array A[4];\nparfor i = 0 to 3 { A[i] = i; }")));
+  Alcotest.check_raises "complete_row non-primitive"
+    (Invalid_argument "Unimodular.complete_row: not primitive") (fun () ->
+      ignore (Affine.Unimodular.complete_row (Vec.of_list [ 2; 4 ]) ~v:0))
+
+(* --- access functions --- *)
+
+let test_access_transform () =
+  let acc =
+    Affine.Access.make
+      (Matrix.of_rows [ Vec.of_list [ 1; 0 ]; Vec.of_list [ 0; 2 ] ])
+      (Vec.of_list [ 0; 1 ])
+  in
+  Alcotest.(check (list int)) "apply" [ 1; 5 ]
+    (Vec.to_list (Affine.Access.apply acc (Vec.of_list [ 1; 2 ])));
+  let u = Matrix.of_rows [ Vec.of_list [ 0; 1 ]; Vec.of_list [ 1; 0 ] ] in
+  let acc' = Affine.Access.transform u acc in
+  (* the transformed reference touches the permuted element *)
+  Alcotest.(check (list int)) "transformed apply" [ 5; 1 ]
+    (Vec.to_list (Affine.Access.apply acc' (Vec.of_list [ 1; 2 ])))
+
+let suite =
+  [
+    ( "misc",
+      [
+        Alcotest.test_case "printers" `Quick test_pp_smoke;
+        Alcotest.test_case "cluster pp" `Quick test_cluster_pp;
+        Alcotest.test_case "layout pp" `Quick test_layout_pp;
+        Alcotest.test_case "report pp" `Quick test_report_pp;
+        Alcotest.test_case "config pp" `Quick test_config_pp;
+        Alcotest.test_case "platform map" `Quick test_platform_map;
+        Alcotest.test_case "platform heat" `Quick test_platform_heat;
+        Alcotest.test_case "parse_file" `Quick test_parse_file;
+        Alcotest.test_case "codegen to file" `Quick test_codegen_to_file;
+        Alcotest.test_case "argument validation" `Quick test_validation;
+        Alcotest.test_case "access transform" `Quick test_access_transform;
+      ] );
+  ]

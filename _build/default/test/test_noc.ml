@@ -1,0 +1,189 @@
+(* Tests for the NoC substrate: topology, XY routing, placements, and the
+   link-contention model. *)
+
+module Coord = Noc.Coord
+module Topology = Noc.Topology
+module Placement = Noc.Placement
+module Network = Noc.Network
+
+let topo8 = Topology.make ~width:8 ~height:8
+
+let test_node_coord_roundtrip () =
+  for n = 0 to Topology.nodes topo8 - 1 do
+    Alcotest.(check int) "roundtrip" n
+      (Topology.node_of_coord topo8 (Topology.coord_of_node topo8 n))
+  done
+
+let test_distance () =
+  let n00 = Topology.node_of_coord topo8 (Coord.make 0 0) in
+  let n77 = Topology.node_of_coord topo8 (Coord.make 7 7) in
+  Alcotest.(check int) "corner to corner" 14 (Topology.distance topo8 n00 n77);
+  Alcotest.(check int) "self" 0 (Topology.distance topo8 n00 n00)
+
+let prop_route_length =
+  let arb =
+    QCheck.make
+      ~print:(fun (a, b) -> Printf.sprintf "%d->%d" a b)
+      QCheck.Gen.(pair (int_range 0 63) (int_range 0 63))
+  in
+  QCheck.Test.make ~name:"XY route length = manhattan distance" ~count:500 arb
+    (fun (src, dst) ->
+      List.length (Topology.xy_route topo8 ~src ~dst)
+      = Topology.distance topo8 src dst)
+
+let prop_route_valid =
+  let arb =
+    QCheck.make
+      ~print:(fun (a, b) -> Printf.sprintf "%d->%d" a b)
+      QCheck.Gen.(pair (int_range 0 63) (int_range 0 63))
+  in
+  QCheck.Test.make ~name:"XY route: X links first, then Y, ends at dst" ~count:500
+    arb
+    (fun (src, dst) ->
+      let route = Topology.xy_route topo8 ~src ~dst in
+      let is_x l = l.Topology.dir = Topology.East || l.Topology.dir = Topology.West in
+      let rec check_order seen_y = function
+        | [] -> true
+        | l :: r ->
+          if is_x l then (not seen_y) && check_order false r
+          else check_order true r
+      in
+      let step n (l : Topology.link) =
+        assert (l.Topology.from_node = n);
+        match l.Topology.dir with
+        | Topology.East -> n + 1
+        | Topology.West -> n - 1
+        | Topology.South -> n + 8
+        | Topology.North -> n - 8
+      in
+      check_order false route && List.fold_left step src route = dst)
+
+let test_link_ids_distinct () =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (src, dst) ->
+      List.iter
+        (fun l ->
+          let id = Topology.link_id topo8 l in
+          Alcotest.(check bool) "id in range" true (id >= 0 && id < Topology.num_link_ids topo8);
+          Hashtbl.replace seen (l.Topology.from_node, l.Topology.dir) id)
+        (Topology.xy_route topo8 ~src ~dst))
+    [ (0, 63); (63, 0); (7, 56); (56, 7) ];
+  let ids = Hashtbl.fold (fun _ id acc -> id :: acc) seen [] in
+  Alcotest.(check int) "distinct ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_placements () =
+  let p1 = Placement.corners topo8 in
+  Alcotest.(check int) "P1 has 4 MCs" 4 (Placement.count p1);
+  let p2 = Placement.edge_centers topo8 in
+  let p3 = Placement.top_bottom topo8 in
+  (* P2 has the lowest average distance to the nearest controller *)
+  Alcotest.(check bool) "P2 beats P1" true
+    (Placement.avg_distance p2 topo8 < Placement.avg_distance p1 topo8);
+  Alcotest.(check bool) "P2 beats P3" true
+    (Placement.avg_distance p2 topo8 <= Placement.avg_distance p3 topo8)
+
+let test_nearest () =
+  let p1 = Placement.corners topo8 in
+  let at x y = Topology.node_of_coord topo8 (Coord.make x y) in
+  (* corners order: assign puts MC0 at NW *)
+  let m = Placement.nearest p1 topo8 (at 1 1) in
+  Alcotest.(check int) "NW node goes to the NW corner MC"
+    (Topology.node_of_coord topo8 (Coord.make 0 0))
+    (Placement.mc_node p1 m)
+
+let test_ring () =
+  let r8 = Placement.ring topo8 ~count:8 in
+  Alcotest.(check int) "8 MCs" 8 (Placement.count r8);
+  (* all attachment nodes distinct and on the perimeter *)
+  let nodes = Array.to_list r8.Placement.nodes in
+  Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare nodes));
+  List.iter
+    (fun n ->
+      let c = Topology.coord_of_node topo8 n in
+      Alcotest.(check bool) "on perimeter" true
+        (c.Coord.x = 0 || c.Coord.x = 7 || c.Coord.y = 0 || c.Coord.y = 7))
+    nodes
+
+let test_assign_alignment () =
+  (* assign keeps MC index <-> centroid correspondence: MC j lands on the
+     site closest to centroid j (greedy) *)
+  let sites = [| Coord.make 0 0; Coord.make 7 0; Coord.make 0 7; Coord.make 7 7 |] in
+  let centroids = [| Coord.make 6 6; Coord.make 1 1; Coord.make 6 1; Coord.make 1 6 |] in
+  let p = Placement.assign topo8 ~name:"t" ~sites ~centroids in
+  Alcotest.(check int) "MC0 at SE" (Topology.node_of_coord topo8 (Coord.make 7 7))
+    (Placement.mc_node p 0);
+  Alcotest.(check int) "MC1 at NW" (Topology.node_of_coord topo8 (Coord.make 0 0))
+    (Placement.mc_node p 1)
+
+(* --- network contention --- *)
+
+let test_network_unloaded () =
+  let net = Network.create topo8 in
+  let arrival, hops, contention = Network.send net ~now:100 ~src:0 ~dst:7 ~bytes:8 in
+  Alcotest.(check int) "hops" 7 hops;
+  Alcotest.(check int) "no contention" 0 contention;
+  Alcotest.(check int) "arrival = now + hops*4 (1 flit)" (100 + 28) arrival
+
+let test_network_serialization () =
+  let net = Network.create topo8 in
+  (* 264 bytes over 16-byte links = 17 flits: body pipelines behind header *)
+  let arrival, hops, contention = Network.send net ~now:0 ~src:0 ~dst:1 ~bytes:264 in
+  Alcotest.(check int) "hops" 1 hops;
+  Alcotest.(check int) "no queueing on idle link" 0 contention;
+  Alcotest.(check int) "arrival includes serialization" (4 + 16) arrival
+
+let test_network_contention () =
+  let net = Network.create topo8 in
+  let a1, _, c1 = Network.send net ~now:0 ~src:0 ~dst:1 ~bytes:264 in
+  let a2, _, c2 = Network.send net ~now:0 ~src:0 ~dst:1 ~bytes:264 in
+  Alcotest.(check int) "first unqueued" 0 c1;
+  Alcotest.(check bool) "second waits for the link" true (c2 > 0);
+  Alcotest.(check bool) "second arrives later" true (a2 > a1);
+  (* disjoint paths do not contend *)
+  let _, _, c3 = Network.send net ~now:0 ~src:56 ~dst:57 ~bytes:264 in
+  Alcotest.(check int) "disjoint path unaffected" 0 c3
+
+let test_network_same_node () =
+  let net = Network.create topo8 in
+  let arrival, hops, contention = Network.send net ~now:42 ~src:5 ~dst:5 ~bytes:264 in
+  Alcotest.(check (triple int int int)) "instant local delivery" (42, 0, 0)
+    (arrival, hops, contention)
+
+let test_network_reset () =
+  let net = Network.create topo8 in
+  ignore (Network.send net ~now:0 ~src:0 ~dst:7 ~bytes:264);
+  Alcotest.(check bool) "busy recorded" true (Network.total_link_busy net > 0);
+  Network.reset net;
+  Alcotest.(check int) "reset clears" 0 (Network.total_link_busy net);
+  let _, _, c = Network.send net ~now:0 ~src:0 ~dst:7 ~bytes:264 in
+  Alcotest.(check int) "no stale reservations" 0 c
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "noc.topology",
+      [
+        Alcotest.test_case "node/coord roundtrip" `Quick test_node_coord_roundtrip;
+        Alcotest.test_case "distance" `Quick test_distance;
+        Alcotest.test_case "link ids" `Quick test_link_ids_distinct;
+      ]
+      @ qsuite [ prop_route_length; prop_route_valid ] );
+    ( "noc.placement",
+      [
+        Alcotest.test_case "P1/P2/P3" `Quick test_placements;
+        Alcotest.test_case "nearest" `Quick test_nearest;
+        Alcotest.test_case "ring" `Quick test_ring;
+        Alcotest.test_case "assign alignment" `Quick test_assign_alignment;
+      ] );
+    ( "noc.network",
+      [
+        Alcotest.test_case "unloaded latency" `Quick test_network_unloaded;
+        Alcotest.test_case "serialization" `Quick test_network_serialization;
+        Alcotest.test_case "contention" `Quick test_network_contention;
+        Alcotest.test_case "local delivery" `Quick test_network_same_node;
+        Alcotest.test_case "reset" `Quick test_network_reset;
+      ] );
+  ]

@@ -1,0 +1,136 @@
+(* Tests for the OS substrate: translation and page-allocation policies. *)
+
+module Address_map = Dram.Address_map
+module Page_alloc = Os_sim.Page_alloc
+
+let line_map = Address_map.make ~interleaving:Address_map.Line_interleaved ~num_mcs:4 ()
+
+let page_map = Address_map.make ~interleaving:Address_map.Page_interleaved ~num_mcs:4 ()
+
+let test_translation_stable () =
+  let pa = Page_alloc.create ~map:page_map ~policy:Page_alloc.Hardware_interleaved () in
+  let p1 = Page_alloc.translate pa ~node:0 ~vaddr:12345 in
+  let p2 = Page_alloc.translate pa ~node:9 ~vaddr:12345 in
+  Alcotest.(check int) "same vaddr same paddr" p1 p2;
+  Alcotest.(check int) "page offset preserved" (12345 mod 4096) (p1 mod 4096);
+  let q = Page_alloc.translate pa ~node:0 ~vaddr:(12345 + 4096) in
+  Alcotest.(check bool) "different page different frame" true (q / 4096 <> p1 / 4096);
+  Alcotest.(check int) "two pages allocated" 2 (Page_alloc.pages_allocated pa)
+
+let test_line_interleaved_mode () =
+  (* under line interleaving the MC bits are inside the page offset *)
+  let pa = Page_alloc.create ~map:line_map ~policy:Page_alloc.Hardware_interleaved () in
+  let paddr = Page_alloc.translate pa ~node:3 ~vaddr:(4096 + 256) in
+  Alcotest.(check int) "controller decided by the offset bits" 1
+    (Address_map.mc_of_paddr line_map paddr);
+  Alcotest.(check (option int)) "no per-page controller" None
+    (Page_alloc.mc_of_vpage pa 1)
+
+let test_hardware_interleaved_rotation () =
+  (* allocation-order rotation models sequential frame allocation *)
+  let pa = Page_alloc.create ~map:page_map ~policy:Page_alloc.Hardware_interleaved () in
+  let mcs =
+    List.init 8 (fun i ->
+        let paddr = Page_alloc.translate pa ~node:0 ~vaddr:(i * 4096) in
+        Address_map.mc_of_paddr page_map paddr)
+  in
+  (* all four controllers are used *)
+  Alcotest.(check int) "all controllers used" 4
+    (List.length (List.sort_uniq compare mcs))
+
+let test_first_touch () =
+  let cluster_mc node = node / 16 in
+  let pa = Page_alloc.create ~map:page_map ~policy:(Page_alloc.First_touch cluster_mc) () in
+  let paddr = Page_alloc.translate pa ~node:20 ~vaddr:0 in
+  Alcotest.(check int) "page on first toucher's controller" 1
+    (Address_map.mc_of_paddr page_map paddr);
+  (* later touches from other nodes do not move it *)
+  let paddr2 = Page_alloc.translate pa ~node:55 ~vaddr:8 in
+  Alcotest.(check int) "sticky placement" (paddr + 8) paddr2;
+  Alcotest.(check (option int)) "vpage controller" (Some 1) (Page_alloc.mc_of_vpage pa 0)
+
+let test_mc_aware () =
+  let pa =
+    Page_alloc.create ~map:page_map
+      ~policy:
+        (Page_alloc.Mc_aware
+           { desired = (fun vpage -> Some ((vpage + 2) mod 4));
+             fallback = (fun _ -> 0) })
+      ()
+  in
+  for v = 0 to 7 do
+    let paddr = Page_alloc.translate pa ~node:0 ~vaddr:(v * 4096) in
+    Alcotest.(check int)
+      (Printf.sprintf "page %d honored" v)
+      ((v + 2) mod 4)
+      (Address_map.mc_of_paddr page_map paddr)
+  done;
+  Alcotest.(check int) "no fallbacks" 0 (Page_alloc.fallback_allocations pa)
+
+let test_mc_aware_fallback () =
+  (* 2 frames per controller: the third page desiring MC0 must spill to an
+     alternate controller instead of faulting (Section 5.3) *)
+  let pa =
+    Page_alloc.create ~map:page_map
+      ~policy:
+        (Page_alloc.Mc_aware
+           { desired = (fun _ -> Some 0); fallback = (fun _ -> 0) })
+      ~frames_per_mc:2 ()
+  in
+  let mcs =
+    List.init 6 (fun v ->
+        Address_map.mc_of_paddr page_map (Page_alloc.translate pa ~node:0 ~vaddr:(v * 4096)))
+  in
+  Alcotest.(check (list int)) "first two honored, rest spill" [ 0; 0; 1; 1; 2; 2 ] mcs;
+  Alcotest.(check int) "fallbacks counted" 4 (Page_alloc.fallback_allocations pa)
+
+let test_mc_aware_fallback_policy () =
+  (* unhinted pages are placed by first touch (the hybrid of Section 6.4) *)
+  let pa =
+    Page_alloc.create ~map:page_map
+      ~policy:
+        (Page_alloc.Mc_aware
+           { desired = (fun vpage -> if vpage < 2 then Some 3 else None);
+             fallback = (fun node -> node / 16) })
+      ()
+  in
+  let mc v node = Address_map.mc_of_paddr page_map (Page_alloc.translate pa ~node ~vaddr:(v * 4096)) in
+  Alcotest.(check int) "hinted page honored" 3 (mc 0 0);
+  Alcotest.(check int) "unhinted page by first touch" 2 (mc 5 40)
+
+let test_reset () =
+  let pa = Page_alloc.create ~map:page_map ~policy:Page_alloc.Hardware_interleaved () in
+  ignore (Page_alloc.translate pa ~node:0 ~vaddr:0);
+  Page_alloc.reset pa;
+  Alcotest.(check int) "no pages after reset" 0 (Page_alloc.pages_allocated pa)
+
+let prop_translation_injective =
+  QCheck.Test.make ~name:"distinct pages get distinct frames" ~count:100
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 50) (int_range 0 200)))
+    (fun vpages ->
+      let pa = Page_alloc.create ~map:page_map ~policy:Page_alloc.Hardware_interleaved () in
+      let frames =
+        List.map (fun v -> Page_alloc.translate pa ~node:0 ~vaddr:(v * 4096) / 4096)
+          (List.sort_uniq compare vpages)
+      in
+      List.length frames = List.length (List.sort_uniq compare frames))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "os.page_alloc",
+      [
+        Alcotest.test_case "translation stable" `Quick test_translation_stable;
+        Alcotest.test_case "line-interleaved mode" `Quick test_line_interleaved_mode;
+        Alcotest.test_case "hardware rotation" `Quick test_hardware_interleaved_rotation;
+        Alcotest.test_case "first touch" `Quick test_first_touch;
+        Alcotest.test_case "mc-aware" `Quick test_mc_aware;
+        Alcotest.test_case "mc-aware fallback" `Quick test_mc_aware_fallback;
+        Alcotest.test_case "mc-aware unhinted = first touch" `Quick
+          test_mc_aware_fallback_policy;
+        Alcotest.test_case "reset" `Quick test_reset;
+      ]
+      @ qsuite [ prop_translation_injective ] );
+  ]

@@ -1,0 +1,351 @@
+(* Tests for the full-system simulator: event heap, configuration,
+   statistics, and end-to-end engine behavior on small kernels. *)
+
+module Heap = Sim.Event_heap
+module Config = Sim.Config
+module Stats = Sim.Stats
+module Engine = Sim.Engine
+module Runner = Sim.Runner
+
+(* --- event heap --- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun (t, v) -> Heap.push h ~time:t v) [ (5, "e"); (1, "a"); (3, "c"); (1, "b") ];
+  let popped = List.init 4 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list (pair int string))) "time order, FIFO ties"
+    [ (1, "a"); (1, "b"); (3, "c"); (5, "e") ]
+    popped;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 200) (int_range 0 1000)))
+    (fun times ->
+      let h = Heap.create () in
+      List.iter (fun t -> Heap.push h ~time:t ()) times;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain min_int)
+
+(* --- config --- *)
+
+let test_default_config () =
+  let c = Config.default () in
+  Alcotest.(check int) "8x8 mesh" 64 (Noc.Topology.nodes c.Config.topo);
+  Alcotest.(check int) "L1 16KB" (16 * 1024) c.Config.l1_size;
+  Alcotest.(check int) "L2 line 256" 256 c.Config.l2_line;
+  Alcotest.(check int) "4 controllers" 4 (Core.Cluster.num_mcs c.Config.cluster);
+  Alcotest.(check int) "L1 latency" 2 c.Config.l1_latency;
+  Alcotest.(check int) "L2 latency" 10 c.Config.l2_latency;
+  Alcotest.(check int) "hop latency" 4 c.Config.noc.Noc.Network.per_hop_latency
+
+let test_mesh_retarget () =
+  let c = Config.mesh ~width:4 ~height:4 (Config.scaled ()) in
+  Alcotest.(check int) "16 nodes" 16 (Noc.Topology.nodes c.Config.topo);
+  Alcotest.(check int) "still 4 controllers" 4 (Core.Cluster.num_mcs c.Config.cluster)
+
+let test_customize_config_granularity () =
+  let c = Config.scaled () in
+  let cc = Config.customize_config c in
+  Alcotest.(check int) "line granularity in elements" 32 cc.Core.Customize.p_elems;
+  let cpage = { c with Config.interleaving = Dram.Address_map.Page_interleaved } in
+  Alcotest.(check int) "page granularity in elements" 512
+    (Config.customize_config cpage).Core.Customize.p_elems
+
+(* --- stats --- *)
+
+let test_hop_cdf () =
+  let h = Array.make (Stats.max_hops + 1) 0 in
+  h.(0) <- 1;
+  h.(2) <- 3;
+  let cdf = Stats.hop_cdf h in
+  Alcotest.(check (float 1e-9)) "cdf at 0" 0.25 cdf.(0);
+  Alcotest.(check (float 1e-9)) "cdf at 1" 0.25 cdf.(1);
+  Alcotest.(check (float 1e-9)) "cdf at 2" 1.0 cdf.(2);
+  Alcotest.(check (float 1e-9)) "cdf at max" 1.0 cdf.(Stats.max_hops)
+
+(* --- engine end-to-end --- *)
+
+let small_src =
+  {|
+param N = 64;
+array A[N][N];
+array B[N][N];
+parfor i = 1 to N-2 { for j = 0 to N-1 { A[i][j] = B[i][j] + B[i-1][j] + B[i+1][j]; } }
+|}
+
+let small_program = Lang.Parser.parse small_src
+
+let run ?(cfg = Config.scaled ()) ?(optimized = false) () =
+  Runner.run cfg ~optimized small_program
+
+let test_engine_conservation () =
+  let r = run () in
+  let s = r.Engine.stats in
+  (* every access is a hit at some level or goes off chip *)
+  Alcotest.(check int) "accesses conserved" s.Stats.total_accesses
+    (s.Stats.l1_hits + s.Stats.l2_hits + s.Stats.offchip_accesses);
+  Alcotest.(check bool) "finite finish" true (s.Stats.finish_time > 0);
+  Alcotest.(check bool) "off-chip happened" true (s.Stats.offchip_accesses > 0);
+  (* access count matches the trace: 62 * 64 iterations * 4 references *)
+  Alcotest.(check int) "trace size" (62 * 64 * 4) s.Stats.total_accesses
+
+let test_engine_deterministic () =
+  let r1 = run () and r2 = run () in
+  Alcotest.(check int) "same finish" r1.Engine.stats.Stats.finish_time
+    r2.Engine.stats.Stats.finish_time;
+  Alcotest.(check int) "same offchip" r1.Engine.stats.Stats.offchip_accesses
+    r2.Engine.stats.Stats.offchip_accesses
+
+let test_engine_hop_bound () =
+  let r = run () in
+  let s = r.Engine.stats in
+  (* no message can traverse more than width+height-2 = 14 links *)
+  for h = 15 to Stats.max_hops do
+    Alcotest.(check int) "hop bound offchip" 0 s.Stats.offchip_hops.(h);
+    Alcotest.(check int) "hop bound onchip" 0 s.Stats.onchip_hops.(h)
+  done
+
+let test_engine_optimal_nearest () =
+  let cfg = { (Config.scaled ()) with Config.optimal = true } in
+  let r = run ~cfg () in
+  let s = r.Engine.stats in
+  (* under the optimal scheme every off-chip request goes to the nearest
+     controller: the request distribution must respect that *)
+  let topo = cfg.Config.topo in
+  let placement = cfg.Config.placement in
+  Array.iteri
+    (fun node row ->
+      Array.iteri
+        (fun mc count ->
+          if count > 0 then
+            Alcotest.(check int)
+              (Printf.sprintf "node %d only uses its nearest controller" node)
+              (Noc.Placement.nearest placement topo node)
+              mc)
+        row)
+      s.Stats.node_mc_requests;
+  (* and memory latency is the uncontended row-empty access *)
+  Alcotest.(check (float 0.01)) "no queue delay"
+    (float_of_int cfg.Config.timing.Dram.Timing.row_empty)
+    (Stats.avg_memory s)
+
+let test_engine_optimal_faster () =
+  let base = run () in
+  let r = run ~cfg:{ (Config.scaled ()) with Config.optimal = true } () in
+  Alcotest.(check bool) "optimal is faster" true
+    (r.Engine.stats.Stats.finish_time < base.Engine.stats.Stats.finish_time)
+
+let test_engine_optimized_locality () =
+  (* the compiler layout reduces average off-chip request distance *)
+  let avg_hops s =
+    let n = ref 0 and total = ref 0 in
+    Array.iteri (fun h c -> n := !n + c; total := !total + (h * c)) s.Stats.offchip_hops;
+    float_of_int !total /. float_of_int (max 1 !n)
+  in
+  let o = run () and p = run ~optimized:true () in
+  Alcotest.(check bool) "fewer hops per off-chip message" true
+    (avg_hops p.Engine.stats < avg_hops o.Engine.stats)
+
+let test_engine_shared_l2 () =
+  let cfg = { (Config.scaled ()) with Config.l2_org = Config.Shared_l2 } in
+  let r = run ~cfg () in
+  let s = r.Engine.stats in
+  Alcotest.(check int) "conservation under shared L2" s.Stats.total_accesses
+    (s.Stats.l1_hits + s.Stats.l2_hits + s.Stats.offchip_accesses);
+  (* remote home banks generate on-chip traffic *)
+  Alcotest.(check bool) "on-chip messages" true (s.Stats.onchip_messages > 0)
+
+let test_engine_page_policies () =
+  let page cfg_policy =
+    let cfg =
+      {
+        (Config.scaled ()) with
+        Config.interleaving = Dram.Address_map.Page_interleaved;
+        page_policy = cfg_policy;
+      }
+    in
+    run ~cfg ()
+  in
+  let hw = page Config.Hardware in
+  let ft = page Config.First_touch in
+  let mc = page Config.Mc_aware in
+  Alcotest.(check bool) "pages allocated" true (hw.Engine.pages_allocated > 0);
+  Alcotest.(check int) "same pages under all policies" hw.Engine.pages_allocated
+    ft.Engine.pages_allocated;
+  Alcotest.(check int) "same accesses" hw.Engine.stats.Stats.total_accesses
+    mc.Engine.stats.Stats.total_accesses
+
+let test_engine_threads_per_core () =
+  let cfg = { (Config.scaled ()) with Config.threads_per_core = 2 } in
+  let r = Runner.run cfg ~optimized:false small_program in
+  Alcotest.(check int) "same accesses with 2 threads/core"
+    (run ()).Engine.stats.Stats.total_accesses
+    r.Engine.stats.Stats.total_accesses
+
+let test_engine_warmup_gating () =
+  let p =
+    Lang.Parser.parse
+      {|
+param N = 64;
+array A[N][N];
+parfor i = 0 to N-1 { for j = 0 to N-1 { A[i][j] = 1; } }
+parfor i = 0 to N-1 { for j = 0 to N-1 { A[i][j] = A[i][j] + 1; } }
+|}
+  in
+  let cfg = Config.scaled () in
+  let all = Runner.run cfg ~optimized:false p in
+  let gated = Runner.run cfg ~optimized:false ~warmup_phases:1 p in
+  Alcotest.(check int) "warmup accesses excluded" (64 * 64 * 2)
+    gated.Engine.stats.Stats.total_accesses;
+  Alcotest.(check int) "ungated counts everything" (64 * 64 * 3)
+    all.Engine.stats.Stats.total_accesses;
+  Alcotest.(check bool) "measured time below total" true
+    (gated.Engine.measured_time <= gated.Engine.stats.Stats.finish_time)
+
+(* Conservation and determinism across the whole configuration matrix:
+   every axis the experiments vary must keep the engine's books
+   balanced. *)
+let test_config_matrix () =
+  let base = Config.scaled () in
+  let variants =
+    [
+      ("m2", Config.with_cluster base (Core.Cluster.m2 ~width:8 ~height:8));
+      ("mc8", Config.with_cluster base (Core.Cluster.with_mcs ~width:8 ~height:8 ~mcs:8));
+      ("mesh4x4", Config.mesh ~width:4 ~height:4 base);
+      ("tpc4", { base with Config.threads_per_core = 4 });
+      ("shared+optimal", { base with Config.l2_org = Config.Shared_l2; optimal = true });
+      ("fcfs", { base with Config.mc_scheduler = Dram.Fr_fcfs.Fcfs });
+      ("closed-page", { base with Config.mc_row_policy = Dram.Fr_fcfs.Closed_page });
+      ( "page+first-touch",
+        {
+          base with
+          Config.interleaving = Dram.Address_map.Page_interleaved;
+          page_policy = Config.First_touch;
+        } );
+    ]
+  in
+  List.iter
+    (fun (name, cfg) ->
+      List.iter
+        (fun optimized ->
+          let r = Runner.run cfg ~optimized small_program in
+          let s = r.Engine.stats in
+          Alcotest.(check int)
+            (Printf.sprintf "%s conservation (optimized=%b)" name optimized)
+            s.Stats.total_accesses
+            (s.Stats.l1_hits + s.Stats.l2_hits + s.Stats.offchip_accesses);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s finishes" name)
+            true (s.Stats.finish_time > 0))
+        [ false; true ])
+    variants
+
+(* --- trace files --- *)
+
+let test_tracefile_roundtrip () =
+  let phases =
+    Lang.Interp.trace ~threads:4 ~addr_of:(fun _ v -> (v.(0) * 64) + 8) small_program
+  in
+  let path = Filename.temp_file "offchip" ".trace" in
+  Sim.Tracefile.dump path phases;
+  let back = Sim.Tracefile.load path in
+  Sys.remove path;
+  Alcotest.(check int) "same phase count" (List.length phases) (List.length back);
+  Alcotest.(check int) "same access count"
+    (Sim.Tracefile.total_accesses phases)
+    (Sim.Tracefile.total_accesses back);
+  List.iter2
+    (fun (a : Lang.Interp.phase) (b : Lang.Interp.phase) ->
+      Alcotest.(check bool) "identical streams" true (a = b))
+    phases back
+
+let test_tracefile_malformed () =
+  let path = Filename.temp_file "offchip" ".trace" in
+  let oc = open_out path in
+  output_string oc "not a trace
+";
+  close_out oc;
+  (match Sim.Tracefile.load path with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure");
+  Sys.remove path
+
+(* --- runner --- *)
+
+let test_runner_alignment () =
+  let cfg = Config.scaled () in
+  let prep = Runner.prepare cfg ~optimized:false small_program in
+  let alignment = 4 * cfg.Config.page_bytes in
+  List.iter
+    (fun (name, base) ->
+      Alcotest.(check int) (name ^ " aligned") 0 (base mod alignment))
+    prep.Runner.bases;
+  (* arrays do not overlap *)
+  match prep.Runner.bases with
+  | [ (_, a); (_, b) ] ->
+    Alcotest.(check bool) "disjoint" true (abs (b - a) >= 64 * 64 * 8)
+  | _ -> Alcotest.fail "expected two arrays"
+
+let test_runner_multiprogram () =
+  let cfg = Config.scaled () in
+  let p1 =
+    Runner.prepare cfg ~optimized:false ~threads:32 ~core_offset:0 ~name:"a"
+      small_program
+  in
+  let p2 =
+    Runner.prepare cfg ~optimized:false ~threads:32 ~core_offset:32
+      ~vaddr_base:(1 lsl 30) ~name:"b" small_program
+  in
+  let r = Runner.run_many cfg ~jobs:[ p1; p2 ] in
+  Alcotest.(check int) "two jobs finish" 2 (Array.length r.Engine.job_finish);
+  Array.iter
+    (fun t -> Alcotest.(check bool) "job finished" true (t > 0))
+    r.Engine.job_finish;
+  (* both jobs' accesses are simulated *)
+  Alcotest.(check int) "combined accesses" (2 * 62 * 64 * 4)
+    r.Engine.stats.Stats.total_accesses
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "sim.event_heap",
+      [ Alcotest.test_case "ordering" `Quick test_heap_order ]
+      @ qsuite [ prop_heap_sorted ] );
+    ( "sim.config",
+      [
+        Alcotest.test_case "table 1 defaults" `Quick test_default_config;
+        Alcotest.test_case "mesh retarget" `Quick test_mesh_retarget;
+        Alcotest.test_case "granularity" `Quick test_customize_config_granularity;
+      ] );
+    ("sim.stats", [ Alcotest.test_case "hop cdf" `Quick test_hop_cdf ]);
+    ( "sim.engine",
+      [
+        Alcotest.test_case "conservation" `Quick test_engine_conservation;
+        Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+        Alcotest.test_case "hop bound" `Quick test_engine_hop_bound;
+        Alcotest.test_case "optimal scheme: nearest" `Quick test_engine_optimal_nearest;
+        Alcotest.test_case "optimal scheme: faster" `Quick test_engine_optimal_faster;
+        Alcotest.test_case "optimized locality" `Quick test_engine_optimized_locality;
+        Alcotest.test_case "shared L2" `Quick test_engine_shared_l2;
+        Alcotest.test_case "page policies" `Quick test_engine_page_policies;
+        Alcotest.test_case "threads per core" `Quick test_engine_threads_per_core;
+        Alcotest.test_case "warmup gating" `Quick test_engine_warmup_gating;
+        Alcotest.test_case "config matrix" `Quick test_config_matrix;
+      ] );
+    ( "sim.tracefile",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_tracefile_roundtrip;
+        Alcotest.test_case "malformed" `Quick test_tracefile_malformed;
+      ] );
+    ( "sim.runner",
+      [
+        Alcotest.test_case "base alignment" `Quick test_runner_alignment;
+        Alcotest.test_case "multiprogrammed" `Quick test_runner_multiprogram;
+      ] );
+  ]
