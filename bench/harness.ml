@@ -145,7 +145,8 @@ let avg_occupancy (r : Engine.result) =
 (* --- formatting --- *)
 
 (* Optional machine-readable output: OFFCHIP_CSV=path collects every
-   (section, label, metric, value) the harness prints, for plotting. *)
+   (section, label, metric, value) the harness prints, for plotting;
+   --json DIR writes the same rows as one JSON document per section. *)
 let csv_channel =
   lazy
     (match Sys.getenv_opt "OFFCHIP_CSV" with
@@ -159,12 +160,67 @@ let csv_channel =
 
 let current_section = ref ""
 
+let json_dir : string option ref = ref None
+
+(* rows of the current section, newest first *)
+let json_rows : (string * string * float) list ref = ref []
+
+let flush_json_section () =
+  (match (!json_dir, !json_rows) with
+  | Some dir, _ :: _ ->
+    let rows =
+      List.rev_map
+        (fun (label, metric, value) ->
+          Obs.Json.Obj
+            [
+              ("label", Obs.Json.String label);
+              ("metric", Obs.Json.String metric);
+              ("value", Obs.Json.Float value);
+            ])
+        !json_rows
+    in
+    let doc =
+      Obs.Json.Obj
+        [
+          ("section", Obs.Json.String !current_section);
+          ("rows", Obs.Json.List rows);
+        ]
+    in
+    (* "Figure 14" -> fig14.json, "Table 2" -> table2.json: match the
+       section keys accepted by --only *)
+    let slug =
+      let b = Buffer.create 16 in
+      String.iter
+        (fun c ->
+          match Char.lowercase_ascii c with
+          | ('a' .. 'z' | '0' .. '9') as c -> Buffer.add_char b c
+          | _ -> ())
+        !current_section;
+      let s = Buffer.contents b in
+      if String.length s >= 6 && String.sub s 0 6 = "figure" then
+        "fig" ^ String.sub s 6 (String.length s - 6)
+      else s
+    in
+    let path = Filename.concat dir (slug ^ ".json") in
+    let oc = open_out path in
+    Obs.Json.to_channel oc doc;
+    output_char oc '\n';
+    close_out oc
+  | _ -> ());
+  json_rows := []
+
+let set_json_dir dir =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  json_dir := Some dir;
+  at_exit flush_json_section
+
 let csv_row label metric value =
-  match Lazy.force csv_channel with
+  (match Lazy.force csv_channel with
   | None -> ()
   | Some oc ->
     Printf.fprintf oc "%s,%s,%s,%.3f
-" !current_section label metric value
+" !current_section label metric value);
+  if !json_dir <> None then json_rows := (label, metric, value) :: !json_rows
 
 let csv_row4 label (f : four) =
   csv_row label "onchip_net" f.onchip_net;
@@ -174,6 +230,7 @@ let csv_row4 label (f : four) =
 
 
 let header title paper_ref =
+  flush_json_section ();
   current_section := (match String.index_opt title ':' with
     | Some i -> String.sub title 0 i
     | None -> title);
@@ -210,14 +267,9 @@ let aggregate4 (pairs : (Engine.result * Engine.result) list) =
   in
   let s f = sum (fun r -> f r.Engine.stats) in
   {
-    onchip_net =
-      ratio (s (fun x -> x.Stats.onchip_net_cycles)) (s (fun x -> x.Stats.onchip_messages));
-    offchip_net =
-      ratio
-        (s (fun x -> x.Stats.offchip_net_cycles))
-        (s (fun x -> x.Stats.offchip_messages));
-    memory =
-      ratio (s (fun x -> x.Stats.memory_cycles)) (s (fun x -> x.Stats.offchip_accesses));
+    onchip_net = ratio (s Stats.onchip_net_cycles) (s Stats.onchip_messages);
+    offchip_net = ratio (s Stats.offchip_net_cycles) (s Stats.offchip_messages);
+    memory = ratio (s Stats.memory_cycles) (s Stats.offchip_accesses);
     exec =
       (let to_, tp = sum (fun r -> r.Engine.measured_time) in
        pct_reduction (float_of_int to_) (float_of_int tp));

@@ -36,6 +36,7 @@ let fig3 () =
       (fun app ->
         let r = H.run cfg ~optimized:false app in
         let f = 100. *. Stats.offchip_fraction r.Engine.stats in
+        H.csv_row app.App.name "offchip_pct" f;
         Printf.printf "  %-10s %5.1f%% %s\n" app.App.name f (H.bar f 10. 30);
         f)
       (H.apps ())
@@ -83,20 +84,17 @@ let fig13 () =
   let cfg = H.line_cfg () in
   let app = Workloads.Suite.by_name "apsi" in
   let map label r =
-    let s = (r : Engine.result).Engine.stats in
-    let total =
-      Array.fold_left (fun a row -> a + row.(0)) 0 s.Stats.node_mc_requests
-    in
+    let reqs = Stats.node_mc_requests (r : Engine.result).Engine.stats in
+    let total = Array.fold_left (fun a row -> a + row.(0)) 0 reqs in
     Printf.printf "  %s (%% of MC1's requests per node):\n" label;
     for y = 0 to 7 do
       Printf.printf "   ";
       for x = 0 to 7 do
         let node = (y * 8) + x in
         let f =
-          100.
-          *. float_of_int s.Stats.node_mc_requests.(node).(0)
-          /. float_of_int (max 1 total)
+          100. *. float_of_int reqs.(node).(0) /. float_of_int (max 1 total)
         in
+        H.csv_row label (Printf.sprintf "node%d" node) f;
         Printf.printf " %5.1f" f
       done;
       print_newline ()
@@ -107,7 +105,8 @@ let fig13 () =
   let heat label (r : Engine.result) =
     Printf.printf "  %s, as a heat map:\n%s" label
       (Sim.Platform_map.render_heat cfg
-         (Array.map (fun row -> row.(0)) r.Engine.stats.Stats.node_mc_requests))
+         (Array.map (fun row -> row.(0))
+            (Stats.node_mc_requests r.Engine.stats)))
   in
   heat "original" (H.run cfg ~optimized:false app);
   heat "optimized" (H.run cfg ~optimized:true app);
@@ -147,13 +146,18 @@ let fig15 () =
       (H.apps ());
     Stats.hop_cdf acc
   in
-  let on_orig = sum_hist (fun s -> s.Stats.onchip_hops) false in
-  let on_opt = sum_hist (fun s -> s.Stats.onchip_hops) true in
-  let off_orig = sum_hist (fun s -> s.Stats.offchip_hops) false in
-  let off_opt = sum_hist (fun s -> s.Stats.offchip_hops) true in
+  let on_orig = sum_hist Stats.onchip_hops false in
+  let on_opt = sum_hist Stats.onchip_hops true in
+  let off_orig = sum_hist Stats.offchip_hops false in
+  let off_opt = sum_hist Stats.offchip_hops true in
   Printf.printf "  %-6s %13s %12s %13s %13s\n" "links" "on-chip orig"
     "on-chip opt" "off-chip orig" "off-chip opt";
   for x = 0 to 14 do
+    let links = Printf.sprintf "<=%d" x in
+    H.csv_row links "onchip_orig" (100. *. on_orig.(x));
+    H.csv_row links "onchip_opt" (100. *. on_opt.(x));
+    H.csv_row links "offchip_orig" (100. *. off_orig.(x));
+    H.csv_row links "offchip_opt" (100. *. off_opt.(x));
     Printf.printf "  <=%-4d %12.0f%% %11.0f%% %12.0f%% %12.0f%%\n" x
       (100. *. on_orig.(x))
       (100. *. on_opt.(x))
@@ -178,6 +182,8 @@ let fig17 () =
       let base = H.run m1o ~optimized:false app in
       let p1 = H.run m1o ~optimized:true app in
       let p2 = H.run m2o ~optimized:true app in
+      H.csv_row app.App.name "M1" (H.exec_improvement base p1);
+      H.csv_row app.App.name "M2" (H.exec_improvement base p2);
       Printf.printf "  %-10s %+7.1f%% %+7.1f%%\n" app.App.name
         (H.exec_improvement base p1) (H.exec_improvement base p2))
     (H.apps ())
@@ -303,6 +309,7 @@ let fig23 () =
         let o = H.run ft ~optimized:false app in
         let p = H.run ours ~optimized:true app in
         let g = H.exec_improvement o p in
+        H.csv_row app.App.name "exec" g;
         Printf.printf "  %-10s %+7.1f%%%s\n" app.App.name g
           (if app.App.first_touch_friendly then "   (first-touch friendly)"
            else "");
@@ -574,9 +581,21 @@ let sections =
 
 let () =
   let args = Array.to_list Sys.argv in
-  let only =
-    match args with _ :: "--only" :: names -> Some names | _ -> None
+  let is_flag s = String.length s >= 2 && String.sub s 0 2 = "--" in
+  let rec parse only json = function
+    | [] -> (only, json)
+    | "--only" :: rest ->
+      let rec take acc = function
+        | s :: tl when not (is_flag s) -> take (s :: acc) tl
+        | tl -> (List.rev acc, tl)
+      in
+      let names, rest = take [] rest in
+      parse (Some names) json rest
+    | "--json" :: dir :: rest when not (is_flag dir) -> parse only (Some dir) rest
+    | _ :: rest -> parse only json rest
   in
+  let only, json = parse None None (List.tl args) in
+  Option.iter H.set_json_dir json;
   if List.mem "--micro" args then micro ()
   else begin
     let t0 = Unix.gettimeofday () in

@@ -53,8 +53,44 @@ let build_config ~l2 ~interleave ~mapping ~width ~height =
   in
   Sim.Config.customize_config cfg
 
-let run file app l2 interleave mapping width height report layouts emit_c =
-  match read_program file app with
+let why_kept_to_string = function
+  | Core.Transform.Index_array -> "index array (never transformed)"
+  | Core.Transform.No_parallel_reference -> "no parallel affine reference"
+  | Core.Transform.No_solution -> "only the trivial mapping exists"
+  | Core.Transform.Bad_approximation f ->
+    Printf.sprintf "indexed-access fit %.2f above threshold" f
+
+(* --explain: one block per array saying what Algorithm 1 decided and why,
+   with the reference weight the chosen layout localizes. *)
+let explain_report (rep : Core.Transform.report) =
+  List.iter
+    (fun (d : Core.Transform.decision) ->
+      let name = d.Core.Transform.info.Lang.Analysis.decl.Lang.Ast.name in
+      let extents = d.Core.Transform.info.Lang.Analysis.extents in
+      let dims =
+        String.concat "x" (Array.to_list (Array.map string_of_int extents))
+      in
+      let pct =
+        if d.Core.Transform.total_weight = 0 then 0.
+        else
+          100.
+          *. float_of_int d.Core.Transform.satisfied_weight
+          /. float_of_int d.Core.Transform.total_weight
+      in
+      Format.printf "// %-10s [%s] " name dims;
+      (match d.Core.Transform.kept with
+      | None ->
+        Format.printf "OPTIMIZED  refs satisfied %d/%d (%.0f%%)@,//   %a@."
+          d.Core.Transform.satisfied_weight d.Core.Transform.total_weight pct
+          Core.Layout.pp d.Core.Transform.layout
+      | Some why ->
+        Format.printf "kept       %s@." (why_kept_to_string why)))
+    rep.Core.Transform.decisions
+
+let run file app l2 interleave mapping width height report layouts explain
+    timings emit_c =
+  let timer = Obs.Phase_timer.create () in
+  match Obs.Phase_timer.time timer "parse" (fun () -> read_program file app) with
   | Error e ->
     prerr_endline ("occ: " ^ e);
     1
@@ -64,27 +100,39 @@ let run file app l2 interleave mapping width height report layouts emit_c =
       prerr_endline ("occ: " ^ e);
       1
     | ccfg ->
-      let analysis = Lang.Analysis.analyze program in
+      let analysis =
+        Obs.Phase_timer.time timer "analysis" (fun () ->
+            Lang.Analysis.analyze program)
+      in
       let profile =
         Option.map
           (fun a arr -> Workloads.Profile.for_transform a analysis arr)
           app
       in
-      let rep = Core.Transform.run ?profile ccfg analysis in
+      let rep =
+        Obs.Phase_timer.time timer "algorithm1" (fun () ->
+            Core.Transform.run ?profile ccfg analysis)
+      in
       if report then Format.printf "// %a@." Core.Transform.pp_report rep;
+      if explain then explain_report rep;
       if layouts then
         List.iter
           (fun d ->
             if d.Core.Transform.optimized then
               Format.printf "// %a@." Core.Layout.pp d.Core.Transform.layout)
           rep.Core.Transform.decisions;
-      let transformed = Core.Transform.rewrite_program rep program in
+      let transformed =
+        Obs.Phase_timer.time timer "codegen" (fun () ->
+            Core.Transform.rewrite_program rep program)
+      in
       (match emit_c with
       | Some path ->
-        Lang.Codegen.emit_to_file ~name:"kernel" path transformed;
+        Obs.Phase_timer.time timer "codegen" (fun () ->
+            Lang.Codegen.emit_to_file ~name:"kernel" path transformed);
         Format.printf "// C code written to %s@." path
       | None -> ());
       Format.printf "%a@." Lang.Ast.pp_program transformed;
+      if timings then Format.printf "%a@." Obs.Phase_timer.pp timer;
       0)
 
 let file_arg =
@@ -124,6 +172,21 @@ let report =
 let layouts =
   Arg.(value & flag & info [ "layouts" ] ~doc:"Print the chosen layouts.")
 
+let explain =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print, for every array, what Algorithm 1 decided and why: the \
+           chosen layout and the reference weight it satisfies, or the \
+           reason the array kept its original layout.")
+
+let timings =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:"Print per-phase wall times (parse, analysis, algorithm1, codegen).")
+
 let emit_c =
   Arg.(
     value
@@ -137,6 +200,6 @@ let cmd =
     (Cmd.info "occ" ~doc)
     Term.(
       const run $ file_arg $ app_arg $ l2 $ interleave $ mapping $ width
-      $ height $ report $ layouts $ emit_c)
+      $ height $ report $ layouts $ explain $ timings $ emit_c)
 
 let () = exit (Cmd.eval' cmd)

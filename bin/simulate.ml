@@ -45,8 +45,28 @@ let build_config ~l2 ~interleave ~policy ~mapping ~width ~height ~tpc ~optimal
     optimal;
   }
 
+let result_json name cfg (r : Sim.Engine.result) =
+  let open Obs.Json in
+  obj
+    [
+      ("app", String name);
+      ("config", Sim.Config.to_json cfg);
+      ("stats", Sim.Stats.to_json r.Sim.Engine.stats);
+      ("measured_time", Int r.Sim.Engine.measured_time);
+      ("mc_occupancy", float_array r.Sim.Engine.mc_occupancy);
+      ("mc_row_hit_rate", float_array r.Sim.Engine.mc_row_hit_rate);
+      ("mc_max_queue", int_array r.Sim.Engine.mc_max_queue);
+      ("link_utilization", float_array r.Sim.Engine.link_utilization);
+      ("pages_allocated", Int r.Sim.Engine.pages_allocated);
+    ]
+
 let run name optimized l2 interleave policy mapping width height tpc optimal
-    full_scale show_map dump_trace =
+    full_scale show_map dump_trace stats_json trace_out trace_sample =
+  if trace_sample < 1 then (
+    Printf.eprintf "simulate: --trace-sample must be at least 1 (got %d)\n"
+      trace_sample;
+    2)
+  else
   match Workloads.Suite.by_name name with
   | exception Not_found ->
     Printf.eprintf "simulate: unknown application %S (known: %s)\n" name
@@ -84,7 +104,32 @@ let run name optimized l2 interleave policy mapping width height tpc optimal
           (Sim.Tracefile.total_accesses prepared.Sim.Runner.job.Sim.Engine.phases)
           path
       | None -> ());
-      let r = Sim.Runner.run_many cfg ~jobs:[ prepared ] in
+      let trace =
+        match trace_out with
+        | Some _ -> Obs.Trace.create ~sample:trace_sample ()
+        | None -> Obs.Trace.disabled
+      in
+      let r = Sim.Runner.run_many ~trace cfg ~jobs:[ prepared ] in
+      (try
+         (match trace_out with
+         | Some path ->
+           Obs.Trace.write_file trace path;
+           Format.printf
+             "trace: %d events (%d dropped, 1 in %d misses) written to %s@."
+             (List.length (Obs.Trace.events trace))
+             (Obs.Trace.dropped trace) (Obs.Trace.sample trace) path
+         | None -> ());
+         match stats_json with
+         | Some path ->
+           let oc = open_out path in
+           Obs.Json.to_channel oc (result_json name cfg r);
+           output_char oc '\n';
+           close_out oc;
+           Format.printf "stats written to %s@." path
+         | None -> ()
+       with Sys_error e ->
+         Printf.eprintf "simulate: cannot write output: %s\n" e;
+         exit 1);
       Format.printf "%a@." Sim.Stats.pp_summary r.Sim.Engine.stats;
       Format.printf "steady-state execution time: %d cycles@."
         r.Sim.Engine.measured_time;
@@ -158,12 +203,37 @@ let dump_trace =
     & info [ "dump-trace" ] ~docv:"FILE"
         ~doc:"Write the per-thread access trace to a file.")
 
+let stats_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's statistics (configuration, every registry \
+           metric, derived averages) as JSON.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record request-path spans and write them in Chrome trace_event \
+           format (open in chrome://tracing or Perfetto; 1 cycle = 1 us).")
+
+let trace_sample =
+  Arg.(
+    value & opt int 1
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:"Trace every Nth L1 miss (with --trace-out; default every one).")
+
 let cmd =
   let doc = "simulate an application on the NoC manycore platform" in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ name_arg $ optimized $ l2 $ interleave $ policy $ mapping
-      $ width $ height $ tpc $ optimal $ full_scale $ show_map $ dump_trace)
+      $ width $ height $ tpc $ optimal $ full_scale $ show_map $ dump_trace
+      $ stats_json $ trace_out $ trace_sample)
 
 let () = exit (Cmd.eval' cmd)

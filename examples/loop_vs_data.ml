@@ -61,7 +61,7 @@ let () =
       Sim.Runner.run cfg ~optimized:false lt.Core.Loop_transform.program
     in
     let layout = Sim.Runner.run cfg ~optimized:true program in
-    let t (r : Sim.Engine.result) = r.Sim.Engine.stats.Sim.Stats.finish_time in
+    let t (r : Sim.Engine.result) = ((Sim.Stats.finish_time) r.Sim.Engine.stats) in
     let gain r =
       100. *. (1. -. (float_of_int (t r) /. float_of_int (t base)))
     in

@@ -33,7 +33,7 @@ let () =
       name r.Sim.Engine.measured_time
       (Sim.Stats.avg_offchip_net r.Sim.Engine.stats)
       r.Sim.Engine.pages_allocated
-      r.Sim.Engine.stats.Sim.Stats.page_fallbacks
+      ((Sim.Stats.page_fallbacks) r.Sim.Engine.stats)
   in
   Printf.printf "apsi under page interleaving:\n";
   show "hardware interleaving" hw;

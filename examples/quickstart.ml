@@ -46,7 +46,7 @@ let () =
   Format.printf "original : %a@." Sim.Stats.pp_summary orig.Sim.Engine.stats;
   Format.printf "optimized: %a@." Sim.Stats.pp_summary opt.Sim.Engine.stats;
   let avg_hops (r : Sim.Engine.result) =
-    let h = r.Sim.Engine.stats.Sim.Stats.offchip_hops in
+    let h = ((Sim.Stats.offchip_hops) r.Sim.Engine.stats) in
     let n = ref 0 and total = ref 0 in
     Array.iteri
       (fun i c ->
@@ -63,5 +63,5 @@ let () =
     (red Sim.Stats.avg_memory)
     (100.
     *. (1.
-       -. float_of_int opt.Sim.Engine.stats.Sim.Stats.finish_time
-          /. float_of_int orig.Sim.Engine.stats.Sim.Stats.finish_time))
+       -. float_of_int ((Sim.Stats.finish_time) opt.Sim.Engine.stats)
+          /. float_of_int ((Sim.Stats.finish_time) orig.Sim.Engine.stats)))

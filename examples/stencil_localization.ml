@@ -21,7 +21,7 @@ let () =
       (fun node row ->
         let cl = Core.Cluster.cluster_of_node cluster topo node in
         Array.iteri (fun mc c -> m.(cl).(mc) <- m.(cl).(mc) + c) row)
-      s.Sim.Stats.node_mc_requests;
+      ((Sim.Stats.node_mc_requests) s);
     Printf.printf "%s: requests from cluster -> controller\n" label;
     Printf.printf "            MC0     MC1     MC2     MC3\n";
     Array.iteri

@@ -18,6 +18,7 @@ type t = {
   channels : int;
   scheduler : scheduler;
   row_policy : row_policy;
+  depth_hook : (now:int -> depth:int -> unit) option;
   open_row : int array;  (** -1 = no open row *)
   bank_free : int array;
   bus_free : int array;  (** per channel; a bank belongs to bank mod channels *)
@@ -26,6 +27,7 @@ type t = {
   mutable num_writes : int;  (** pending writes, across banks *)
   mutable num_served : int;
   mutable num_row_hits : int;
+  mutable max_pending : int;
   (* time-integral of queue length, for the occupancy statistic *)
   mutable occ_integral : float;
   mutable occ_last_t : int;
@@ -33,7 +35,7 @@ type t = {
 }
 
 let create ?(timing = Timing.ddr3_1600) ?(channels = 1) ?(scheduler = Fr_fcfs)
-    ?(row_policy = Open_page) ~banks () =
+    ?(row_policy = Open_page) ?depth_hook ~banks () =
   if banks <= 0 || channels <= 0 then invalid_arg "Fr_fcfs.create";
   {
     timing;
@@ -41,6 +43,7 @@ let create ?(timing = Timing.ddr3_1600) ?(channels = 1) ?(scheduler = Fr_fcfs)
     channels;
     scheduler;
     row_policy;
+    depth_hook;
     open_row = Array.make banks (-1);
     bank_free = Array.make banks 0;
     bus_free = Array.make channels 0;
@@ -49,10 +52,17 @@ let create ?(timing = Timing.ddr3_1600) ?(channels = 1) ?(scheduler = Fr_fcfs)
     num_writes = 0;
     num_served = 0;
     num_row_hits = 0;
+    max_pending = 0;
     occ_integral = 0.;
     occ_last_t = 0;
     occ_count = 0;
   }
+
+let note_depth t now =
+  if t.num_pending > t.max_pending then t.max_pending <- t.num_pending;
+  match t.depth_hook with
+  | None -> ()
+  | Some f -> f ~now ~depth:t.num_pending
 
 let occ_touch t now =
   if now > t.occ_last_t then begin
@@ -69,7 +79,8 @@ let enqueue t ~now ~bank ~row ?(write = false) ~id () =
   t.occ_count <- t.occ_count + 1;
   t.num_pending <- t.num_pending + 1;
   if write then t.num_writes <- t.num_writes + 1;
-  t.queues.(bank) <- t.queues.(bank) @ [ { rid = id; arrival = now; bank; row; write } ]
+  t.queues.(bank) <- t.queues.(bank) @ [ { rid = id; arrival = now; bank; row; write } ];
+  note_depth t now
 
 let service_time t bank row =
   if t.open_row.(bank) = row then (t.timing.Timing.row_hit, true)
@@ -132,6 +143,7 @@ let issue t r s service hit =
   if hit then t.num_row_hits <- t.num_row_hits + 1;
   occ_touch t s;
   t.occ_count <- t.occ_count - 1;
+  note_depth t s;
   { id = r.rid; start = s; finish; queue_delay = s - r.arrival; row_hit = hit }
 
 let advance t ~now =
@@ -171,6 +183,8 @@ let next_wake t =
 
 let pending t = t.num_pending
 
+let max_pending t = t.max_pending
+
 let served t = t.num_served
 
 let row_hits t = t.num_row_hits
@@ -188,6 +202,7 @@ let reset t =
   t.num_writes <- 0;
   t.num_served <- 0;
   t.num_row_hits <- 0;
+  t.max_pending <- 0;
   t.occ_integral <- 0.;
   t.occ_last_t <- 0;
   t.occ_count <- 0

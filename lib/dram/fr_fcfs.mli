@@ -33,6 +33,7 @@ val create :
   ?channels:int ->
   ?scheduler:scheduler ->
   ?row_policy:row_policy ->
+  ?depth_hook:(now:int -> depth:int -> unit) ->
   banks:int ->
   unit ->
   t
@@ -40,7 +41,11 @@ val create :
     channel [b mod channels].  The evaluated platform uses two channels
     per controller (1 GB per controller; the paper notes M1 performs well
     "assuming the number of channels per memory controller is
-    sufficiently large"). *)
+    sufficiently large").
+
+    [depth_hook] is called with the current total queue depth every time a
+    request is enqueued or issued — the observability layer feeds it to a
+    trace counter series.  Default: no hook, no cost. *)
 
 val enqueue :
   t -> now:int -> bank:int -> row:int -> ?write:bool -> id:int -> unit -> unit
@@ -58,6 +63,9 @@ val next_wake : t -> int option
     [None] when the queue is empty. *)
 
 val pending : t -> int
+
+val max_pending : t -> int
+(** High-water mark of the total queue depth since creation/reset. *)
 
 val served : t -> int
 

@@ -6,13 +6,21 @@ type t = {
   topo : Topology.t;
   config : config;
   free_at : int array;  (** per link-id: earliest cycle it can accept *)
+  link_busy : int array;  (** per link-id: cycles reserved so far *)
   mutable busy : int;
 }
 
 let create ?(config = default_config) topo =
-  { topo; config; free_at = Array.make (Topology.num_link_ids topo) 0; busy = 0 }
+  let links = Topology.num_link_ids topo in
+  {
+    topo;
+    config;
+    free_at = Array.make links 0;
+    link_busy = Array.make links 0;
+    busy = 0;
+  }
 
-let send net ~now ~src ~dst ~bytes =
+let send ?on_hop net ~now ~src ~dst ~bytes =
   if src = dst then (now, 0, 0)
   else begin
     let serialization =
@@ -25,8 +33,12 @@ let send net ~now ~src ~dst ~bytes =
         let id = Topology.link_id net.topo link in
         let start = max !t net.free_at.(id) in
         net.free_at.(id) <- start + serialization;
+        net.link_busy.(id) <- net.link_busy.(id) + serialization;
         net.busy <- net.busy + serialization;
         t := start + net.config.per_hop_latency;
+        (match on_hop with
+        | None -> ()
+        | Some f -> f ~link:id ~start ~finish:!t);
         incr hops)
       (Topology.xy_route net.topo ~src ~dst);
     (* wormhole pipelining: header latency per hop, body flits pipeline
@@ -38,6 +50,13 @@ let send net ~now ~src ~dst ~bytes =
 
 let reset net =
   Array.fill net.free_at 0 (Array.length net.free_at) 0;
+  Array.fill net.link_busy 0 (Array.length net.link_busy) 0;
   net.busy <- 0
 
 let total_link_busy net = net.busy
+
+let link_busy net = Array.copy net.link_busy
+
+let utilization net ~at =
+  let at = max 1 at in
+  Array.map (fun b -> float_of_int b /. float_of_int at) net.link_busy

@@ -24,11 +24,23 @@ type t
 
 val create : ?config:config -> Topology.t -> t
 
-val send : t -> now:int -> src:int -> dst:int -> bytes:int -> int * int * int
+val send :
+  ?on_hop:(link:int -> start:int -> finish:int -> unit) ->
+  t ->
+  now:int ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  int * int * int
 (** [send net ~now ~src ~dst ~bytes] routes one message and returns
     [(arrival_time, hops, contention_delay)] where [contention_delay] is
     the extra time spent waiting for busy links beyond the unloaded
-    latency [hops · per_hop_latency].  [src = dst] delivers instantly. *)
+    latency [hops · per_hop_latency].  [src = dst] delivers instantly.
+
+    [on_hop] is invoked once per traversed link with its link id, the
+    cycle the header started on the link and the cycle it reached the next
+    router — the per-link detail the request-path tracer records.  The
+    default does nothing and costs nothing. *)
 
 val reset : t -> unit
 (** Clears all link reservations (between experiment runs). *)
@@ -36,3 +48,10 @@ val reset : t -> unit
 val total_link_busy : t -> int
 (** Sum over links of cycles reserved so far — a load indicator used by
     utilization statistics. *)
+
+val link_busy : t -> int array
+(** Per-link-id cycles reserved so far (a copy). *)
+
+val utilization : t -> at:int -> float array
+(** Per-link fraction of [0, at] the link was reserved — the per-link
+    utilization profile behind the paper's contention analysis. *)

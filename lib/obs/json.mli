@@ -1,0 +1,43 @@
+(** Minimal JSON tree, encoder and parser — hand-rolled so the
+    observability layer adds no external dependency.
+
+    The encoder emits RFC 8259 JSON (UTF-8 pass-through for strings, full
+    escaping of control characters); the parser accepts what the encoder
+    produces plus ordinary whitespace, so [of_string (to_string v)]
+    round-trips every finite value. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Default is pretty-printed (2-space indent); [~minify:true] emits the
+    compact single-line form.  Non-finite floats encode as [null]. *)
+
+val to_channel : out_channel -> t -> unit
+(** Pretty-printed, with a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON value (trailing whitespace allowed).  Numbers without
+    fraction or exponent parse as [Int]. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object fields compare in order. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] elsewhere or when absent. *)
+
+val obj : (string * t) list -> t
+
+val list : ('a -> t) -> 'a list -> t
+
+val array : ('a -> t) -> 'a array -> t
+
+val int_array : int array -> t
+
+val float_array : float array -> t

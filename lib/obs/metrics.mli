@@ -1,0 +1,90 @@
+(** Metrics registry: named counters, gauges and histograms with O(1)
+    record paths and a typed snapshot/merge.
+
+    A metric is registered once (by name) and then recorded through its
+    handle — the record path is a single field mutation or array store, so
+    instrumented hot loops pay no lookup, no allocation and no branch on
+    an "enabled" flag.  Snapshots are taken at the end of a run for
+    reporting and JSON export. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+type registry
+
+(** Bucketing scheme for histograms.
+
+    [Log2] buckets observation [v >= 0] into [floor(log2 v) + 1] (bucket 0
+    holds v = 0), clamped to [max_log2_buckets - 1] — constant bucket
+    count, O(1) record, covers any int.  [Linear { width; buckets }] holds
+    [v / width], clamped into the last bucket. *)
+type buckets = Log2 | Linear of { width : int; buckets : int }
+
+val max_log2_buckets : int
+
+type hist_snapshot = {
+  kind : buckets;
+  counts : int array;
+  sum : int;  (** sum of observed values *)
+  total : int;  (** number of observations *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+val create : unit -> registry
+
+val counter : registry -> string -> counter
+(** Registers (or returns the existing) counter under [name]. *)
+
+val gauge : registry -> string -> gauge
+
+val histogram : registry -> buckets:buckets -> string -> histogram
+(** Raises [Invalid_argument] when re-registering an existing name with a
+    different bucketing. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Keeps the maximum of the current and the given value. *)
+
+val gauge_value : gauge -> float
+
+val observe : histogram -> int -> unit
+(** O(1); negative observations clamp into bucket 0. *)
+
+val bucket_index : buckets -> int -> int
+(** The bucket [observe] files a value under (exposed for tests). *)
+
+val bucket_bounds : buckets -> int -> int * int
+(** [(lo, hi)] of a bucket: values [v] with [lo <= v < hi] land in it
+    ([hi] of the last bucket is [max_int]). *)
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> int
+
+val snapshot : registry -> snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Counters and histograms add; gauges keep the maximum.  Metrics present
+    on one side only pass through.  Raises [Invalid_argument] on
+    incompatible histogram bucketing. *)
+
+val merge_into : into:registry -> registry -> unit
+(** Folds a source registry into [into] with {!merge} semantics,
+    registering missing metrics on the fly. *)
+
+val to_json : snapshot -> Json.t

@@ -125,6 +125,58 @@ let mesh ~width ~height t =
   let cluster = Core.Cluster.m1 ~width ~height in
   { t with topo; cluster; placement = placement_for topo cluster }
 
+let to_json t =
+  let open Obs.Json in
+  obj
+    [
+      ("mesh_width", Int t.topo.Noc.Topology.width);
+      ("mesh_height", Int t.topo.Noc.Topology.height);
+      ( "l2_org",
+        String
+          (match t.l2_org with Private_l2 -> "private" | Shared_l2 -> "shared")
+      );
+      ( "interleaving",
+        String
+          (match t.interleaving with
+          | Dram.Address_map.Line_interleaved -> "line"
+          | Dram.Address_map.Page_interleaved -> "page") );
+      ( "page_policy",
+        String
+          (match t.page_policy with
+          | Hardware -> "hardware"
+          | First_touch -> "first-touch"
+          | Mc_aware -> "mc-aware") );
+      ("num_mcs", Int (Core.Cluster.num_mcs t.cluster));
+      ("l1_size", Int t.l1_size);
+      ("l1_line", Int t.l1_line);
+      ("l1_ways", Int t.l1_ways);
+      ("l2_size", Int t.l2_size);
+      ("l2_line", Int t.l2_line);
+      ("l2_ways", Int t.l2_ways);
+      ("l1_latency", Int t.l1_latency);
+      ("l2_latency", Int t.l2_latency);
+      ("directory_latency", Int t.directory_latency);
+      ("banks_per_mc", Int t.banks_per_mc);
+      ("channels_per_mc", Int t.channels_per_mc);
+      ( "mc_scheduler",
+        String
+          (match t.mc_scheduler with
+          | Dram.Fr_fcfs.Fr_fcfs -> "fr-fcfs"
+          | Dram.Fr_fcfs.Fcfs -> "fcfs") );
+      ( "mc_row_policy",
+        String
+          (match t.mc_row_policy with
+          | Dram.Fr_fcfs.Open_page -> "open-page"
+          | Dram.Fr_fcfs.Closed_page -> "closed-page") );
+      ("page_bytes", Int t.page_bytes);
+      ("elem_bytes", Int t.elem_bytes);
+      ("compute_cycles", Int t.compute_cycles);
+      ("jitter", Bool t.jitter);
+      ("threads_per_core", Int t.threads_per_core);
+      ("optimal", Bool t.optimal);
+      ("frames_per_mc", Int t.frames_per_mc);
+    ]
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>mesh %dx%d, %a, %s L2 (%d B/node, %d B lines), L1 %d B, %s, %d \

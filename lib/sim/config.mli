@@ -76,4 +76,9 @@ val mesh : width:int -> height:int -> t -> t
 (** Re-targets the configuration to another mesh size (Fig. 21),
     rebuilding cluster and placement. *)
 
+val to_json : t -> Obs.Json.t
+(** Scalar platform parameters (mesh, caches, controllers, policies) —
+    embedded in the machine-readable stats so a results file records the
+    configuration that produced it. *)
+
 val pp : Format.formatter -> t -> unit

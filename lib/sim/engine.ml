@@ -23,12 +23,15 @@ type result = {
   job_finish : int array;
   mc_occupancy : float array;
   mc_row_hit_rate : float array;
+  mc_max_queue : int array;
+  link_utilization : float array;
   pages_allocated : int;
 }
 
 (* A request walking the Fig. 2 path.  [pend_*] holds network legs whose
    on-/off-chip category is not known yet (the leg to the directory). *)
 type req = {
+  rid : int;  (** miss ordinal, the tracer's sampling key *)
   rjob : int;
   rthread : int;
   rnode : int;  (** requester node (private) / L1 node (shared) *)
@@ -40,6 +43,7 @@ type req = {
   mutable mc : int;
   mutable mc_arrival : int;
   measured : bool;  (** issued after warmup: counts towards statistics *)
+  traced : bool;  (** sampled by the request-path tracer *)
   resume : bool;
       (** blocking (load / full store buffer): the thread restarts on fill;
           non-blocking store fills just release a store-buffer slot *)
@@ -70,7 +74,8 @@ type jstate = {
 
 let ctrl_bytes = 8
 
-let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
+let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
+    ~jobs () =
   let topo = cfg.topo in
   let nodes = Noc.Topology.nodes topo in
   let num_mcs = Core.Cluster.num_mcs cfg.cluster in
@@ -88,10 +93,21 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
   in
   let dir = Directory.create ~nodes in
   let mcs =
-    Array.init num_mcs (fun _ ->
+    Array.init num_mcs (fun m ->
+        (* queue-depth counter series for the trace viewer; without a sink
+           the controllers run hook-free *)
+        let depth_hook =
+          if Obs.Trace.enabled trace then
+            Some
+              (fun ~now ~depth ->
+                Obs.Trace.counter trace
+                  ~name:(Printf.sprintf "mc%d queue depth" m)
+                  ~pid:0 ~ts:now ~value:depth)
+          else None
+        in
         Fr_fcfs.create ~timing:cfg.timing ~channels:cfg.channels_per_mc
           ~scheduler:cfg.mc_scheduler ~row_policy:cfg.mc_row_policy
-          ~banks:cfg.banks_per_mc ())
+          ?depth_hook ~banks:cfg.banks_per_mc ())
   in
   let mc_next_wake = Array.make num_mcs max_int in
   let policy =
@@ -173,21 +189,26 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
     ((line / nodes) * cfg.l2_line) + (paddr mod cfg.l2_line)
   in
   let log_leg ~measured ~offchip hops cycles =
-    if measured then begin
-    let h = min hops Stats.max_hops in
-    if offchip then begin
-      stats.Stats.offchip_hops.(h) <- stats.Stats.offchip_hops.(h) + 1;
-      stats.Stats.offchip_net_cycles <- stats.Stats.offchip_net_cycles + cycles;
-      stats.Stats.offchip_messages <- stats.Stats.offchip_messages + 1
-    end
-    else begin
-      stats.Stats.onchip_hops.(h) <- stats.Stats.onchip_hops.(h) + 1;
-      stats.Stats.onchip_net_cycles <- stats.Stats.onchip_net_cycles + cycles;
-      stats.Stats.onchip_messages <- stats.Stats.onchip_messages + 1
-    end
-    end
+    if measured then Stats.record_leg stats ~offchip ~hops ~cycles
   in
   let send ~now ~src ~dst ~bytes = Noc.Network.send net ~now ~src ~dst ~bytes in
+  (* tracer plumbing: spans tagged with the request's job/node tracks; a
+     request-bound send additionally records one "noc" span per link *)
+  let span_req req ~cat ~name ~ts ~dur =
+    if req.traced then
+      Obs.Trace.span trace ~cat ~name ~pid:req.rjob ~tid:req.rnode ~ts ~dur ()
+  in
+  let send_req req ~now ~src ~dst ~bytes =
+    if req.traced then
+      Noc.Network.send net
+        ~on_hop:(fun ~link ~start ~finish ->
+          Obs.Trace.span trace ~cat:"noc"
+            ~name:(Printf.sprintf "link %d" link)
+            ~pid:req.rjob ~tid:req.rnode ~ts:start ~dur:(finish - start) ())
+        ~now ~src ~dst ~bytes
+    else send ~now ~src ~dst ~bytes
+  in
+  let miss_counter = ref 0 in
   (* outstanding controller requests, by id *)
   let req_table : (int, [ `Read of req * bool | `Writeback ]) Hashtbl.t =
     Hashtbl.create 256
@@ -207,7 +228,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
   in
   let writeback ~now ~src paddr =
     if not cfg.optimal then begin
-      stats.Stats.writebacks <- stats.Stats.writebacks + 1;
+      Stats.record_writeback stats;
       let m = Address_map.mc_of_paddr amap paddr in
       let arr, _, _ = send ~now ~src ~dst:(mc_node m) ~bytes:data_bytes in
       Event_heap.push heap ~time:arr (Wb_arrive (m, paddr))
@@ -229,26 +250,32 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
         and wr = Lang.Interp.is_write a in
         let node = s.j.node_of_thread.(tid) in
         let paddr = Page_alloc.translate pa ~node ~vaddr in
-        if measured then
-          stats.Stats.total_accesses <- stats.Stats.total_accesses + 1;
+        if measured then Stats.record_access stats;
         let t = t + issue_cost + jitter jid tid in
         match Sacache.access l1.(node) ~addr:paddr ~write:wr with
         | Sacache.Hit ->
-          if measured then stats.Stats.l1_hits <- stats.Stats.l1_hits + 1;
+          if measured then Stats.record_l1_hit stats;
           go (t + cfg.l1_latency)
         | Sacache.Miss _ ->
           (* L1 fills at detection; L1 writebacks are not modeled *)
+          let rid = !miss_counter in
+          incr miss_counter;
+          let traced = Obs.Trace.hit trace rid in
+          if traced then
+            Obs.Trace.span trace ~cat:"cache" ~name:"L1 miss" ~pid:jid
+              ~tid:node ~ts:t ~dur:cfg.l1_latency ();
           let blocking =
             (not wr) || outstanding_stores.(jid).(tid) >= store_buffer_depth
           in
           if blocking then
-            miss_path jid tid node paddr wr ~measured ~resume:true
+            miss_path jid tid node paddr wr ~rid ~traced ~measured ~resume:true
               (t + cfg.l1_latency)
           else begin
             (* store buffer absorbs the write miss; the fill proceeds in
                the background and the thread continues *)
             outstanding_stores.(jid).(tid) <- outstanding_stores.(jid).(tid) + 1;
-            miss_path jid tid node paddr wr ~measured ~resume:false
+            miss_path jid tid node paddr wr ~rid ~traced ~measured
+              ~resume:false
               (t + cfg.l1_latency);
             go (t + cfg.l1_latency)
           end
@@ -273,23 +300,28 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
       else begin
         s.finished <- true;
         job_finish.(s.jid) <- s.barrier;
-        stats.Stats.finish_time <- max stats.Stats.finish_time s.barrier
+        Stats.note_finish stats s.barrier
       end
     end
-  and miss_path jid tid node paddr wr ~measured ~resume t =
+  and miss_path jid tid node paddr wr ~rid ~traced ~measured ~resume t =
     match cfg.l2_org with
-    | Config.Private_l2 -> miss_private jid tid node paddr wr ~measured ~resume t
-    | Config.Shared_l2 -> miss_shared jid tid node paddr wr ~measured ~resume t
+    | Config.Private_l2 ->
+      miss_private jid tid node paddr wr ~rid ~traced ~measured ~resume t
+    | Config.Shared_l2 ->
+      miss_shared jid tid node paddr wr ~rid ~traced ~measured ~resume t
   and complete_request req t =
     if req.resume then continue_thread req.rjob req.rthread t
     else
       outstanding_stores.(req.rjob).(req.rthread) <-
         outstanding_stores.(req.rjob).(req.rthread) - 1
-  and miss_private jid tid node paddr wr ~measured ~resume t =
+  and miss_private jid tid node paddr wr ~rid ~traced ~measured ~resume t =
+    if traced then
+      Obs.Trace.span trace ~cat:"cache" ~name:"L2 lookup" ~pid:jid ~tid:node
+        ~ts:t ~dur:cfg.l2_latency ();
     let t = t + cfg.l2_latency in
     match Sacache.access l2.(node) ~addr:paddr ~write:wr with
     | Sacache.Hit ->
-      if measured then stats.Stats.l2_hits <- stats.Stats.l2_hits + 1;
+      if measured then Stats.record_l2_hit stats;
       if resume then continue_thread jid tid t
       else outstanding_stores.(jid).(tid) <- outstanding_stores.(jid).(tid) - 1
     | Sacache.Miss { evicted; evicted_dirty } ->
@@ -307,6 +339,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
       Directory.add_holder dir ~line ~node;
       let req =
         {
+          rid;
           rjob = jid;
           rthread = tid;
           rnode = node;
@@ -318,6 +351,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
           mc = 0;
           mc_arrival = 0;
           measured;
+          traced;
           resume;
         }
       in
@@ -327,29 +361,36 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
         match holder with
         | Some _ ->
           let m = Address_map.mc_of_paddr amap paddr in
-          let arr, hops, _ = send ~now:t ~src:node ~dst:(mc_node m) ~bytes:ctrl_bytes in
+          let arr, hops, _ =
+            send_req req ~now:t ~src:node ~dst:(mc_node m) ~bytes:ctrl_bytes
+          in
           req.pend_hops <- hops;
           req.pend_net <- arr - t;
           Event_heap.push heap ~time:arr (Dir_decide req)
         | None ->
           let m = nearest_mc node in
           req.mc <- m;
-          let arr, hops, _ = send ~now:t ~src:node ~dst:(mc_node m) ~bytes:ctrl_bytes in
+          let arr, hops, _ =
+            send_req req ~now:t ~src:node ~dst:(mc_node m) ~bytes:ctrl_bytes
+          in
           log_leg ~measured:req.measured ~offchip:true hops (arr - t);
           Event_heap.push heap ~time:arr (Mc_arrive (req, false))
       end
       else begin
         let m = Address_map.mc_of_paddr amap paddr in
         req.mc <- m;
-        let arr, hops, _ = send ~now:t ~src:node ~dst:(mc_node m) ~bytes:ctrl_bytes in
+        let arr, hops, _ =
+          send_req req ~now:t ~src:node ~dst:(mc_node m) ~bytes:ctrl_bytes
+        in
         req.pend_hops <- hops;
         req.pend_net <- arr - t;
         Event_heap.push heap ~time:arr (Dir_decide req)
       end
-  and miss_shared jid tid node paddr wr ~measured ~resume t =
+  and miss_shared jid tid node paddr wr ~rid ~traced ~measured ~resume t =
     let home = paddr / cfg.l2_line mod nodes in
     let req =
       {
+        rid;
         rjob = jid;
         rthread = tid;
         rnode = node;
@@ -361,21 +402,23 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
         mc = 0;
         mc_arrival = 0;
         measured;
+        traced;
         resume;
       }
     in
     ignore wr;
     if home = node then home_decide req t
     else begin
-      let arr, hops, _ = send ~now:t ~src:node ~dst:home ~bytes:ctrl_bytes in
+      let arr, hops, _ = send_req req ~now:t ~src:node ~dst:home ~bytes:ctrl_bytes in
       log_leg ~measured:req.measured ~offchip:false hops (arr - t);
       Event_heap.push heap ~time:arr (Home_decide req)
     end
   and home_decide req t =
+    span_req req ~cat:"cache" ~name:"L2 home" ~ts:t ~dur:cfg.l2_latency;
     let t = t + cfg.l2_latency in
     match Sacache.access l2.(req.home) ~addr:(bank_local req.rpaddr) ~write:false with
     | Sacache.Hit ->
-      if req.measured then stats.Stats.l2_hits <- stats.Stats.l2_hits + 1;
+      if req.measured then Stats.record_l2_hit stats;
       send_home_to_requester req t
     | Sacache.Miss { evicted; evicted_dirty } ->
       (match evicted with
@@ -391,32 +434,33 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
         else Address_map.mc_of_paddr amap req.rpaddr
       in
       req.mc <- m;
-      let arr, hops, _ = send ~now:t ~src:req.home ~dst:(mc_node m) ~bytes:ctrl_bytes in
+      let arr, hops, _ =
+        send_req req ~now:t ~src:req.home ~dst:(mc_node m) ~bytes:ctrl_bytes
+      in
       log_leg ~measured:req.measured ~offchip:true hops (arr - t);
       Event_heap.push heap ~time:arr (Mc_arrive (req, true))
   and send_home_to_requester req t =
     if req.home = req.rnode then complete_request req t
     else begin
       let arr, hops, _ =
-        send ~now:t ~src:req.home ~dst:req.rnode ~bytes:l1_fill_bytes
+        send_req req ~now:t ~src:req.home ~dst:req.rnode ~bytes:l1_fill_bytes
       in
       log_leg ~measured:req.measured ~offchip:false hops (arr - t);
       Event_heap.push heap ~time:arr (Fill req)
     end
   and mc_arrive req shared t =
     if req.measured then begin
-      stats.Stats.offchip_accesses <- stats.Stats.offchip_accesses + 1;
       let origin = if shared then req.home else req.rnode in
-      stats.Stats.node_mc_requests.(origin).(req.mc) <-
-        stats.Stats.node_mc_requests.(origin).(req.mc) + 1
+      Stats.record_offchip stats ~origin ~mc:req.mc
     end;
     req.mc_arrival <- t;
     if cfg.optimal then begin
       (* idealized controller: uncontended row-empty access *)
-      let finish = t + cfg.timing.Dram.Timing.row_empty in
+      let service = cfg.timing.Dram.Timing.row_empty in
+      let finish = t + service in
       if req.measured then
-        stats.Stats.memory_cycles <-
-          stats.Stats.memory_cycles + cfg.timing.Dram.Timing.row_empty;
+        Stats.record_memory stats ~latency:service ~queue:0 ~row_hit:false;
+      span_req req ~cat:"dram" ~name:"bank" ~ts:t ~dur:service;
       mc_respond req shared finish
     end
     else begin
@@ -427,7 +471,9 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
     end
   and mc_respond req shared t =
     let dst = if shared then req.home else req.rnode in
-    let arr, hops, _ = send ~now:t ~src:(mc_node req.mc) ~dst ~bytes:data_bytes in
+    let arr, hops, _ =
+      send_req req ~now:t ~src:(mc_node req.mc) ~dst ~bytes:data_bytes
+    in
     log_leg ~measured:req.measured ~offchip:true hops (arr - t);
     if shared then Event_heap.push heap ~time:arr (Home_return req)
     else Event_heap.push heap ~time:arr (Fill req)
@@ -435,6 +481,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
   let dispatch t = function
     | Step (jid, tid) -> continue_thread jid tid t
     | Dir_decide req -> (
+      span_req req ~cat:"cache" ~name:"directory" ~ts:t
+        ~dur:cfg.directory_latency;
       let t = t + cfg.directory_latency in
       let line = line_of req.rpaddr in
       let holder =
@@ -446,7 +494,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
       | Some h ->
         (* on-chip: the pending request leg was on-chip after all *)
         log_leg ~measured:req.measured ~offchip:false req.pend_hops req.pend_net;
-        if req.measured then stats.Stats.l2_hits <- stats.Stats.l2_hits + 1;
+        if req.measured then Stats.record_l2_hit stats;
         (* a write transfer invalidates every other copy (coherence
            traffic, charged on the links but not waited for) *)
         if req.rwrite then
@@ -461,7 +509,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
               end)
             (Directory.holders dir ~line);
         let arr, hops, _ =
-          send ~now:t ~src:(mc_node req.mc) ~dst:h ~bytes:ctrl_bytes
+          send_req req ~now:t ~src:(mc_node req.mc) ~dst:h ~bytes:ctrl_bytes
         in
         log_leg ~measured:req.measured ~offchip:false hops (arr - t);
         Event_heap.push heap ~time:arr
@@ -474,6 +522,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
         end
         else mc_arrive req false t)
     | Owner_read (req, h) ->
+      span_req req ~cat:"cache" ~name:"L2 peer" ~ts:t ~dur:cfg.l2_latency;
       let t = t + cfg.l2_latency in
       (* the line is in h's L2 (kept in sync via the directory); a write
          transfer takes it exclusively *)
@@ -482,7 +531,9 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
         ignore (Sacache.invalidate l2.(h) ~addr:req.rpaddr)
       end
       else ignore (Sacache.access l2.(h) ~addr:req.rpaddr ~write:false);
-      let arr, hops, _ = send ~now:t ~src:h ~dst:req.rnode ~bytes:data_bytes in
+      let arr, hops, _ =
+        send_req req ~now:t ~src:h ~dst:req.rnode ~bytes:data_bytes
+      in
       log_leg ~measured:req.measured ~offchip:false hops (arr - t);
       Event_heap.push heap ~time:arr (Fill req)
     | Home_decide req -> home_decide req t
@@ -501,11 +552,13 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
             match Hashtbl.find_opt req_table c.id with
             | Some (`Read (req, shared)) ->
               Hashtbl.remove req_table c.id;
-              stats.Stats.memory_cycles <-
-                stats.Stats.memory_cycles + (c.finish - req.mc_arrival);
-              stats.Stats.memory_queue_cycles <-
-                stats.Stats.memory_queue_cycles + c.queue_delay;
-              if c.row_hit then stats.Stats.row_hits <- stats.Stats.row_hits + 1;
+              Stats.record_memory stats
+                ~latency:(c.finish - req.mc_arrival)
+                ~queue:c.queue_delay ~row_hit:c.row_hit;
+              span_req req ~cat:"mc-queue" ~name:"queue" ~ts:req.mc_arrival
+                ~dur:c.queue_delay;
+              span_req req ~cat:"dram" ~name:"bank" ~ts:c.start
+                ~dur:(c.finish - c.start);
               mc_respond req shared c.finish
             | Some `Writeback ->
               Hashtbl.remove req_table c.id
@@ -547,29 +600,31 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ~jobs () =
       if debug && !ndisp mod 1_000_000 = 0 then
         Printf.eprintf "[dispatch %dM] t=%d heap=%d acc=%d off=%d pending=%s\n%!"
           (!ndisp / 1_000_000) t (Event_heap.size heap)
-          stats.Stats.total_accesses stats.Stats.offchip_accesses
+          (Stats.total_accesses stats) (Stats.offchip_accesses stats)
           (String.concat "," (Array.to_list (Array.map (fun m -> string_of_int (Fr_fcfs.pending m)) mcs)));
       dispatch t action;
       loop ()
   in
   loop ();
-  stats.Stats.page_fallbacks <- Page_alloc.fallback_allocations pa;
+  Stats.set_page_fallbacks stats (Page_alloc.fallback_allocations pa);
   let job_measured =
     Array.map (fun s -> max 0 (job_finish.(s.jid) - s.warmup_end)) js
   in
   let measured_time = Array.fold_left max 0 job_measured in
+  let horizon = max 1 (Stats.finish_time stats) in
   {
     stats;
     measured_time;
     job_measured;
     job_finish;
-    mc_occupancy =
-      Array.map (fun m -> Fr_fcfs.occupancy m ~at:(max 1 stats.Stats.finish_time)) mcs;
+    mc_occupancy = Array.map (fun m -> Fr_fcfs.occupancy m ~at:horizon) mcs;
     mc_row_hit_rate =
       Array.map
         (fun m ->
           let s = Fr_fcfs.served m in
           if s = 0 then 0. else float_of_int (Fr_fcfs.row_hits m) /. float_of_int s)
         mcs;
+    mc_max_queue = Array.map Fr_fcfs.max_pending mcs;
+    link_utilization = Noc.Network.utilization net ~at:horizon;
     pages_allocated = Page_alloc.pages_allocated pa;
   }

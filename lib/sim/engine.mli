@@ -35,15 +35,25 @@ type result = {
   job_finish : int array;  (** finish time of each job *)
   mc_occupancy : float array;  (** per-controller mean queue length *)
   mc_row_hit_rate : float array;
+  mc_max_queue : int array;  (** per-controller queue-depth high-water mark *)
+  link_utilization : float array;
+      (** per-link-id busy fraction of the run (mesh contention profile) *)
   pages_allocated : int;
 }
 
 val run :
   Config.t ->
   ?desired_mc_of_vpage:(int -> int option) ->
+  ?trace:Obs.Trace.t ->
   jobs:job list ->
   unit ->
   result
 (** [desired_mc_of_vpage] feeds the {e MC-aware} page policy (ignored by
     the others); [None] for a page means "no compiler hint" and the page
-    is placed by first touch. *)
+    is placed by first touch.
+
+    [trace] (default {!Obs.Trace.disabled}) receives one span per pipeline
+    stage of every sampled L1 miss — categories [cache], [noc],
+    [mc-queue], [dram] — plus controller queue-depth counter series; the
+    sink's sampling knob picks which misses are traced.  With the default
+    sink every instrumentation point is a single branch. *)

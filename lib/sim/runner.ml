@@ -107,12 +107,13 @@ let combined_hints preps vpage =
     (fun acc p -> match acc with Some _ -> acc | None -> p.desired_mc vpage)
     None preps
 
-let run cfg ~optimized ?warmup_phases ?index_lookup ?profile program =
+let run cfg ~optimized ?warmup_phases ?index_lookup ?profile ?trace program =
   let p = prepare cfg ~optimized ?warmup_phases ?index_lookup ?profile program in
-  Engine.run cfg ~desired_mc_of_vpage:p.desired_mc ~jobs:[ p.job ] ()
+  Engine.run cfg ~desired_mc_of_vpage:p.desired_mc ?trace ~jobs:[ p.job ] ()
 
-let run_many cfg ~jobs =
+let run_many ?trace cfg ~jobs =
   Engine.run cfg
     ~desired_mc_of_vpage:(combined_hints jobs)
+    ?trace
     ~jobs:(List.map (fun p -> p.job) jobs)
     ()

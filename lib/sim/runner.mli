@@ -38,11 +38,13 @@ val run :
   ?warmup_phases:int ->
   ?index_lookup:(string -> int array -> int) ->
   ?profile:(string -> (Affine.Vec.t * Affine.Vec.t) list) ->
+  ?trace:Obs.Trace.t ->
   Lang.Ast.program ->
   Engine.result
-(** Prepare + simulate one program alone on the whole machine. *)
+(** Prepare + simulate one program alone on the whole machine.  [trace]
+    is handed to {!Engine.run} (request-path spans; default disabled). *)
 
-val run_many : Config.t -> jobs:prepared list -> Engine.result
+val run_many : ?trace:Obs.Trace.t -> Config.t -> jobs:prepared list -> Engine.result
 (** Simulate several prepared programs concurrently (multiprogrammed
     workloads, Fig. 25).  Their virtual ranges must not overlap — use
     distinct [vaddr_base]s. *)

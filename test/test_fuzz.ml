@@ -105,9 +105,9 @@ let prop_simulation_conserves =
       let check optimized =
         let r = Sim.Runner.run cfg ~optimized p in
         let s = r.Sim.Engine.stats in
-        s.Sim.Stats.total_accesses
-        = s.Sim.Stats.l1_hits + s.Sim.Stats.l2_hits + s.Sim.Stats.offchip_accesses
-        && s.Sim.Stats.finish_time > 0
+        ((Sim.Stats.total_accesses) s)
+        = ((Sim.Stats.l1_hits) s) + ((Sim.Stats.l2_hits) s) + ((Sim.Stats.offchip_accesses) s)
+        && ((Sim.Stats.finish_time) s) > 0
       in
       check false && check true)
 

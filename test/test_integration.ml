@@ -36,7 +36,7 @@ let test_offchip_locality () =
             if List.mem mc (Cluster.mcs_of_cluster cl node_cluster) then
               local := !local + count)
           row)
-      s.Stats.node_mc_requests;
+      (Stats.node_mc_requests s);
     float_of_int !local /. float_of_int (max 1 !total)
   in
   let orig = Runner.run cfg ~optimized:false stencil in
@@ -58,7 +58,7 @@ let test_mc_aware_pages_honored () =
     }
   in
   let r = Runner.run cfg ~optimized:true stencil in
-  Alcotest.(check int) "no fallbacks" 0 r.Engine.stats.Stats.page_fallbacks;
+  Alcotest.(check int) "no fallbacks" 0 (Stats.page_fallbacks r.Engine.stats);
   Alcotest.(check bool) "pages allocated" true (r.Engine.pages_allocated > 0)
 
 (* First-touch vs MC-aware: for a kernel whose init runs on the "wrong"
@@ -158,9 +158,9 @@ let test_full_determinism () =
   let cfg = Config.scaled () in
   let go () =
     let r = Runner.run cfg ~optimized:true ~warmup_phases:2 program in
-    ( r.Engine.stats.Stats.finish_time,
-      r.Engine.stats.Stats.offchip_accesses,
-      r.Engine.stats.Stats.onchip_messages )
+    ( (Stats.finish_time r.Engine.stats),
+      (Stats.offchip_accesses r.Engine.stats),
+      (Stats.onchip_messages r.Engine.stats) )
   in
   let a = go () and b = go () in
   Alcotest.(check (triple int int int)) "identical stats" a b
@@ -173,8 +173,8 @@ let test_optimal_bounds_compiler () =
   let opt = Runner.run cfg ~optimized:true ~warmup_phases:0 stencil in
   let ideal = Runner.run optimal ~optimized:false ~warmup_phases:0 stencil in
   Alcotest.(check bool) "optimal <= compiler-optimized" true
-    (ideal.Engine.stats.Stats.finish_time
-    <= opt.Engine.stats.Stats.finish_time)
+    ((Stats.finish_time ideal.Engine.stats)
+    <= (Stats.finish_time opt.Engine.stats))
 
 let qsuite = List.map QCheck_alcotest.to_alcotest
 

@@ -87,27 +87,27 @@ let test_engine_conservation () =
   let r = run () in
   let s = r.Engine.stats in
   (* every access is a hit at some level or goes off chip *)
-  Alcotest.(check int) "accesses conserved" s.Stats.total_accesses
-    (s.Stats.l1_hits + s.Stats.l2_hits + s.Stats.offchip_accesses);
-  Alcotest.(check bool) "finite finish" true (s.Stats.finish_time > 0);
-  Alcotest.(check bool) "off-chip happened" true (s.Stats.offchip_accesses > 0);
+  Alcotest.(check int) "accesses conserved" (Stats.total_accesses s)
+    ((Stats.l1_hits s) + (Stats.l2_hits s) + (Stats.offchip_accesses s));
+  Alcotest.(check bool) "finite finish" true ((Stats.finish_time s) > 0);
+  Alcotest.(check bool) "off-chip happened" true ((Stats.offchip_accesses s) > 0);
   (* access count matches the trace: 62 * 64 iterations * 4 references *)
-  Alcotest.(check int) "trace size" (62 * 64 * 4) s.Stats.total_accesses
+  Alcotest.(check int) "trace size" (62 * 64 * 4) (Stats.total_accesses s)
 
 let test_engine_deterministic () =
   let r1 = run () and r2 = run () in
-  Alcotest.(check int) "same finish" r1.Engine.stats.Stats.finish_time
-    r2.Engine.stats.Stats.finish_time;
-  Alcotest.(check int) "same offchip" r1.Engine.stats.Stats.offchip_accesses
-    r2.Engine.stats.Stats.offchip_accesses
+  Alcotest.(check int) "same finish" (Stats.finish_time r1.Engine.stats)
+    (Stats.finish_time r2.Engine.stats);
+  Alcotest.(check int) "same offchip" (Stats.offchip_accesses r1.Engine.stats)
+    (Stats.offchip_accesses r2.Engine.stats)
 
 let test_engine_hop_bound () =
   let r = run () in
   let s = r.Engine.stats in
   (* no message can traverse more than width+height-2 = 14 links *)
   for h = 15 to Stats.max_hops do
-    Alcotest.(check int) "hop bound offchip" 0 s.Stats.offchip_hops.(h);
-    Alcotest.(check int) "hop bound onchip" 0 s.Stats.onchip_hops.(h)
+    Alcotest.(check int) "hop bound offchip" 0 (Stats.offchip_hops s).(h);
+    Alcotest.(check int) "hop bound onchip" 0 (Stats.onchip_hops s).(h)
   done
 
 let test_engine_optimal_nearest () =
@@ -128,7 +128,7 @@ let test_engine_optimal_nearest () =
               (Noc.Placement.nearest placement topo node)
               mc)
         row)
-      s.Stats.node_mc_requests;
+      (Stats.node_mc_requests s);
   (* and memory latency is the uncontended row-empty access *)
   Alcotest.(check (float 0.01)) "no queue delay"
     (float_of_int cfg.Config.timing.Dram.Timing.row_empty)
@@ -138,13 +138,13 @@ let test_engine_optimal_faster () =
   let base = run () in
   let r = run ~cfg:{ (Config.scaled ()) with Config.optimal = true } () in
   Alcotest.(check bool) "optimal is faster" true
-    (r.Engine.stats.Stats.finish_time < base.Engine.stats.Stats.finish_time)
+    ((Stats.finish_time r.Engine.stats) < (Stats.finish_time base.Engine.stats))
 
 let test_engine_optimized_locality () =
   (* the compiler layout reduces average off-chip request distance *)
   let avg_hops s =
     let n = ref 0 and total = ref 0 in
-    Array.iteri (fun h c -> n := !n + c; total := !total + (h * c)) s.Stats.offchip_hops;
+    Array.iteri (fun h c -> n := !n + c; total := !total + (h * c)) (Stats.offchip_hops s);
     float_of_int !total /. float_of_int (max 1 !n)
   in
   let o = run () and p = run ~optimized:true () in
@@ -155,10 +155,10 @@ let test_engine_shared_l2 () =
   let cfg = { (Config.scaled ()) with Config.l2_org = Config.Shared_l2 } in
   let r = run ~cfg () in
   let s = r.Engine.stats in
-  Alcotest.(check int) "conservation under shared L2" s.Stats.total_accesses
-    (s.Stats.l1_hits + s.Stats.l2_hits + s.Stats.offchip_accesses);
+  Alcotest.(check int) "conservation under shared L2" (Stats.total_accesses s)
+    ((Stats.l1_hits s) + (Stats.l2_hits s) + (Stats.offchip_accesses s));
   (* remote home banks generate on-chip traffic *)
-  Alcotest.(check bool) "on-chip messages" true (s.Stats.onchip_messages > 0)
+  Alcotest.(check bool) "on-chip messages" true ((Stats.onchip_messages s) > 0)
 
 let test_engine_page_policies () =
   let page cfg_policy =
@@ -177,15 +177,15 @@ let test_engine_page_policies () =
   Alcotest.(check bool) "pages allocated" true (hw.Engine.pages_allocated > 0);
   Alcotest.(check int) "same pages under all policies" hw.Engine.pages_allocated
     ft.Engine.pages_allocated;
-  Alcotest.(check int) "same accesses" hw.Engine.stats.Stats.total_accesses
-    mc.Engine.stats.Stats.total_accesses
+  Alcotest.(check int) "same accesses" (Stats.total_accesses hw.Engine.stats)
+    (Stats.total_accesses mc.Engine.stats)
 
 let test_engine_threads_per_core () =
   let cfg = { (Config.scaled ()) with Config.threads_per_core = 2 } in
   let r = Runner.run cfg ~optimized:false small_program in
   Alcotest.(check int) "same accesses with 2 threads/core"
-    (run ()).Engine.stats.Stats.total_accesses
-    r.Engine.stats.Stats.total_accesses
+    (Stats.total_accesses (run ()).Engine.stats)
+    (Stats.total_accesses r.Engine.stats)
 
 let test_engine_warmup_gating () =
   let p =
@@ -201,11 +201,11 @@ parfor i = 0 to N-1 { for j = 0 to N-1 { A[i][j] = A[i][j] + 1; } }
   let all = Runner.run cfg ~optimized:false p in
   let gated = Runner.run cfg ~optimized:false ~warmup_phases:1 p in
   Alcotest.(check int) "warmup accesses excluded" (64 * 64 * 2)
-    gated.Engine.stats.Stats.total_accesses;
+    (Stats.total_accesses gated.Engine.stats);
   Alcotest.(check int) "ungated counts everything" (64 * 64 * 3)
-    all.Engine.stats.Stats.total_accesses;
+    (Stats.total_accesses all.Engine.stats);
   Alcotest.(check bool) "measured time below total" true
-    (gated.Engine.measured_time <= gated.Engine.stats.Stats.finish_time)
+    (gated.Engine.measured_time <= (Stats.finish_time gated.Engine.stats))
 
 (* Conservation and determinism across the whole configuration matrix:
    every axis the experiments vary must keep the engine's books
@@ -237,11 +237,11 @@ let test_config_matrix () =
           let s = r.Engine.stats in
           Alcotest.(check int)
             (Printf.sprintf "%s conservation (optimized=%b)" name optimized)
-            s.Stats.total_accesses
-            (s.Stats.l1_hits + s.Stats.l2_hits + s.Stats.offchip_accesses);
+            (Stats.total_accesses s)
+            ((Stats.l1_hits s) + (Stats.l2_hits s) + (Stats.offchip_accesses s));
           Alcotest.(check bool)
             (Printf.sprintf "%s finishes" name)
-            true (s.Stats.finish_time > 0))
+            true ((Stats.finish_time s) > 0))
         [ false; true ])
     variants
 
@@ -308,7 +308,7 @@ let test_runner_multiprogram () =
     r.Engine.job_finish;
   (* both jobs' accesses are simulated *)
   Alcotest.(check int) "combined accesses" (2 * 62 * 64 * 4)
-    r.Engine.stats.Stats.total_accesses
+    (Stats.total_accesses r.Engine.stats)
 
 let qsuite = List.map QCheck_alcotest.to_alcotest
 
