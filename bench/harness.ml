@@ -49,7 +49,7 @@ let apps () =
     List.map Workloads.Suite.by_name names
 
 let sig_of_cfg (cfg : Config.t) =
-  Printf.sprintf "%dx%d/%s/%s/%s/%s/tpc%d/opt%b/l1:%d/l2:%d/cc%d/lk%d/j%b/ch%d/bk%d/rh%d"
+  Printf.sprintf "%dx%d/%s/%s/%s/%s/tpc%d/opt%b/l1:%d/l2:%d/cc%d/lk%d/j%b/ch%d/bk%d/rh%d/sd%d"
     cfg.Config.topo.Noc.Topology.width cfg.Config.topo.Noc.Topology.height
     cfg.Config.cluster.Core.Cluster.name
     cfg.Config.placement.Noc.Placement.name
@@ -73,6 +73,7 @@ let sig_of_cfg (cfg : Config.t) =
     + match cfg.Config.mc_row_policy with
       | Dram.Fr_fcfs.Open_page -> 0
       | Dram.Fr_fcfs.Closed_page -> 2000)
+    cfg.Config.seed
 
 let run_table : (string, Engine.result) Hashtbl.t = Hashtbl.create 64
 

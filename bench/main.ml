@@ -6,6 +6,7 @@
 
      dune exec bench/main.exe                 # all experiments
      dune exec bench/main.exe -- --only fig16 # one section
+     dune exec bench/main.exe -- --jobs 4     # sections in parallel workers
      dune exec bench/main.exe -- --micro      # Bechamel microbenchmarks
      OFFCHIP_APPS=apsi,swim dune exec ...     # restrict the app suite *)
 
@@ -579,31 +580,83 @@ let sections =
     ("sensitivity", sensitivity);
   ]
 
+(* --jobs N: shard the independent sections across N forked workers via
+   the sweep pool, capturing each worker's stdout and re-printing it in
+   section order as results arrive.  Per-process run memoization is not
+   shared between workers, so shared baselines are re-simulated in each —
+   the trade for running the sections concurrently.  (OFFCHIP_CSV is a
+   single shared file and is not supported in this mode; use --json.) *)
+let run_sections_parallel ~jobs selected =
+  let tasks = Array.of_list selected in
+  let f i =
+    let _, fn = tasks.(i) in
+    let tmp = Filename.temp_file "bench-section" ".out" in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+    flush stdout;
+    Unix.dup2 fd Unix.stdout;
+    Unix.close fd;
+    fn ();
+    Format.pp_print_flush Format.std_formatter ();
+    flush stdout;
+    H.flush_json_section ();
+    let ic = open_in_bin tmp in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Sys.remove tmp;
+    Ok s
+  in
+  let results = Array.make (Array.length tasks) None in
+  let next = ref 0 in
+  let flush_ready () =
+    while !next < Array.length tasks && results.(!next) <> None do
+      (match results.(!next) with
+      | Some (Sweep.Pool.Completed { payload; _ }) -> print_string payload
+      | Some (Sweep.Pool.Failed { reason; _ }) ->
+        Printf.printf "\n=== %s === FAILED: %s\n" (fst tasks.(!next)) reason
+      | None -> ());
+      incr next
+    done;
+    flush stdout
+  in
+  ignore
+    (Sweep.Pool.run ~workers:jobs ~timeout_s:3600. ~retries:0
+       ~on_outcome:(fun i o ->
+         results.(i) <- Some o;
+         flush_ready ())
+       ~jobs:(Array.length tasks) f);
+  flush_ready ()
+
 let () =
   let args = Array.to_list Sys.argv in
   let is_flag s = String.length s >= 2 && String.sub s 0 2 = "--" in
-  let rec parse only json = function
-    | [] -> (only, json)
+  let rec parse only json jobs = function
+    | [] -> (only, json, jobs)
     | "--only" :: rest ->
       let rec take acc = function
         | s :: tl when not (is_flag s) -> take (s :: acc) tl
         | tl -> (List.rev acc, tl)
       in
       let names, rest = take [] rest in
-      parse (Some names) json rest
-    | "--json" :: dir :: rest when not (is_flag dir) -> parse only (Some dir) rest
-    | _ :: rest -> parse only json rest
+      parse (Some names) json jobs rest
+    | "--json" :: dir :: rest when not (is_flag dir) ->
+      parse only (Some dir) jobs rest
+    | "--jobs" :: n :: rest when not (is_flag n) ->
+      parse only json (Option.value (int_of_string_opt n) ~default:jobs) rest
+    | _ :: rest -> parse only json jobs rest
   in
-  let only, json = parse None None (List.tl args) in
+  let only, json, jobs = parse None None 1 (List.tl args) in
   Option.iter H.set_json_dir json;
   if List.mem "--micro" args then micro ()
   else begin
     let t0 = Unix.gettimeofday () in
-    List.iter
-      (fun (name, f) ->
-        match only with
-        | Some names when not (List.mem name names) -> ()
-        | _ -> f ())
-      sections;
+    let selected =
+      List.filter
+        (fun (name, _) ->
+          match only with Some names -> List.mem name names | None -> true)
+        sections
+    in
+    if jobs > 1 then run_sections_parallel ~jobs selected
+    else List.iter (fun (_, f) -> f ()) selected;
     Printf.printf "\n(total wall time: %.0f s)\n" (Unix.gettimeofday () -. t0)
   end

@@ -13,7 +13,13 @@ open Cmdliner
 
 let read_program file app =
   match (file, app) with
-  | Some f, None -> Ok (Lang.Parser.parse_file f, None)
+  | Some f, None -> (
+    match Lang.Parser.parse_file f with
+    | program -> Ok (program, None)
+    | exception Lang.Parser.Error e -> Error (f ^ ": parse error: " ^ e)
+    | exception Lang.Lexer.Error (e, pos) ->
+      Error (Printf.sprintf "%s: lex error at offset %d: %s" f pos e)
+    | exception Sys_error e -> Error e)
   | None, Some name -> (
     match Workloads.Suite.by_name name with
     | app -> Ok (Workloads.App.program app, Some app)
@@ -126,10 +132,14 @@ let run file app l2 interleave mapping width height report layouts explain
             Core.Transform.rewrite_program rep program)
       in
       (match emit_c with
-      | Some path ->
-        Obs.Phase_timer.time timer "codegen" (fun () ->
-            Lang.Codegen.emit_to_file ~name:"kernel" path transformed);
-        Format.printf "// C code written to %s@." path
+      | Some path -> (
+        try
+          Obs.Phase_timer.time timer "codegen" (fun () ->
+              Lang.Codegen.emit_to_file ~name:"kernel" path transformed);
+          Format.printf "// C code written to %s@." path
+        with Sys_error e ->
+          Printf.eprintf "occ: cannot write C output: %s\n" e;
+          exit 1)
       | None -> ());
       Format.printf "%a@." Lang.Ast.pp_program transformed;
       if timings then Format.printf "%a@." Obs.Phase_timer.pp timer;

@@ -9,59 +9,8 @@
 
 open Cmdliner
 
-let build_config ~l2 ~interleave ~policy ~mapping ~width ~height ~tpc ~optimal
-    ~full_scale =
-  let base = if full_scale then Sim.Config.default () else Sim.Config.scaled () in
-  let cfg = Sim.Config.mesh ~width ~height base in
-  let cfg =
-    match mapping with
-    | "M1" -> cfg
-    | "M2" -> Sim.Config.with_cluster cfg (Core.Cluster.m2 ~width ~height)
-    | m -> (
-      match int_of_string_opt m with
-      | Some mcs ->
-        Sim.Config.with_cluster cfg (Core.Cluster.with_mcs ~width ~height ~mcs)
-      | None -> invalid_arg ("unknown mapping " ^ m))
-  in
-  {
-    cfg with
-    Sim.Config.l2_org =
-      (match l2 with
-      | "private" -> Sim.Config.Private_l2
-      | "shared" -> Sim.Config.Shared_l2
-      | s -> invalid_arg ("unknown L2 organization " ^ s));
-    interleaving =
-      (match interleave with
-      | "line" -> Dram.Address_map.Line_interleaved
-      | "page" -> Dram.Address_map.Page_interleaved
-      | s -> invalid_arg ("unknown interleaving " ^ s));
-    page_policy =
-      (match policy with
-      | "hardware" -> Sim.Config.Hardware
-      | "first-touch" -> Sim.Config.First_touch
-      | "mc-aware" -> Sim.Config.Mc_aware
-      | s -> invalid_arg ("unknown policy " ^ s));
-    threads_per_core = tpc;
-    optimal;
-  }
-
-let result_json name cfg (r : Sim.Engine.result) =
-  let open Obs.Json in
-  obj
-    [
-      ("app", String name);
-      ("config", Sim.Config.to_json cfg);
-      ("stats", Sim.Stats.to_json r.Sim.Engine.stats);
-      ("measured_time", Int r.Sim.Engine.measured_time);
-      ("mc_occupancy", float_array r.Sim.Engine.mc_occupancy);
-      ("mc_row_hit_rate", float_array r.Sim.Engine.mc_row_hit_rate);
-      ("mc_max_queue", int_array r.Sim.Engine.mc_max_queue);
-      ("link_utilization", float_array r.Sim.Engine.link_utilization);
-      ("pages_allocated", Int r.Sim.Engine.pages_allocated);
-    ]
-
 let run name optimized l2 interleave policy mapping width height tpc optimal
-    full_scale show_map dump_trace stats_json trace_out trace_sample =
+    full_scale seed show_map dump_trace stats_json trace_out trace_sample =
   if trace_sample < 1 then (
     Printf.eprintf "simulate: --trace-sample must be at least 1 (got %d)\n"
       trace_sample;
@@ -74,13 +23,13 @@ let run name optimized l2 interleave policy mapping width height tpc optimal
     1
   | app -> (
     match
-      build_config ~l2 ~interleave ~policy ~mapping ~width ~height ~tpc
-        ~optimal ~full_scale
+      Sim.Config.build ~scaled:(not full_scale) ~l2 ~interleave ~policy
+        ~mapping ~width ~height ~tpc ~optimal ~seed ()
     with
-    | exception Invalid_argument e ->
+    | Error e ->
       prerr_endline ("simulate: " ^ e);
       1
-    | cfg ->
+    | Ok cfg ->
       let program = Workloads.App.program app in
       let analysis = Lang.Analysis.analyze program in
       let index_lookup = Workloads.App.index_lookup app in
@@ -98,11 +47,16 @@ let run name optimized l2 interleave policy mapping width height tpc optimal
             program
       in
       (match dump_trace with
-      | Some path ->
-        Sim.Tracefile.dump path prepared.Sim.Runner.job.Sim.Engine.phases;
-        Format.printf "trace (%d accesses) written to %s@."
-          (Sim.Tracefile.total_accesses prepared.Sim.Runner.job.Sim.Engine.phases)
-          path
+      | Some path -> (
+        try
+          Sim.Tracefile.dump path prepared.Sim.Runner.job.Sim.Engine.phases;
+          Format.printf "trace (%d accesses) written to %s@."
+            (Sim.Tracefile.total_accesses
+               prepared.Sim.Runner.job.Sim.Engine.phases)
+            path
+        with Sys_error e ->
+          Printf.eprintf "simulate: cannot write trace: %s\n" e;
+          exit 1)
       | None -> ());
       let trace =
         match trace_out with
@@ -122,7 +76,7 @@ let run name optimized l2 interleave policy mapping width height tpc optimal
          match stats_json with
          | Some path ->
            let oc = open_out path in
-           Obs.Json.to_channel oc (result_json name cfg r);
+           Obs.Json.to_channel oc (Sweep.Exec.result_json ~app:name cfg r);
            output_char oc '\n';
            close_out oc;
            Format.printf "stats written to %s@." path
@@ -191,6 +145,14 @@ let full_scale =
     & info [ "full-scale" ]
         ~doc:"Use the Table 1 cache sizes instead of the scaled ones.")
 
+let seed =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Deterministic seed for the issue-jitter streams; equal seeds \
+           give bit-identical runs.")
+
 let show_map =
   Arg.(
     value & flag
@@ -233,7 +195,7 @@ let cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ name_arg $ optimized $ l2 $ interleave $ policy $ mapping
-      $ width $ height $ tpc $ optimal $ full_scale $ show_map $ dump_trace
-      $ stats_json $ trace_out $ trace_sample)
+      $ width $ height $ tpc $ optimal $ full_scale $ seed $ show_map
+      $ dump_trace $ stats_json $ trace_out $ trace_sample)
 
 let () = exit (Cmd.eval' cmd)

@@ -216,3 +216,83 @@ let to_json (s : snapshot) =
       ( "histograms",
         Json.Obj (List.map (fun (k, h) -> (k, hist_to_json h)) s.histograms) );
     ]
+
+(* --- decoding (the sweep aggregator re-reads per-job stats files) --- *)
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: tl ->
+    let* y = f x in
+    let* ys = map_result f tl in
+    Ok (y :: ys)
+
+let fields_of ctx = function
+  | Json.Obj fields -> Ok fields
+  | _ -> Error ("Metrics.snapshot_of_json: " ^ ctx ^ " is not an object")
+
+let int_of ctx = function
+  | Json.Int i -> Ok i
+  | _ -> Error ("Metrics.snapshot_of_json: " ^ ctx ^ " is not an integer")
+
+let float_of ctx = function
+  | Json.Float f -> Ok f
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error ("Metrics.snapshot_of_json: " ^ ctx ^ " is not a number")
+
+let hist_of_json name j =
+  let* fields = fields_of ("histogram " ^ name) j in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> Ok v
+    | None -> Error ("Metrics.snapshot_of_json: histogram " ^ name ^ " lacks " ^ k)
+  in
+  let* kind =
+    let* k = get "kind" in
+    match k with
+    | Json.String "log2" -> Ok Log2
+    | Json.Obj kf -> (
+      match (List.assoc_opt "linear_width" kf, List.assoc_opt "buckets" kf) with
+      | Some (Json.Int width), Some (Json.Int buckets) when width > 0 && buckets > 0
+        -> Ok (Linear { width; buckets })
+      | _ -> Error ("Metrics.snapshot_of_json: bad linear kind in " ^ name))
+    | _ -> Error ("Metrics.snapshot_of_json: bad kind in " ^ name)
+  in
+  let* counts =
+    let* c = get "counts" in
+    match c with
+    | Json.List l -> map_result (int_of ("count of " ^ name)) l
+    | _ -> Error ("Metrics.snapshot_of_json: counts of " ^ name ^ " is not a list")
+  in
+  let n = num_buckets kind in
+  if List.length counts > n then
+    Error ("Metrics.snapshot_of_json: " ^ name ^ " has more counts than buckets")
+  else begin
+    (* the encoder trims trailing empty buckets; restore the full width *)
+    let full = Array.make n 0 in
+    List.iteri (fun i v -> full.(i) <- v) counts;
+    let* sum = Result.bind (get "sum") (int_of ("sum of " ^ name)) in
+    let* total = Result.bind (get "total") (int_of ("total of " ^ name)) in
+    Ok { kind; counts = full; sum; total }
+  end
+
+let snapshot_of_json j =
+  let* fields = fields_of "snapshot" j in
+  let section k decode =
+    match List.assoc_opt k fields with
+    | None -> Ok []
+    | Some (Json.Obj entries) ->
+      map_result (fun (name, v) -> Result.map (fun d -> (name, d)) (decode name v)) entries
+    | Some _ -> Error ("Metrics.snapshot_of_json: " ^ k ^ " is not an object")
+  in
+  let by_name (a, _) (b, _) = String.compare a b in
+  let* counters = section "counters" (fun name v -> int_of ("counter " ^ name) v) in
+  let* gauges = section "gauges" (fun name v -> float_of ("gauge " ^ name) v) in
+  let* histograms = section "histograms" hist_of_json in
+  Ok
+    {
+      counters = List.sort by_name counters;
+      gauges = List.sort by_name gauges;
+      histograms = List.sort by_name histograms;
+    }

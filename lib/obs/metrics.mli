@@ -88,3 +88,9 @@ val merge_into : into:registry -> registry -> unit
     registering missing metrics on the fly. *)
 
 val to_json : snapshot -> Json.t
+
+val snapshot_of_json : Json.t -> (snapshot, string) result
+(** Inverse of {!to_json} — [snapshot_of_json (to_json s)] restores [s]
+    exactly (trimmed histogram tails are re-padded to the full bucket
+    count).  Used by the sweep aggregator to merge the per-job stats
+    files written by worker processes. *)

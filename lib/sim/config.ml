@@ -31,6 +31,7 @@ type t = {
   threads_per_core : int;
   optimal : bool;
   frames_per_mc : int;
+  seed : int;
 }
 
 let corner_sites (topo : Noc.Topology.t) =
@@ -86,6 +87,7 @@ let make_default ~l1_size ~l2_size =
     threads_per_core = 1;
     optimal = false;
     frames_per_mc = 1 lsl 18;
+    seed = 0;
   }
 
 let default () = make_default ~l1_size:(16 * 1024) ~l2_size:(256 * 1024)
@@ -125,6 +127,67 @@ let mesh ~width ~height t =
   let cluster = Core.Cluster.m1 ~width ~height in
   { t with topo; cluster; placement = placement_for topo cluster }
 
+(* Shared CLI/spec-facing builder: every choice is a plain string or scalar
+   so `simulate`, `occ` and sweep specs validate configurations the same
+   way and report the same one-line errors. *)
+let build ?(scaled = true) ?(l2 = "private") ?(interleave = "line")
+    ?(policy = "hardware") ?(mapping = "M1") ?(width = 8) ?(height = 8)
+    ?(tpc = 1) ?(optimal = false) ?(seed = 0) () =
+  let ( let* ) = Result.bind in
+  let* () =
+    if width < 1 || height < 1 then
+      Error (Printf.sprintf "bad mesh %dx%d" width height)
+    else Ok ()
+  in
+  let* () =
+    if tpc < 1 then Error (Printf.sprintf "threads-per-core must be >= 1 (got %d)" tpc)
+    else Ok ()
+  in
+  let base =
+    if scaled then make_default ~l1_size:4096 ~l2_size:16384
+    else make_default ~l1_size:(16 * 1024) ~l2_size:(256 * 1024)
+  in
+  let cfg = mesh ~width ~height base in
+  let* cfg =
+    match mapping with
+    | "M1" -> Ok cfg
+    | "M2" -> Ok (with_cluster cfg (Core.Cluster.m2 ~width ~height))
+    | m -> (
+      match int_of_string_opt m with
+      | Some mcs when mcs > 0 ->
+        Ok (with_cluster cfg (Core.Cluster.with_mcs ~width ~height ~mcs))
+      | _ -> Error ("unknown mapping " ^ m))
+  in
+  let* l2_org =
+    match l2 with
+    | "private" -> Ok Private_l2
+    | "shared" -> Ok Shared_l2
+    | s -> Error ("unknown L2 organization " ^ s)
+  in
+  let* interleaving =
+    match interleave with
+    | "line" -> Ok Dram.Address_map.Line_interleaved
+    | "page" -> Ok Dram.Address_map.Page_interleaved
+    | s -> Error ("unknown interleaving " ^ s)
+  in
+  let* page_policy =
+    match policy with
+    | "hardware" -> Ok Hardware
+    | "first-touch" -> Ok First_touch
+    | "mc-aware" -> Ok Mc_aware
+    | s -> Error ("unknown policy " ^ s)
+  in
+  Ok
+    {
+      cfg with
+      l2_org;
+      interleaving;
+      page_policy;
+      threads_per_core = tpc;
+      optimal;
+      seed;
+    }
+
 let to_json t =
   let open Obs.Json in
   obj
@@ -147,6 +210,8 @@ let to_json t =
           | First_touch -> "first-touch"
           | Mc_aware -> "mc-aware") );
       ("num_mcs", Int (Core.Cluster.num_mcs t.cluster));
+      ("cluster", String t.cluster.Core.Cluster.name);
+      ("placement", String t.placement.Noc.Placement.name);
       ("l1_size", Int t.l1_size);
       ("l1_line", Int t.l1_line);
       ("l1_ways", Int t.l1_ways);
@@ -175,6 +240,7 @@ let to_json t =
       ("threads_per_core", Int t.threads_per_core);
       ("optimal", Bool t.optimal);
       ("frames_per_mc", Int t.frames_per_mc);
+      ("seed", Int t.seed);
     ]
 
 let pp ppf t =

@@ -50,6 +50,11 @@ type t = {
   threads_per_core : int;
   optimal : bool;  (** Section 2's optimal scheme *)
   frames_per_mc : int;
+  seed : int;
+      (** deterministic seed mixed into the per-thread jitter streams:
+          runs with equal configurations and seeds are bit-reproducible,
+          different seeds decorrelate replicated experiments.  [0] (the
+          default) reproduces the historical jitter streams exactly *)
 }
 
 val default : unit -> t
@@ -75,6 +80,24 @@ val customize_config : t -> Core.Customize.config
 val mesh : width:int -> height:int -> t -> t
 (** Re-targets the configuration to another mesh size (Fig. 21),
     rebuilding cluster and placement. *)
+
+val build :
+  ?scaled:bool ->
+  ?l2:string ->
+  ?interleave:string ->
+  ?policy:string ->
+  ?mapping:string ->
+  ?width:int ->
+  ?height:int ->
+  ?tpc:int ->
+  ?optimal:bool ->
+  ?seed:int ->
+  unit ->
+  (t, string) result
+(** Builds a configuration from the string/scalar knobs the CLIs and
+    sweep specs expose ([l2] private|shared, [interleave] line|page,
+    [policy] hardware|first-touch|mc-aware, [mapping] M1|M2|MC-count).
+    Returns a one-line error instead of raising on invalid values. *)
 
 val to_json : t -> Obs.Json.t
 (** Scalar platform parameters (mesh, caches, controllers, policies) —

@@ -163,12 +163,15 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
   let outstanding_stores =
     Array.map (fun s -> Array.make (Array.length s.j.node_of_thread) 0) js
   in
-  (* per-thread xorshift state for issue jitter (deterministic) *)
+  (* per-thread xorshift state for issue jitter (deterministic; seed 0
+     reproduces the historical streams bit-for-bit) *)
+  let seed_mix = cfg.seed * 0x2545F4914F6CDD1D in
   let jitter_state =
     Array.map
       (fun s ->
         Array.init (Array.length s.j.node_of_thread) (fun t ->
-            ((s.jid * 131) + t + 1) * 2654435761))
+            let x = ((s.jid * 131) + t + 1) * 2654435761 lxor seed_mix in
+            if x = 0 then 1 else x))
       js
   in
   let jitter jid tid =

@@ -1,0 +1,32 @@
+(** Content-addressed result cache.
+
+    A job's key is the MD5 of its canonical identity (full platform
+    configuration, app, optimization flag — {!Spec.job_identity}) plus
+    the code version, so a sweep re-invoked after an interrupt skips
+    every job whose result already exists, while editing a config or
+    rebuilding the binary invalidates exactly the affected results.
+
+    Results live under [DIR/cache/<key>.json] and are written atomically
+    (temp file + rename), so a sweep killed mid-write never leaves a
+    truncated result behind. *)
+
+val code_version : unit -> string
+(** Digest of the running executable (memoized) — any rebuild changes
+    every key.  Overridable via [OFFCHIP_SWEEP_CODEVERSION] so tests and
+    cross-binary tooling can pin it. *)
+
+val key : Spec.job -> string
+(** Hex digest naming the job's result file. *)
+
+val path : dir:string -> string -> string
+(** [path ~dir key] = [DIR/cache/<key>.json]. *)
+
+val find : dir:string -> string -> Obs.Json.t option
+(** The cached result document, or [None] when absent or unparseable
+    (a corrupt file behaves like a miss and is overwritten on re-run). *)
+
+val store : dir:string -> string -> Obs.Json.t -> unit
+(** Atomic write of a result document, creating [DIR/cache] as needed. *)
+
+val ensure : dir:string -> unit
+(** Creates [DIR] and [DIR/cache] (like [mkdir -p]). *)

@@ -1,0 +1,33 @@
+module Json = Obs.Json
+
+let result_json ~app cfg (r : Sim.Engine.result) =
+  Json.obj
+    [
+      ("app", Json.String app);
+      ("config", Sim.Config.to_json cfg);
+      ("stats", Sim.Stats.to_json r.Sim.Engine.stats);
+      ("measured_time", Json.Int r.Sim.Engine.measured_time);
+      ("mc_occupancy", Json.float_array r.Sim.Engine.mc_occupancy);
+      ("mc_row_hit_rate", Json.float_array r.Sim.Engine.mc_row_hit_rate);
+      ("mc_max_queue", Json.int_array r.Sim.Engine.mc_max_queue);
+      ("link_utilization", Json.float_array r.Sim.Engine.link_utilization);
+      ("pages_allocated", Json.Int r.Sim.Engine.pages_allocated);
+    ]
+
+let run_job (job : Spec.job) =
+  let app = Workloads.Suite.by_name job.Spec.app in
+  let program = Workloads.App.program app in
+  let analysis = Lang.Analysis.analyze program in
+  let index_lookup = Workloads.App.index_lookup app in
+  let cfg = job.Spec.config in
+  let r =
+    if job.Spec.optimized then
+      let profile a = Workloads.Profile.for_transform app analysis a in
+      Sim.Runner.run cfg ~optimized:true
+        ~warmup_phases:app.Workloads.App.warmup_nests ~index_lookup ~profile
+        program
+    else
+      Sim.Runner.run cfg ~optimized:false
+        ~warmup_phases:app.Workloads.App.warmup_nests ~index_lookup program
+  in
+  result_json ~app:job.Spec.app cfg r

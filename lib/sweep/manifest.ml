@@ -1,0 +1,155 @@
+module Json = Obs.Json
+
+type status = Pending | Ok | Cached | Failed of string
+
+type entry = {
+  id : string;
+  key : string;
+  status : status;
+  attempts : int;
+  wall_ms : float;
+}
+
+type t = { sweep : string; code_version : string; entries : entry array }
+
+let status_string = function
+  | Pending -> "pending"
+  | Ok -> "ok"
+  | Cached -> "cached"
+  | Failed _ -> "failed"
+
+let entry_to_json e =
+  Json.obj
+    [
+      ("id", Json.String e.id);
+      ("key", Json.String e.key);
+      ("status", Json.String (status_string e.status));
+      ( "error",
+        match e.status with Failed r -> Json.String r | _ -> Json.Null );
+      ("attempts", Json.Int e.attempts);
+      ("wall_ms", Json.Float e.wall_ms);
+      ("result", Json.String (Filename.concat "cache" (e.key ^ ".json")));
+    ]
+
+let to_json t =
+  let ok, cached, failed, pending =
+    Array.fold_left
+      (fun (a, b, c, d) e ->
+        match e.status with
+        | Ok -> (a + 1, b, c, d)
+        | Cached -> (a, b + 1, c, d)
+        | Failed _ -> (a, b, c + 1, d)
+        | Pending -> (a, b, c, d + 1))
+      (0, 0, 0, 0) t.entries
+  in
+  Json.obj
+    [
+      ("sweep", Json.String t.sweep);
+      ("code_version", Json.String t.code_version);
+      ("jobs", Json.array entry_to_json t.entries);
+      ( "summary",
+        Json.obj
+          [
+            ("total", Json.Int (Array.length t.entries));
+            ("ok", Json.Int ok);
+            ("cached", Json.Int cached);
+            ("failed", Json.Int failed);
+            ("pending", Json.Int pending);
+          ] );
+    ]
+
+let summary t =
+  let ok, cached, failed, pending =
+    Array.fold_left
+      (fun (a, b, c, d) e ->
+        match e.status with
+        | Ok -> (a + 1, b, c, d)
+        | Cached -> (a, b + 1, c, d)
+        | Failed _ -> (a, b, c + 1, d)
+        | Pending -> (a, b, c, d + 1))
+      (0, 0, 0, 0) t.entries
+  in
+  (ok, cached, failed, pending)
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Stdlib.Ok []
+  | x :: tl ->
+    let* y = f x in
+    let* ys = map_result f tl in
+    Stdlib.Ok (y :: ys)
+
+let str ctx = function
+  | Json.String s -> Stdlib.Ok s
+  | _ -> Stdlib.Error ("manifest: " ^ ctx ^ " must be a string")
+
+let get ctx k j =
+  match Json.member k j with
+  | Some v -> Stdlib.Ok v
+  | None -> Stdlib.Error ("manifest: " ^ ctx ^ " lacks " ^ k)
+
+let entry_of_json j =
+  let* id = Result.bind (get "job" "id" j) (str "id") in
+  let* key = Result.bind (get "job" "key" j) (str "key") in
+  let* status_s = Result.bind (get "job" "status" j) (str "status") in
+  let* status =
+    match status_s with
+    | "pending" -> Stdlib.Ok Pending
+    | "ok" -> Stdlib.Ok Ok
+    | "cached" -> Stdlib.Ok Cached
+    | "failed" ->
+      let reason =
+        match Json.member "error" j with Some (Json.String r) -> r | _ -> ""
+      in
+      Stdlib.Ok (Failed reason)
+    | s -> Stdlib.Error ("manifest: unknown status " ^ s)
+  in
+  let* attempts =
+    match Json.member "attempts" j with
+    | Some (Json.Int i) -> Stdlib.Ok i
+    | _ -> Stdlib.Error "manifest: job lacks attempts"
+  in
+  let wall_ms =
+    match Json.member "wall_ms" j with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int i) -> float_of_int i
+    | _ -> 0.
+  in
+  Stdlib.Ok { id; key; status; attempts; wall_ms }
+
+let of_json j =
+  let* sweep = Result.bind (get "manifest" "sweep" j) (str "sweep") in
+  let* code_version =
+    Result.bind (get "manifest" "code_version" j) (str "code_version")
+  in
+  let* entries =
+    match Json.member "jobs" j with
+    | Some (Json.List l) -> map_result entry_of_json l
+    | _ -> Stdlib.Error "manifest: lacks the jobs list"
+  in
+  Stdlib.Ok { sweep; code_version; entries = Array.of_list entries }
+
+let path ~dir = Filename.concat dir "manifest.json"
+
+let store ~dir t =
+  let final = path ~dir in
+  let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Json.to_channel oc (to_json t);
+  close_out oc;
+  Sys.rename tmp final
+
+let load ~dir =
+  let p = path ~dir in
+  let* text =
+    try
+      let ic = open_in_bin p in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Stdlib.Ok s
+    with Sys_error e -> Stdlib.Error e
+  in
+  let* j = Result.map_error (fun e -> p ^ ": " ^ e) (Json.of_string text) in
+  Result.map_error (fun e -> p ^ ": " ^ e) (of_json j)

@@ -1,0 +1,35 @@
+(** Unix-fork process pool with per-job timeouts and bounded retry.
+
+    [run ~jobs f] shards job indices [0 .. jobs-1] across [workers]
+    forked children over a pipe-based queue: each worker loops reading a
+    job index, evaluates [f] {e in the child process}, and streams the
+    payload back.  The parent multiplexes replies with [select], enforces
+    a wall-clock budget per job (SIGKILL + respawn on overrun), and
+    retries crashed or failed jobs with exponential backoff up to
+    [retries] extra attempts; a job that exhausts its budget is reported
+    as {!Failed} instead of aborting the pool.
+
+    [workers <= 0] degrades to in-process sequential execution (no
+    isolation, no timeouts — the reference mode the property tests
+    compare against).
+
+    [f] returning [Error _] (or raising) counts as a failed attempt just
+    like a crash; only [Ok payload] completes a job. *)
+
+type outcome =
+  | Completed of { attempts : int; payload : string }
+      (** the payload [f] returned in the worker *)
+  | Failed of { attempts : int; reason : string }
+
+val run :
+  ?workers:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?on_outcome:(int -> outcome -> unit) ->
+  jobs:int ->
+  (int -> (string, string) result) ->
+  outcome array
+(** Defaults: 4 workers, 300 s timeout, 2 retries, 0.5 s base backoff
+    (doubling per attempt).  [on_outcome] fires in completion order as
+    jobs resolve; the returned array is indexed by job. *)

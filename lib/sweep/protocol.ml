@@ -1,0 +1,67 @@
+type request = Run of int | Quit
+
+type reply = { job : int; ok : bool; payload : string }
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let write_request fd = function
+  | Run i -> write_all fd (Printf.sprintf "RUN %d\n" i)
+  | Quit -> write_all fd "QUIT\n"
+
+let read_request ic =
+  match input_line ic with
+  | "QUIT" -> Some Quit
+  | line -> (
+    match String.split_on_char ' ' line with
+    | [ "RUN"; i ] -> Option.map (fun i -> Run i) (int_of_string_opt i)
+    | _ -> None)
+  | exception End_of_file -> None
+
+let write_reply fd { job; ok; payload } =
+  write_all fd
+    (Printf.sprintf "REP %d %d %d\n" job (Bool.to_int ok) (String.length payload));
+  write_all fd payload
+
+type reader = { fd : Unix.file_descr; buf : Buffer.t }
+
+let reader fd = { fd; buf = Buffer.create 4096 }
+
+let reader_fd r = r.fd
+
+let feed r =
+  let chunk = Bytes.create 65536 in
+  match Unix.read r.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> `Eof
+  | n ->
+    Buffer.add_subbytes r.buf chunk 0 n;
+    `Data
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> `Data
+
+let next_reply r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some nl -> (
+    let header = String.sub s 0 nl in
+    match String.split_on_char ' ' header with
+    | [ "REP"; job; ok; len ] -> (
+      match (int_of_string_opt job, int_of_string_opt ok, int_of_string_opt len)
+      with
+      | Some job, Some ok, Some len when len >= 0 ->
+        if String.length s - nl - 1 < len then None
+        else begin
+          let payload = String.sub s (nl + 1) len in
+          Buffer.clear r.buf;
+          Buffer.add_substring r.buf s (nl + 1 + len)
+            (String.length s - nl - 1 - len);
+          Some (Ok { job; ok = ok <> 0; payload })
+        end
+      | _ -> Some (Error ("corrupt reply header: " ^ header)))
+    | _ -> Some (Error ("corrupt reply header: " ^ header)))

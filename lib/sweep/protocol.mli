@@ -1,0 +1,42 @@
+(** Parent↔worker wire protocol of the process pool.
+
+    Requests (parent → worker) are single lines; replies (worker →
+    parent) are a header line followed by a length-prefixed payload, so
+    arbitrary bytes (JSON, captured output) pass through unmangled:
+
+    {v
+    RUN <job-index>\n
+    QUIT\n
+    REP <job-index> <0|1> <payload-length>\n<payload bytes>
+    v}
+
+    The parent multiplexes many workers with [select], so its side of the
+    reply stream is an incremental {!reader} fed by whatever bytes are
+    available; the worker side is plain blocking I/O. *)
+
+type request = Run of int | Quit
+
+type reply = { job : int; ok : bool; payload : string }
+
+val write_request : Unix.file_descr -> request -> unit
+
+val read_request : in_channel -> request option
+(** Blocking; [None] on EOF (parent died or closed the queue) or on a
+    malformed line — either way the worker should exit. *)
+
+val write_reply : Unix.file_descr -> reply -> unit
+
+type reader
+(** Incremental reply parser over one worker's pipe. *)
+
+val reader : Unix.file_descr -> reader
+
+val reader_fd : reader -> Unix.file_descr
+
+val feed : reader -> [ `Data | `Eof ]
+(** Reads whatever is available on the fd (call after [select] marks it
+    readable) into the internal buffer. *)
+
+val next_reply : reader -> (reply, string) result option
+(** Extracts the next complete reply, [None] while incomplete,
+    [Some (Error _)] on a corrupt frame (treat the worker as crashed). *)

@@ -1,0 +1,182 @@
+module Json = Obs.Json
+
+type job = {
+  id : string;
+  config_name : string;
+  config : Sim.Config.t;
+  app : string;
+  optimized : bool;
+}
+
+type t = {
+  name : string;
+  jobs : job array;
+  timeout_s : float;
+  retries : int;
+}
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: tl ->
+    let* y = f x in
+    let* ys = map_result f tl in
+    Ok (y :: ys)
+
+(* typed field access with spec-relative error messages *)
+let field name j = Json.member name j
+
+let opt_field decode ~default name j =
+  match field name j with
+  | None -> Ok default
+  | Some v -> decode (Printf.sprintf "field %S" name) v
+
+let int_of ctx = function
+  | Json.Int i -> Ok i
+  | _ -> Error (ctx ^ " must be an integer")
+
+let float_of ctx = function
+  | Json.Float f -> Ok f
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error (ctx ^ " must be a number")
+
+let bool_of ctx = function
+  | Json.Bool b -> Ok b
+  | _ -> Error (ctx ^ " must be a boolean")
+
+let string_of ctx = function
+  | Json.String s -> Ok s
+  | _ -> Error (ctx ^ " must be a string")
+
+let list_of decode ctx = function
+  | Json.List l -> map_result (decode ctx) l
+  | _ -> Error (ctx ^ " must be a list")
+
+let config_of_json ~default_seed ~index j =
+  match j with
+  | Json.Obj fields ->
+    let known =
+      [ "name"; "scaled"; "l2"; "interleave"; "policy"; "mapping"; "width";
+        "height"; "tpc"; "optimal"; "seed" ]
+    in
+    let* () =
+      match List.find_opt (fun (k, _) -> not (List.mem k known)) fields with
+      | Some (k, _) -> Error (Printf.sprintf "unknown config field %S" k)
+      | None -> Ok ()
+    in
+    let* name =
+      opt_field string_of ~default:(Printf.sprintf "cfg%d" index) "name" j
+    in
+    let ctx = Printf.sprintf "config %S" name in
+    let str k d = opt_field string_of ~default:d k j in
+    let* scaled = opt_field bool_of ~default:true "scaled" j in
+    let* l2 = str "l2" "private" in
+    let* interleave = str "interleave" "line" in
+    let* policy = str "policy" "hardware" in
+    let* mapping = str "mapping" "M1" in
+    let* width = opt_field int_of ~default:8 "width" j in
+    let* height = opt_field int_of ~default:8 "height" j in
+    let* tpc = opt_field int_of ~default:1 "tpc" j in
+    let* optimal = opt_field bool_of ~default:false "optimal" j in
+    let* seed = opt_field int_of ~default:default_seed "seed" j in
+    let* config =
+      Result.map_error
+        (fun e -> ctx ^ ": " ^ e)
+        (Sim.Config.build ~scaled ~l2 ~interleave ~policy ~mapping ~width
+           ~height ~tpc ~optimal ~seed ())
+    in
+    Ok (name, config)
+  | _ -> Error "each entry of \"configs\" must be an object"
+
+let of_json j =
+  match j with
+  | Json.Obj _ ->
+    let* name = opt_field string_of ~default:"sweep" "name" j in
+    let* default_seed = opt_field int_of ~default:0 "seed" j in
+    let* apps =
+      match field "apps" j with
+      | None -> Error "spec lacks the required \"apps\" list"
+      | Some v -> list_of string_of "\"apps\"" v
+    in
+    let* () = if apps = [] then Error "\"apps\" must be non-empty" else Ok () in
+    let* () =
+      match
+        List.find_opt (fun a -> not (List.mem a Workloads.Suite.names)) apps
+      with
+      | Some a ->
+        Error
+          (Printf.sprintf "unknown application %S (known: %s)" a
+             (String.concat ", " Workloads.Suite.names))
+      | None -> Ok ()
+    in
+    let* optimized =
+      opt_field (list_of bool_of) ~default:[ false; true ] "optimized" j
+    in
+    let* () =
+      if optimized = [] then Error "\"optimized\" must be non-empty" else Ok ()
+    in
+    let* timeout_s = opt_field float_of ~default:300. "timeout_s" j in
+    let* retries = opt_field int_of ~default:2 "retries" j in
+    let* () =
+      if timeout_s <= 0. then Error "\"timeout_s\" must be positive"
+      else if retries < 0 then Error "\"retries\" must be >= 0"
+      else Ok ()
+    in
+    let* configs =
+      match field "configs" j with
+      | None ->
+        let* c = config_of_json ~default_seed ~index:0 (Json.Obj []) in
+        Ok [ (match c with name, cfg -> (name, cfg)) ]
+      | Some (Json.List l) ->
+        let* cs =
+          map_result
+            (fun (i, cj) -> config_of_json ~default_seed ~index:i cj)
+            (List.mapi (fun i cj -> (i, cj)) l)
+        in
+        if cs = [] then Error "\"configs\" must be non-empty" else Ok cs
+      | Some _ -> Error "\"configs\" must be a list"
+    in
+    let jobs =
+      List.concat_map
+        (fun (config_name, config) ->
+          List.concat_map
+            (fun app ->
+              List.map
+                (fun opt ->
+                  {
+                    id =
+                      Printf.sprintf "%s/%s/%s" config_name app
+                        (if opt then "opt" else "orig");
+                    config_name;
+                    config;
+                    app;
+                    optimized = opt;
+                  })
+                optimized)
+            apps)
+        configs
+    in
+    Ok { name; jobs = Array.of_list jobs; timeout_s; retries }
+  | _ -> Error "a sweep spec must be a JSON object"
+
+let load path =
+  let* text =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+    with Sys_error e -> Error e
+  in
+  let* j = Result.map_error (fun e -> path ^ ": " ^ e) (Json.of_string text) in
+  Result.map_error (fun e -> path ^ ": " ^ e) (of_json j)
+
+let job_identity job =
+  Json.obj
+    [
+      ("config", Sim.Config.to_json job.config);
+      ("app", Json.String job.app);
+      ("optimized", Json.Bool job.optimized);
+    ]

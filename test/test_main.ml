@@ -5,4 +5,5 @@ let () =
     (Test_affine.suite @ Test_lang.suite @ Test_noc.suite @ Test_cache.suite
    @ Test_dram.suite @ Test_os.suite @ Test_core.suite @ Test_sim.suite
    @ Test_workloads.suite @ Test_obs.suite @ Test_integration.suite
-   @ Test_extensions.suite @ Test_fuzz.suite @ Test_misc.suite)
+   @ Test_extensions.suite @ Test_fuzz.suite @ Test_misc.suite
+   @ Test_sweep.suite)
