@@ -8,6 +8,9 @@
      dune exec bench/main.exe -- --only fig16 # one section
      dune exec bench/main.exe -- --jobs 4     # sections in parallel workers
      dune exec bench/main.exe -- --micro      # Bechamel microbenchmarks
+     dune exec bench/main.exe -- --check bench/baseline.json
+                                              # perf-regression gate (exit 2)
+     dune exec bench/main.exe -- --check bench/baseline.json --update
      OFFCHIP_APPS=apsi,swim dune exec ...     # restrict the app suite *)
 
 module H = Harness
@@ -503,6 +506,8 @@ let micro () =
         Test.make ~name:"topology.xy_route-corner"
           (Staged.stage (fun () ->
                ignore (Noc.Topology.xy_route topo ~src:0 ~dst:63)));
+        Test.make ~name:"event_heap.churn-4k"
+          (Staged.stage (fun () -> ignore (Check.heap_churn ())));
       ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -630,23 +635,36 @@ let run_sections_parallel ~jobs selected =
 let () =
   let args = Array.to_list Sys.argv in
   let is_flag s = String.length s >= 2 && String.sub s 0 2 = "--" in
-  let rec parse only json jobs = function
-    | [] -> (only, json, jobs)
+  let rec parse only json jobs check check_out = function
+    | [] -> (only, json, jobs, check, check_out)
     | "--only" :: rest ->
       let rec take acc = function
         | s :: tl when not (is_flag s) -> take (s :: acc) tl
         | tl -> (List.rev acc, tl)
       in
       let names, rest = take [] rest in
-      parse (Some names) json jobs rest
+      parse (Some names) json jobs check check_out rest
     | "--json" :: dir :: rest when not (is_flag dir) ->
-      parse only (Some dir) jobs rest
+      parse only (Some dir) jobs check check_out rest
     | "--jobs" :: n :: rest when not (is_flag n) ->
-      parse only json (Option.value (int_of_string_opt n) ~default:jobs) rest
-    | _ :: rest -> parse only json jobs rest
+      parse only json
+        (Option.value (int_of_string_opt n) ~default:jobs)
+        check check_out rest
+    | "--check" :: path :: rest when not (is_flag path) ->
+      parse only json jobs (Some path) check_out rest
+    | "--check-out" :: path :: rest when not (is_flag path) ->
+      parse only json jobs check (Some path) rest
+    | _ :: rest -> parse only json jobs check check_out rest
   in
-  let only, json, jobs = parse None None 1 (List.tl args) in
+  let only, json, jobs, check, check_out = parse None None 1 None None (List.tl args) in
   Option.iter H.set_json_dir json;
+  match check with
+  | Some baseline_path ->
+    exit
+      (Check.run ~baseline_path
+         ~update:(List.mem "--update" args)
+         ~report_out:check_out ())
+  | None ->
   if List.mem "--micro" args then micro ()
   else begin
     let t0 = Unix.gettimeofday () in

@@ -5,20 +5,63 @@ let default_config = { per_hop_latency = 4; link_bytes = 16 }
 type t = {
   topo : Topology.t;
   config : config;
+  nodes : int;
   free_at : int array;  (** per link-id: earliest cycle it can accept *)
   link_busy : int array;  (** per link-id: cycles reserved so far *)
+  routes : int array array;
+      (** memoized XY routes as link-id arrays, indexed [src·nodes + dst];
+          a pair is computed from the topology once, on first use ([||]
+          marks an unfilled slot — every src ≠ dst route has ≥ 1 link) *)
   mutable busy : int;
 }
 
 let create ?(config = default_config) topo =
   let links = Topology.num_link_ids topo in
+  let nodes = Topology.nodes topo in
   {
     topo;
     config;
+    nodes;
     free_at = Array.make links 0;
     link_busy = Array.make links 0;
+    routes = Array.make (nodes * nodes) [||];
     busy = 0;
   }
+
+let route net ~src ~dst =
+  let idx = (src * net.nodes) + dst in
+  let r = net.routes.(idx) in
+  if Array.length r > 0 then r
+  else begin
+    let r = Topology.link_ids net.topo ~src ~dst in
+    net.routes.(idx) <- r;
+    r
+  end
+
+(* Arrival time only — the allocation-free variant the simulator's event
+   loop uses (hop counts are Manhattan distances the caller can memoize;
+   the contention component is derivable from the arrival time). *)
+let transfer ?on_hop net ~now ~src ~dst ~bytes =
+  if src = dst then now
+  else begin
+    let serialization =
+      max 1 ((bytes + net.config.link_bytes - 1) / net.config.link_bytes)
+    in
+    let route = route net ~src ~dst in
+    let t = ref now in
+    for k = 0 to Array.length route - 1 do
+      let id = Array.unsafe_get route k in
+      let start = max !t net.free_at.(id) in
+      net.free_at.(id) <- start + serialization;
+      net.link_busy.(id) <- net.link_busy.(id) + serialization;
+      net.busy <- net.busy + serialization;
+      t := start + net.config.per_hop_latency;
+      match on_hop with None -> () | Some f -> f ~link:id ~start ~finish:!t
+    done;
+    (* wormhole pipelining: header latency per hop, body flits pipeline
+       behind it and arrive [serialization-1] cycles after the header *)
+    !t + serialization - 1
+  end
 
 let send ?on_hop net ~now ~src ~dst ~bytes =
   if src = dst then (now, 0, 0)
@@ -26,26 +69,10 @@ let send ?on_hop net ~now ~src ~dst ~bytes =
     let serialization =
       max 1 ((bytes + net.config.link_bytes - 1) / net.config.link_bytes)
     in
-    let t = ref now in
-    let hops = ref 0 in
-    List.iter
-      (fun link ->
-        let id = Topology.link_id net.topo link in
-        let start = max !t net.free_at.(id) in
-        net.free_at.(id) <- start + serialization;
-        net.link_busy.(id) <- net.link_busy.(id) + serialization;
-        net.busy <- net.busy + serialization;
-        t := start + net.config.per_hop_latency;
-        (match on_hop with
-        | None -> ()
-        | Some f -> f ~link:id ~start ~finish:!t);
-        incr hops)
-      (Topology.xy_route net.topo ~src ~dst);
-    (* wormhole pipelining: header latency per hop, body flits pipeline
-       behind it and arrive [serialization-1] cycles after the header *)
-    let t = !t + serialization - 1 in
-    let unloaded = (!hops * net.config.per_hop_latency) + serialization - 1 in
-    (t, !hops, t - now - unloaded)
+    let t = transfer ?on_hop net ~now ~src ~dst ~bytes in
+    let hops = Topology.distance net.topo src dst in
+    let unloaded = (hops * net.config.per_hop_latency) + serialization - 1 in
+    (t, hops, t - now - unloaded)
   end
 
 let reset net =

@@ -24,6 +24,21 @@ type t
 
 val create : ?config:config -> Topology.t -> t
 
+val transfer :
+  ?on_hop:(link:int -> start:int -> finish:int -> unit) ->
+  t ->
+  now:int ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  int
+(** Like {!send} but returns only the arrival time, allocating nothing:
+    the variant the simulator's event loop uses.  The hop count equals
+    [Topology.distance] (memoizable by the caller) and the contention
+    delay is [arrival - now - unloaded latency].  Routes are memoized per
+    (src, dst) in a flat table built from the topology on first use, so
+    XY routing is not recomputed per leg. *)
+
 val send :
   ?on_hop:(link:int -> start:int -> finish:int -> unit) ->
   t ->

@@ -47,3 +47,24 @@ let dir_index = function East -> 0 | West -> 1 | North -> 2 | South -> 3
 let link_id _t l = (l.from_node * 4) + dir_index l.dir
 
 let num_link_ids t = 4 * nodes t
+
+(* The XY route as a dense array of link ids, written without the
+   intermediate link list: the representation the network's route table
+   memoizes. *)
+let link_ids t ~src ~dst =
+  let cs = coord_of_node t src and cd = coord_of_node t dst in
+  let ids = Array.make (Coord.manhattan cs cd) 0 in
+  let cur = ref src in
+  let k = ref 0 in
+  let move dir =
+    ids.(!k) <- (!cur * 4) + dir_index dir;
+    incr k;
+    cur := step t !cur dir
+  in
+  for _ = 1 to abs (cd.x - cs.x) do
+    move (if cd.x > cs.x then East else West)
+  done;
+  for _ = 1 to abs (cd.y - cs.y) do
+    move (if cd.y > cs.y then South else North)
+  done;
+  ids

@@ -33,3 +33,8 @@ val link_id : t -> link -> int
 (** Dense link identifier in [0 .. 4·nodes-1], for indexing link state. *)
 
 val num_link_ids : t -> int
+
+val link_ids : t -> src:int -> dst:int -> int array
+(** The XY route from [src] to [dst] as dense link ids, in traversal
+    order ([xy_route] composed with [link_id], without the intermediate
+    list).  Empty when [src = dst]. *)

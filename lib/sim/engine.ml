@@ -29,33 +29,53 @@ type result = {
 }
 
 (* A request walking the Fig. 2 path.  [pend_*] holds network legs whose
-   on-/off-chip category is not known yet (the leg to the directory). *)
+   on-/off-chip category is not known yet (the leg to the directory).
+
+   Requests are pooled: the engine recycles them through a freelist so the
+   steady state allocates no request state per miss.  Every field a
+   request carries between pipeline stages is mutable and reinitialized on
+   allocation; the [a_*] fields are the request's preallocated event
+   payloads, so scheduling a pipeline stage allocates nothing either.  A
+   request has at most one event in flight at a time, and its slot is
+   freed only in [complete_request], after its last event has been
+   dispatched — which is also what keeps the tracer's span hooks safe:
+   every span of a pooled request is emitted before its slot can be
+   recycled. *)
 type req = {
-  rid : int;  (** miss ordinal, the tracer's sampling key *)
-  rjob : int;
-  rthread : int;
-  rnode : int;  (** requester node (private) / L1 node (shared) *)
-  rpaddr : int;
-  rwrite : bool;
+  slot : int;  (** pool index; the controller-request id while in flight *)
+  mutable rid : int;  (** miss ordinal, the tracer's sampling key *)
+  mutable rjob : int;
+  mutable rthread : int;
+  mutable rnode : int;  (** requester node (private) / L1 node (shared) *)
+  mutable rpaddr : int;
+  mutable rwrite : bool;
   mutable home : int;  (** shared L2: home bank node *)
   mutable pend_hops : int;
   mutable pend_net : int;
   mutable mc : int;
   mutable mc_arrival : int;
-  measured : bool;  (** issued after warmup: counts towards statistics *)
-  traced : bool;  (** sampled by the request-path tracer *)
-  resume : bool;
+  mutable rshared : bool;  (** walking the shared-L2 organization's path *)
+  mutable rowner : int;  (** sharer node an [Owner_read] reads from *)
+  mutable measured : bool;  (** issued after warmup: counts towards stats *)
+  mutable traced : bool;  (** sampled by the request-path tracer *)
+  mutable resume : bool;
       (** blocking (load / full store buffer): the thread restarts on fill;
           non-blocking store fills just release a store-buffer slot *)
+  a_dir_decide : action;
+  a_owner_read : action;
+  a_home_decide : action;
+  a_home_return : action;
+  a_mc_arrive : action;
+  a_fill : action;
 }
 
-type action =
+and action =
   | Step of int * int  (** job, thread *)
   | Dir_decide of req
-  | Owner_read of req * int  (** sharer node *)
+  | Owner_read of req  (** sharer node in [rowner] *)
   | Home_decide of req
   | Home_return of req
-  | Mc_arrive of req * bool  (** [true] = shared organization *)
+  | Mc_arrive of req  (** organization in [rshared] *)
   | Fill of req
   | Mc_wake of int
   | Wb_arrive of int * int  (** mc, paddr *)
@@ -63,6 +83,8 @@ type action =
 type jstate = {
   j : job;
   jid : int;
+  jphases : Lang.Interp.phase array;  (** [j.phases] as an array *)
+  nphases : int;
   mutable phase : int;
   mutable streams : Lang.Interp.phase;
   pos : int array;
@@ -73,6 +95,36 @@ type jstate = {
 }
 
 let ctrl_bytes = 8
+
+let new_req slot =
+  let rec r =
+    {
+      slot;
+      rid = 0;
+      rjob = 0;
+      rthread = 0;
+      rnode = 0;
+      rpaddr = 0;
+      rwrite = false;
+      home = 0;
+      pend_hops = 0;
+      pend_net = 0;
+      mc = 0;
+      mc_arrival = 0;
+      rshared = false;
+      rowner = 0;
+      measured = false;
+      traced = false;
+      resume = false;
+      a_dir_decide = Dir_decide r;
+      a_owner_read = Owner_read r;
+      a_home_decide = Home_decide r;
+      a_home_return = Home_return r;
+      a_mc_arrive = Mc_arrive r;
+      a_fill = Fill r;
+    }
+  in
+  r
 
 let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
     ~jobs () =
@@ -139,9 +191,12 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
     Array.of_list
       (List.mapi
          (fun jid j ->
+           let jphases = Array.of_list j.phases in
            {
              j;
              jid;
+             jphases;
+             nphases = Array.length jphases;
              phase = -1;
              streams = [||];
              pos = Array.make (Array.length j.node_of_thread) 0;
@@ -153,8 +208,32 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
          jobs)
   in
   let job_finish = Array.make (Array.length js) 0 in
-  let mc_node m = Noc.Placement.mc_node cfg.placement m in
-  let nearest_mc node = Noc.Placement.nearest cfg.placement topo node in
+  (* flat memo tables, built once from the topology and placement: the
+     hot path never recomputes a controller site, a nearest-controller
+     choice or a hop count (XY hop count = Manhattan distance) *)
+  let mc_node_tbl =
+    Array.init num_mcs (fun m -> Noc.Placement.mc_node cfg.placement m)
+  in
+  let mc_node m = mc_node_tbl.(m) in
+  let nearest_tbl =
+    Array.init nodes (fun n -> Noc.Placement.nearest cfg.placement topo n)
+  in
+  let nearest_mc node = nearest_tbl.(node) in
+  let hop_tbl =
+    Array.init (nodes * nodes) (fun i ->
+        Noc.Topology.distance topo (i / nodes) (i mod nodes))
+  in
+  let hops_between src dst = hop_tbl.((src * nodes) + dst) in
+  (* per-(job, thread) and per-controller event payloads, preallocated so
+     phase starts and controller wakes push shared immutable values *)
+  let step_act =
+    Array.map
+      (fun s ->
+        Array.init (Array.length s.j.node_of_thread) (fun tid ->
+            Step (s.jid, tid)))
+      js
+  in
+  let wake_act = Array.init num_mcs (fun m -> Mc_wake m) in
   let line_of paddr = paddr land lnot (cfg.l2_line - 1) in
   let data_bytes = cfg.l2_line + ctrl_bytes in
   let l1_fill_bytes = cfg.l1_line + ctrl_bytes in
@@ -194,7 +273,9 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
   let log_leg ~measured ~offchip hops cycles =
     if measured then Stats.record_leg stats ~offchip ~hops ~cycles
   in
-  let send ~now ~src ~dst ~bytes = Noc.Network.send net ~now ~src ~dst ~bytes in
+  let send ~now ~src ~dst ~bytes =
+    Noc.Network.transfer net ~now ~src ~dst ~bytes
+  in
   (* tracer plumbing: spans tagged with the request's job/node tracks; a
      request-bound send additionally records one "noc" span per link *)
   let span_req req ~cat ~name ~ts ~dur =
@@ -203,7 +284,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
   in
   let send_req req ~now ~src ~dst ~bytes =
     if req.traced then
-      Noc.Network.send net
+      Noc.Network.transfer net
         ~on_hop:(fun ~link ~start ~finish ->
           Obs.Trace.span trace ~cat:"noc"
             ~name:(Printf.sprintf "link %d" link)
@@ -212,15 +293,40 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
     else send ~now ~src ~dst ~bytes
   in
   let miss_counter = ref 0 in
-  (* outstanding controller requests, by id *)
-  let req_table : (int, [ `Read of req * bool | `Writeback ]) Hashtbl.t =
-    Hashtbl.create 256
+  (* the request pool: outstanding requests live in [pool] slots; a slot
+     doubles as the controller-request id, so the former per-id Hashtbl
+     becomes a direct array lookup ([pool.(completion.id)]).  Writebacks
+     carry no state and use the sentinel id -1. *)
+  let pool = ref [||] in
+  let free_stack = ref [||] in
+  let free_top = ref 0 in
+  let grow_pool () =
+    let old = Array.length !pool in
+    let cap = max 256 (2 * old) in
+    pool :=
+      Array.init cap (fun i -> if i < old then !pool.(i) else new_req i);
+    (* the freelist is empty when growing: refill it with the new slots *)
+    free_stack := Array.make cap 0;
+    free_top := 0;
+    for i = cap - 1 downto old do
+      !free_stack.(!free_top) <- i;
+      incr free_top
+    done
   in
-  let next_id = ref 0 in
+  let alloc_req () =
+    if !free_top = 0 then grow_pool ();
+    decr free_top;
+    !pool.(!free_stack.(!free_top))
+  in
+  let free_req (req : req) =
+    !free_stack.(!free_top) <- req.slot;
+    incr free_top
+  in
+  let wb_id = -1 in
   let schedule_mc_wake m tw =
     if tw < mc_next_wake.(m) then begin
       mc_next_wake.(m) <- tw;
-      Event_heap.push heap ~time:tw (Mc_wake m)
+      Event_heap.push heap ~time:tw wake_act.(m)
     end
   in
   let enqueue_mc ~now ~m ~id ?(write = false) paddr =
@@ -233,7 +339,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
     if not cfg.optimal then begin
       Stats.record_writeback stats;
       let m = Address_map.mc_of_paddr amap paddr in
-      let arr, _, _ = send ~now ~src ~dst:(mc_node m) ~bytes:data_bytes in
+      let arr = send ~now ~src ~dst:(mc_node m) ~bytes:data_bytes in
       Event_heap.push heap ~time:arr (Wb_arrive (m, paddr))
     end
   in
@@ -289,15 +395,14 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
     s.remaining <- s.remaining - 1;
     s.barrier <- max s.barrier t;
     if s.remaining = 0 then begin
-      let nphases = List.length s.j.phases in
       if s.phase = s.j.warmup_phases - 1 then s.warmup_end <- s.barrier;
       s.phase <- s.phase + 1;
-      if s.phase < nphases then begin
-        s.streams <- List.nth s.j.phases s.phase;
+      if s.phase < s.nphases then begin
+        s.streams <- s.jphases.(s.phase);
         Array.fill s.pos 0 (Array.length s.pos) 0;
         s.remaining <- Array.length s.j.node_of_thread;
         for tid = 0 to Array.length s.j.node_of_thread - 1 do
-          Event_heap.push heap ~time:s.barrier (Step (s.jid, tid))
+          Event_heap.push heap ~time:s.barrier step_act.(s.jid).(tid)
         done
       end
       else begin
@@ -313,10 +418,28 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
     | Config.Shared_l2 ->
       miss_shared jid tid node paddr wr ~rid ~traced ~measured ~resume t
   and complete_request req t =
-    if req.resume then continue_thread req.rjob req.rthread t
-    else
-      outstanding_stores.(req.rjob).(req.rthread) <-
-        outstanding_stores.(req.rjob).(req.rthread) - 1
+    let jid = req.rjob and tid = req.rthread and resume = req.resume in
+    free_req req;
+    if resume then continue_thread jid tid t
+    else outstanding_stores.(jid).(tid) <- outstanding_stores.(jid).(tid) - 1
+  and init_req req ~rid ~jid ~tid ~node ~paddr ~wr ~home ~shared ~measured
+      ~traced ~resume =
+    req.rid <- rid;
+    req.rjob <- jid;
+    req.rthread <- tid;
+    req.rnode <- node;
+    req.rpaddr <- paddr;
+    req.rwrite <- wr;
+    req.home <- home;
+    req.pend_hops <- 0;
+    req.pend_net <- 0;
+    req.mc <- 0;
+    req.mc_arrival <- 0;
+    req.rshared <- shared;
+    req.rowner <- 0;
+    req.measured <- measured;
+    req.traced <- traced;
+    req.resume <- resume
   and miss_private jid tid node paddr wr ~rid ~traced ~measured ~resume t =
     if traced then
       Obs.Trace.span trace ~cat:"cache" ~name:"L2 lookup" ~pid:jid ~tid:node
@@ -340,86 +463,56 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
           ()
       in
       Directory.add_holder dir ~line ~node;
-      let req =
-        {
-          rid;
-          rjob = jid;
-          rthread = tid;
-          rnode = node;
-          rpaddr = paddr;
-          rwrite = wr;
-          home = node;
-          pend_hops = 0;
-          pend_net = 0;
-          mc = 0;
-          mc_arrival = 0;
-          measured;
-          traced;
-          resume;
-        }
-      in
+      let req = alloc_req () in
+      init_req req ~rid ~jid ~tid ~node ~paddr ~wr ~home:node ~shared:false
+        ~measured ~traced ~resume;
       if cfg.optimal then begin
         (* oracle lookup at miss time: sharers keep the normal on-chip
            path; off-chip goes straight to the nearest controller *)
         match holder with
         | Some _ ->
           let m = Address_map.mc_of_paddr amap paddr in
-          let arr, hops, _ =
-            send_req req ~now:t ~src:node ~dst:(mc_node m) ~bytes:ctrl_bytes
-          in
-          req.pend_hops <- hops;
+          let dst = mc_node m in
+          let arr = send_req req ~now:t ~src:node ~dst ~bytes:ctrl_bytes in
+          req.pend_hops <- hops_between node dst;
           req.pend_net <- arr - t;
-          Event_heap.push heap ~time:arr (Dir_decide req)
+          Event_heap.push heap ~time:arr req.a_dir_decide
         | None ->
           let m = nearest_mc node in
           req.mc <- m;
-          let arr, hops, _ =
-            send_req req ~now:t ~src:node ~dst:(mc_node m) ~bytes:ctrl_bytes
-          in
-          log_leg ~measured:req.measured ~offchip:true hops (arr - t);
-          Event_heap.push heap ~time:arr (Mc_arrive (req, false))
+          let dst = mc_node m in
+          let arr = send_req req ~now:t ~src:node ~dst ~bytes:ctrl_bytes in
+          log_leg ~measured:req.measured ~offchip:true (hops_between node dst)
+            (arr - t);
+          Event_heap.push heap ~time:arr req.a_mc_arrive
       end
       else begin
         let m = Address_map.mc_of_paddr amap paddr in
         req.mc <- m;
-        let arr, hops, _ =
-          send_req req ~now:t ~src:node ~dst:(mc_node m) ~bytes:ctrl_bytes
-        in
-        req.pend_hops <- hops;
+        let dst = mc_node m in
+        let arr = send_req req ~now:t ~src:node ~dst ~bytes:ctrl_bytes in
+        req.pend_hops <- hops_between node dst;
         req.pend_net <- arr - t;
-        Event_heap.push heap ~time:arr (Dir_decide req)
+        Event_heap.push heap ~time:arr req.a_dir_decide
       end
   and miss_shared jid tid node paddr wr ~rid ~traced ~measured ~resume t =
     let home = paddr / cfg.l2_line mod nodes in
-    let req =
-      {
-        rid;
-        rjob = jid;
-        rthread = tid;
-        rnode = node;
-        rpaddr = paddr;
-        rwrite = wr;
-        home;
-        pend_hops = 0;
-        pend_net = 0;
-        mc = 0;
-        mc_arrival = 0;
-        measured;
-        traced;
-        resume;
-      }
-    in
-    ignore wr;
+    let req = alloc_req () in
+    init_req req ~rid ~jid ~tid ~node ~paddr ~wr ~home ~shared:true ~measured
+      ~traced ~resume;
     if home = node then home_decide req t
     else begin
-      let arr, hops, _ = send_req req ~now:t ~src:node ~dst:home ~bytes:ctrl_bytes in
-      log_leg ~measured:req.measured ~offchip:false hops (arr - t);
-      Event_heap.push heap ~time:arr (Home_decide req)
+      let arr = send_req req ~now:t ~src:node ~dst:home ~bytes:ctrl_bytes in
+      log_leg ~measured:req.measured ~offchip:false (hops_between node home)
+        (arr - t);
+      Event_heap.push heap ~time:arr req.a_home_decide
     end
   and home_decide req t =
     span_req req ~cat:"cache" ~name:"L2 home" ~ts:t ~dur:cfg.l2_latency;
     let t = t + cfg.l2_latency in
-    match Sacache.access l2.(req.home) ~addr:(bank_local req.rpaddr) ~write:false with
+    match
+      Sacache.access l2.(req.home) ~addr:(bank_local req.rpaddr) ~write:false
+    with
     | Sacache.Hit ->
       if req.measured then Stats.record_l2_hit stats;
       send_home_to_requester req t
@@ -437,23 +530,25 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
         else Address_map.mc_of_paddr amap req.rpaddr
       in
       req.mc <- m;
-      let arr, hops, _ =
-        send_req req ~now:t ~src:req.home ~dst:(mc_node m) ~bytes:ctrl_bytes
-      in
-      log_leg ~measured:req.measured ~offchip:true hops (arr - t);
-      Event_heap.push heap ~time:arr (Mc_arrive (req, true))
+      let dst = mc_node m in
+      let arr = send_req req ~now:t ~src:req.home ~dst ~bytes:ctrl_bytes in
+      log_leg ~measured:req.measured ~offchip:true (hops_between req.home dst)
+        (arr - t);
+      Event_heap.push heap ~time:arr req.a_mc_arrive
   and send_home_to_requester req t =
     if req.home = req.rnode then complete_request req t
     else begin
-      let arr, hops, _ =
+      let arr =
         send_req req ~now:t ~src:req.home ~dst:req.rnode ~bytes:l1_fill_bytes
       in
-      log_leg ~measured:req.measured ~offchip:false hops (arr - t);
-      Event_heap.push heap ~time:arr (Fill req)
+      log_leg ~measured:req.measured ~offchip:false
+        (hops_between req.home req.rnode)
+        (arr - t);
+      Event_heap.push heap ~time:arr req.a_fill
     end
-  and mc_arrive req shared t =
+  and mc_arrive req t =
     if req.measured then begin
-      let origin = if shared then req.home else req.rnode in
+      let origin = if req.rshared then req.home else req.rnode in
       Stats.record_offchip stats ~origin ~mc:req.mc
     end;
     req.mc_arrival <- t;
@@ -464,22 +559,17 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
       if req.measured then
         Stats.record_memory stats ~latency:service ~queue:0 ~row_hit:false;
       span_req req ~cat:"dram" ~name:"bank" ~ts:t ~dur:service;
-      mc_respond req shared finish
+      mc_respond req finish
     end
-    else begin
-      let id = !next_id in
-      incr next_id;
-      Hashtbl.replace req_table id (`Read (req, shared));
-      enqueue_mc ~now:t ~m:req.mc ~id req.rpaddr
-    end
-  and mc_respond req shared t =
-    let dst = if shared then req.home else req.rnode in
-    let arr, hops, _ =
-      send_req req ~now:t ~src:(mc_node req.mc) ~dst ~bytes:data_bytes
-    in
-    log_leg ~measured:req.measured ~offchip:true hops (arr - t);
-    if shared then Event_heap.push heap ~time:arr (Home_return req)
-    else Event_heap.push heap ~time:arr (Fill req)
+    else enqueue_mc ~now:t ~m:req.mc ~id:req.slot req.rpaddr
+  and mc_respond req t =
+    let src = mc_node req.mc in
+    let dst = if req.rshared then req.home else req.rnode in
+    let arr = send_req req ~now:t ~src ~dst ~bytes:data_bytes in
+    log_leg ~measured:req.measured ~offchip:true (hops_between src dst)
+      (arr - t);
+    if req.rshared then Event_heap.push heap ~time:arr req.a_home_return
+    else Event_heap.push heap ~time:arr req.a_fill
   in
   let dispatch t = function
     | Step (jid, tid) -> continue_thread jid tid t
@@ -496,7 +586,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
       match holder with
       | Some h ->
         (* on-chip: the pending request leg was on-chip after all *)
-        log_leg ~measured:req.measured ~offchip:false req.pend_hops req.pend_net;
+        log_leg ~measured:req.measured ~offchip:false req.pend_hops
+          req.pend_net;
         if req.measured then Stats.record_l2_hit stats;
         (* a write transfer invalidates every other copy (coherence
            traffic, charged on the links but not waited for) *)
@@ -511,20 +602,22 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
                      ~bytes:ctrl_bytes)
               end)
             (Directory.holders dir ~line);
-        let arr, hops, _ =
-          send_req req ~now:t ~src:(mc_node req.mc) ~dst:h ~bytes:ctrl_bytes
-        in
-        log_leg ~measured:req.measured ~offchip:false hops (arr - t);
-        Event_heap.push heap ~time:arr
-          (Owner_read (req, h))
+        let src = mc_node req.mc in
+        let arr = send_req req ~now:t ~src ~dst:h ~bytes:ctrl_bytes in
+        log_leg ~measured:req.measured ~offchip:false (hops_between src h)
+          (arr - t);
+        req.rowner <- h;
+        Event_heap.push heap ~time:arr req.a_owner_read
       | None ->
-        log_leg ~measured:req.measured ~offchip:true req.pend_hops req.pend_net;
+        log_leg ~measured:req.measured ~offchip:true req.pend_hops
+          req.pend_net;
         if cfg.optimal then begin
           req.mc <- nearest_mc req.rnode;
-          mc_arrive req false t
+          mc_arrive req t
         end
-        else mc_arrive req false t)
-    | Owner_read (req, h) ->
+        else mc_arrive req t)
+    | Owner_read req ->
+      let h = req.rowner in
       span_req req ~cat:"cache" ~name:"L2 peer" ~ts:t ~dur:cfg.l2_latency;
       let t = t + cfg.l2_latency in
       (* the line is in h's L2 (kept in sync via the directory); a write
@@ -534,14 +627,13 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
         ignore (Sacache.invalidate l2.(h) ~addr:req.rpaddr)
       end
       else ignore (Sacache.access l2.(h) ~addr:req.rpaddr ~write:false);
-      let arr, hops, _ =
-        send_req req ~now:t ~src:h ~dst:req.rnode ~bytes:data_bytes
-      in
-      log_leg ~measured:req.measured ~offchip:false hops (arr - t);
-      Event_heap.push heap ~time:arr (Fill req)
+      let arr = send_req req ~now:t ~src:h ~dst:req.rnode ~bytes:data_bytes in
+      log_leg ~measured:req.measured ~offchip:false (hops_between h req.rnode)
+        (arr - t);
+      Event_heap.push heap ~time:arr req.a_fill
     | Home_decide req -> home_decide req t
     | Home_return req -> send_home_to_requester req t
-    | Mc_arrive (req, shared) -> mc_arrive req shared t
+    | Mc_arrive req -> mc_arrive req t
     | Fill req -> complete_request req t
     | Mc_wake m ->
       (* stale wakes (superseded by an earlier reschedule) are dropped,
@@ -552,9 +644,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
         let completions = Fr_fcfs.advance mcs.(m) ~now:t in
         List.iter
           (fun (c : Fr_fcfs.completion) ->
-            match Hashtbl.find_opt req_table c.id with
-            | Some (`Read (req, shared)) ->
-              Hashtbl.remove req_table c.id;
+            if c.id <> wb_id then begin
+              let req = !pool.(c.id) in
               Stats.record_memory stats
                 ~latency:(c.finish - req.mc_arrival)
                 ~queue:c.queue_delay ~row_hit:c.row_hit;
@@ -562,51 +653,49 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
                 ~dur:c.queue_delay;
               span_req req ~cat:"dram" ~name:"bank" ~ts:c.start
                 ~dur:(c.finish - c.start);
-              mc_respond req shared c.finish
-            | Some `Writeback ->
-              Hashtbl.remove req_table c.id
-            | None -> ())
+              mc_respond req c.finish
+            end)
           completions;
         match Fr_fcfs.next_wake mcs.(m) with
         | Some tw -> schedule_mc_wake m (max tw (t + 1))
         | None -> ()
       end
-    | Wb_arrive (m, paddr) ->
-      let id = !next_id in
-      incr next_id;
-      Hashtbl.replace req_table id `Writeback;
-      enqueue_mc ~now:t ~m ~id ~write:true paddr
+    | Wb_arrive (m, paddr) -> enqueue_mc ~now:t ~m ~id:wb_id ~write:true paddr
   in
   (* ---- start all jobs ---- *)
   Array.iter
     (fun s ->
       let nthreads = Array.length s.j.node_of_thread in
-      match s.j.phases with
-      | [] ->
+      if s.nphases = 0 then begin
         s.finished <- true;
         job_finish.(s.jid) <- 0
-      | first :: _ ->
+      end
+      else begin
         s.phase <- 0;
-        s.streams <- first;
+        s.streams <- s.jphases.(0);
         s.remaining <- nthreads;
         for tid = 0 to nthreads - 1 do
-          Event_heap.push heap ~time:0 (Step (s.jid, tid))
-        done)
+          Event_heap.push heap ~time:0 step_act.(s.jid).(tid)
+        done
+      end)
     js;
   let debug = Sys.getenv_opt "OFFCHIP_DEBUG" <> None in
   let ndisp = ref 0 in
   let rec loop () =
-    match Event_heap.pop heap with
-    | None -> ()
-    | Some (t, action) ->
+    if not (Event_heap.is_empty heap) then begin
+      let t = Event_heap.next_time heap in
+      let action = Event_heap.pop_payload heap in
       incr ndisp;
       if debug && !ndisp mod 1_000_000 = 0 then
         Printf.eprintf "[dispatch %dM] t=%d heap=%d acc=%d off=%d pending=%s\n%!"
           (!ndisp / 1_000_000) t (Event_heap.size heap)
           (Stats.total_accesses stats) (Stats.offchip_accesses stats)
-          (String.concat "," (Array.to_list (Array.map (fun m -> string_of_int (Fr_fcfs.pending m)) mcs)));
+          (String.concat ","
+             (Array.to_list
+                (Array.map (fun m -> string_of_int (Fr_fcfs.pending m)) mcs)));
       dispatch t action;
       loop ()
+    end
   in
   loop ();
   Stats.set_page_fallbacks stats (Page_alloc.fallback_allocations pa);
@@ -625,7 +714,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
       Array.map
         (fun m ->
           let s = Fr_fcfs.served m in
-          if s = 0 then 0. else float_of_int (Fr_fcfs.row_hits m) /. float_of_int s)
+          if s = 0 then 0.
+          else float_of_int (Fr_fcfs.row_hits m) /. float_of_int s)
         mcs;
     mc_max_queue = Array.map Fr_fcfs.max_pending mcs;
     link_utilization = Noc.Network.utilization net ~at:horizon;

@@ -1,62 +1,114 @@
-type 'a entry = { time : int; seq : int; payload : 'a }
+(* Binary min-heap on parallel arrays: the (time, seq) keys live in two
+   unboxed int arrays with the payloads alongside, so pushing an event
+   allocates nothing once the arrays have grown to the run's peak
+   population (the previous representation boxed a 3-field entry record
+   per push).  Sifting moves a hole instead of swapping, halving the
+   array writes on the hot path.
+
+   Popped payload slots keep their last reference until overwritten by a
+   later push; the engine's payloads are preallocated pooled values, so
+   nothing is retained beyond the pool itself. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; len = 0; next_seq = 0 }
+let create () =
+  { times = [||]; seqs = [||]; payloads = [||]; len = 0; next_seq = 0 }
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let swap h i j =
-  let t = h.data.(i) in
-  h.data.(i) <- h.data.(j);
-  h.data.(j) <- t
-
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less h.data.(i) h.data.(parent) then begin
-      swap h i parent;
-      sift_up h parent
-    end
-  end
-
-let rec sift_down h i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
-  if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap h i !smallest;
-    sift_down h !smallest
-  end
+let grow h payload =
+  let cap = max 64 (2 * h.len) in
+  let times = Array.make cap 0 in
+  let seqs = Array.make cap 0 in
+  let payloads = Array.make cap payload in
+  Array.blit h.times 0 times 0 h.len;
+  Array.blit h.seqs 0 seqs 0 h.len;
+  Array.blit h.payloads 0 payloads 0 h.len;
+  h.times <- times;
+  h.seqs <- seqs;
+  h.payloads <- payloads
 
 let push h ~time payload =
-  let entry = { time; seq = h.next_seq; payload } in
-  h.next_seq <- h.next_seq + 1;
-  if h.len = Array.length h.data then begin
-    let cap = max 64 (2 * h.len) in
-    let data = Array.make cap entry in
-    Array.blit h.data 0 data 0 h.len;
-    h.data <- data
-  end;
-  h.data.(h.len) <- entry;
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  if h.len = Array.length h.times then grow h payload;
+  (* sift the hole up from the end *)
+  let i = ref h.len in
   h.len <- h.len + 1;
-  sift_up h (h.len - 1)
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pt = h.times.(parent) in
+    if time < pt || (time = pt && seq < h.seqs.(parent)) then begin
+      h.times.(!i) <- pt;
+      h.seqs.(!i) <- h.seqs.(parent);
+      h.payloads.(!i) <- h.payloads.(parent);
+      i := parent
+    end
+    else moving := false
+  done;
+  h.times.(!i) <- time;
+  h.seqs.(!i) <- seq;
+  h.payloads.(!i) <- payload
+
+let next_time h =
+  if h.len = 0 then invalid_arg "Event_heap.next_time: empty";
+  h.times.(0)
+
+(* Remove the root, re-sitting the last element down from the hole. *)
+let remove_root h =
+  let n = h.len - 1 in
+  h.len <- n;
+  if n > 0 then begin
+    let lt = h.times.(n) and ls = h.seqs.(n) in
+    let lp = h.payloads.(n) in
+    let i = ref 0 in
+    let moving = ref true in
+    while !moving do
+      let l = (2 * !i) + 1 in
+      if l >= n then moving := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (h.times.(r) < h.times.(l)
+               || (h.times.(r) = h.times.(l) && h.seqs.(r) < h.seqs.(l)))
+          then r
+          else l
+        in
+        let ct = h.times.(c) in
+        if ct < lt || (ct = lt && h.seqs.(c) < ls) then begin
+          h.times.(!i) <- ct;
+          h.seqs.(!i) <- h.seqs.(c);
+          h.payloads.(!i) <- h.payloads.(c);
+          i := c
+        end
+        else moving := false
+      end
+    done;
+    h.times.(!i) <- lt;
+    h.seqs.(!i) <- ls;
+    h.payloads.(!i) <- lp
+  end
+
+let pop_payload h =
+  if h.len = 0 then invalid_arg "Event_heap.pop_payload: empty";
+  let p = h.payloads.(0) in
+  remove_root h;
+  p
 
 let pop h =
   if h.len = 0 then None
   else begin
-    let top = h.data.(0) in
-    h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.data.(0) <- h.data.(h.len);
-      sift_down h 0
-    end;
-    Some (top.time, top.payload)
+    let t = h.times.(0) in
+    let p = h.payloads.(0) in
+    remove_root h;
+    Some (t, p)
   end
 
 let is_empty h = h.len = 0

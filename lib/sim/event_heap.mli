@@ -1,6 +1,9 @@
 (** Binary min-heap of timestamped events.
 
-    Ties are broken by insertion order, which keeps runs deterministic. *)
+    Ties are broken by insertion order, which keeps runs deterministic.
+    The keys are int-packed into unboxed parallel arrays with a payload
+    array alongside, so steady-state pushes and the
+    {!next_time}/{!pop_payload} pair allocate nothing. *)
 
 type 'a t
 
@@ -10,6 +13,15 @@ val push : 'a t -> time:int -> 'a -> unit
 
 val pop : 'a t -> (int * 'a) option
 (** The earliest event, or [None] when empty. *)
+
+val next_time : 'a t -> int
+(** Timestamp of the earliest event without removing it.
+    @raise Invalid_argument when the heap is empty. *)
+
+val pop_payload : 'a t -> 'a
+(** Removes and returns the earliest event's payload (allocation-free
+    counterpart of {!pop}; read {!next_time} first for the timestamp).
+    @raise Invalid_argument when the heap is empty. *)
 
 val is_empty : 'a t -> bool
 

@@ -1,0 +1,33 @@
+(* gen_golden — regenerate the committed golden snapshots under
+   test/golden/.
+
+     dune exec test/gen_golden.exe -- golden/seed0_stats.json
+
+   The seed-0 stats golden pins the simulator's observable behavior: the
+   engine refactors (event heap, request pool, route memoization) must
+   keep it byte-identical.  Regenerating it is legitimate only when a
+   change intentionally alters the simulated timing model — never to
+   absorb an accidental behavior change; say why in the commit that
+   updates it. *)
+
+let small_src =
+  {|
+param N = 64;
+array A[N][N];
+array B[N][N];
+parfor i = 1 to N-2 { for j = 0 to N-1 { A[i][j] = B[i][j] + B[i-1][j] + B[i+1][j]; } }
+|}
+
+let () =
+  let cfg = Sim.Config.scaled () in
+  let program = Lang.Parser.parse small_src in
+  let r = Sim.Runner.run cfg ~optimized:false program in
+  let doc = Sweep.Exec.result_json ~app:"golden-small" cfg r in
+  let out = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  match out with
+  | Some path ->
+    let oc = open_out path in
+    Obs.Json.to_channel oc doc;
+    close_out oc;
+    Printf.printf "golden written to %s\n" path
+  | None -> print_string (Obs.Json.to_string doc)

@@ -310,12 +310,89 @@ let test_runner_multiprogram () =
   Alcotest.(check int) "combined accesses" (2 * 62 * 64 * 4)
     (Stats.total_accesses r.Engine.stats)
 
+(* --- pooled-engine regression guards --- *)
+
+let test_heap_next_time_pop_payload () =
+  let h = Heap.create () in
+  Alcotest.check_raises "next_time on empty"
+    (Invalid_argument "Event_heap.next_time: empty") (fun () ->
+      ignore (Heap.next_time h));
+  List.iter
+    (fun (t, v) -> Heap.push h ~time:t v)
+    [ (7, "late"); (2, "first"); (2, "second") ];
+  Alcotest.(check int) "next_time peeks without removing" 2 (Heap.next_time h);
+  Alcotest.(check string) "key order" "first" (Heap.pop_payload h);
+  Alcotest.(check string) "FIFO tie-break" "second" (Heap.pop_payload h);
+  Alcotest.(check int) "peek advances" 7 (Heap.next_time h);
+  Alcotest.(check string) "last" "late" (Heap.pop_payload h);
+  Alcotest.check_raises "pop_payload on empty"
+    (Invalid_argument "Event_heap.pop_payload: empty") (fun () ->
+      ignore (Heap.pop_payload h))
+
+(* The exact JSON document the committed golden pins (also what
+   test/gen_golden.ml emits). *)
+let seed0_json () =
+  let cfg = Config.scaled () in
+  let r = Runner.run cfg ~optimized:false small_program in
+  Obs.Json.to_string (Sweep.Exec.result_json ~app:"golden-small" cfg r)
+
+let test_engine_seed_identical_json () =
+  (* two runs under the same seed must agree on every statistic, not just
+     the few the other determinism test samples *)
+  Alcotest.(check string) "same seed, byte-identical stats JSON"
+    (seed0_json ()) (seed0_json ())
+
+let test_engine_seed0_golden () =
+  let path = "golden/seed0_stats.json" in
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let golden = really_input_string ic n in
+  close_in ic;
+  (* [to_channel] (used by gen_golden) appends one newline *)
+  Alcotest.(check string) "byte-identical to committed golden"
+    golden
+    (seed0_json () ^ "\n")
+
+let test_engine_phase_advance_guard () =
+  let cfg = Config.scaled () in
+  (* a job with no phases must finish immediately instead of indexing
+     past the phase array *)
+  let empty =
+    {
+      Engine.name = "empty";
+      phases = [];
+      node_of_thread = [| 0 |];
+      warmup_phases = 0;
+    }
+  in
+  let r = Engine.run cfg ~jobs:[ empty ] () in
+  Alcotest.(check int) "empty job finishes at 0" 0 r.Engine.job_finish.(0);
+  Alcotest.(check int) "no accesses" 0 (Stats.total_accesses r.Engine.stats);
+  (* a multi-phase job runs each phase exactly once and stops at the
+     boundary: the access count proves no phase replays or is skipped *)
+  let p =
+    Lang.Parser.parse
+      {|
+param N = 64;
+array A[N][N];
+parfor i = 0 to N-1 { for j = 0 to N-1 { A[i][j] = 1; } }
+parfor i = 0 to N-1 { for j = 0 to N-1 { A[i][j] = A[i][j] + 1; } }
+|}
+  in
+  let r = Runner.run cfg ~optimized:false p in
+  Alcotest.(check int) "exactly two phases of accesses" (64 * 64 * 3)
+    (Stats.total_accesses r.Engine.stats)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
 
 let suite =
   [
     ( "sim.event_heap",
-      [ Alcotest.test_case "ordering" `Quick test_heap_order ]
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_order;
+        Alcotest.test_case "next_time / pop_payload" `Quick
+          test_heap_next_time_pop_payload;
+      ]
       @ qsuite [ prop_heap_sorted ] );
     ( "sim.config",
       [
@@ -337,6 +414,11 @@ let suite =
         Alcotest.test_case "threads per core" `Quick test_engine_threads_per_core;
         Alcotest.test_case "warmup gating" `Quick test_engine_warmup_gating;
         Alcotest.test_case "config matrix" `Quick test_config_matrix;
+        Alcotest.test_case "seed-identical stats JSON" `Quick
+          test_engine_seed_identical_json;
+        Alcotest.test_case "seed-0 golden" `Quick test_engine_seed0_golden;
+        Alcotest.test_case "phase advance guard" `Quick
+          test_engine_phase_advance_guard;
       ] );
     ( "sim.tracefile",
       [
