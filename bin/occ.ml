@@ -1,28 +1,36 @@
 (* occ — the off-chip access localization compiler driver.
 
    Parses a mini-language program (a file, or one of the built-in
-   application models), runs the layout-transformation pass of the paper
-   (Algorithm 1) for the requested platform, and prints the transformed
-   program together with the per-array report.
+   application models), runs it through the staged pass pipeline (parse,
+   check, analyze, solve, mapping, customize, rewrite, verify, codegen)
+   for the requested platform, and prints the transformed program
+   together with the per-array report.
 
      occ examples/jacobi.mc
      occ --app apsi --l2 shared --report
-     occ --app hpccg --interleave page --layouts *)
+     occ --app hpccg --interleave page --layouts
+     occ examples/jacobi.mc --emit solve
+     occ examples/jacobi.mc --diag-json diags.json
+
+   Exit codes: 0 success, 1 user error (bad flags, diagnostics of error
+   severity), 2 internal error. *)
 
 open Cmdliner
 
-let read_program file app =
+let read_source file app =
   match (file, app) with
   | Some f, None -> (
-    match Lang.Parser.parse_file f with
-    | program -> Ok (program, None)
-    | exception Lang.Parser.Error e -> Error (f ^ ": parse error: " ^ e)
-    | exception Lang.Lexer.Error (e, pos) ->
-      Error (Printf.sprintf "%s: lex error at offset %d: %s" f pos e)
+    match
+      let ic = open_in_bin f in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      src
+    with
+    | src -> Ok (Core.Pipeline.Source { file = f; src }, Some src, None)
     | exception Sys_error e -> Error e)
   | None, Some name -> (
     match Workloads.Suite.by_name name with
-    | app -> Ok (Workloads.App.program app, Some app)
+    | app -> Ok (Core.Pipeline.Program (Workloads.App.program app), None, Some app)
     | exception Not_found ->
       Error
         (Printf.sprintf "unknown application %S (known: %s)" name
@@ -31,33 +39,11 @@ let read_program file app =
   | None, None -> Error "give a source file or --app NAME"
 
 let build_config ~l2 ~interleave ~mapping ~width ~height =
-  let cfg = Sim.Config.mesh ~width ~height (Sim.Config.default ()) in
-  let cfg =
-    match mapping with
-    | "M1" -> cfg
-    | "M2" -> Sim.Config.with_cluster cfg (Core.Cluster.m2 ~width ~height)
-    | m -> (
-      match int_of_string_opt m with
-      | Some mcs ->
-        Sim.Config.with_cluster cfg (Core.Cluster.with_mcs ~width ~height ~mcs)
-      | None -> invalid_arg ("unknown mapping " ^ m))
-  in
-  let cfg =
-    {
-      cfg with
-      Sim.Config.l2_org =
-        (match l2 with
-        | "private" -> Sim.Config.Private_l2
-        | "shared" -> Sim.Config.Shared_l2
-        | s -> invalid_arg ("unknown L2 organization " ^ s));
-      interleaving =
-        (match interleave with
-        | "line" -> Dram.Address_map.Line_interleaved
-        | "page" -> Dram.Address_map.Page_interleaved
-        | s -> invalid_arg ("unknown interleaving " ^ s));
-    }
-  in
-  Sim.Config.customize_config cfg
+  match
+    Sim.Config.build ~scaled:false ~l2 ~interleave ~mapping ~width ~height ()
+  with
+  | Ok cfg -> Ok (Sim.Config.customize_config cfg)
+  | Error e -> Error e
 
 let why_kept_to_string = function
   | Core.Transform.Index_array -> "index array (never transformed)"
@@ -93,57 +79,115 @@ let explain_report (rep : Core.Transform.report) =
         Format.printf "kept       %s@." (why_kept_to_string why)))
     rep.Core.Transform.decisions
 
+let print_diags ?src diags =
+  List.iter
+    (fun d -> Format.eprintf "%a@." (Lang.Diag.pp ?src) d)
+    diags
+
+let write_diag_json ?src path diags =
+  let oc = if String.equal path "-" then stdout else open_out path in
+  Obs.Json.to_channel oc (Lang.Diag.list_to_json ?src diags);
+  output_char oc '\n';
+  if not (String.equal path "-") then close_out oc
+
 let run file app l2 interleave mapping width height report layouts explain
-    timings emit_c =
-  let timer = Obs.Phase_timer.create () in
-  match Obs.Phase_timer.time timer "parse" (fun () -> read_program file app) with
+    timings emit_c emit verify diag_json =
+  Cli.guard ~name:"occ" @@ fun () ->
+  let emit_stage =
+    match emit with
+    | None -> Ok None
+    | Some s -> (
+      match Core.Pipeline.stage_of_string s with
+      | Some st -> Ok (Some st)
+      | None ->
+        Error
+          (Printf.sprintf "unknown stage %S (stages: %s)" s
+             (String.concat ", " Core.Pipeline.stage_names)))
+  in
+  match emit_stage with
   | Error e ->
     prerr_endline ("occ: " ^ e);
-    1
-  | Ok (program, app) -> (
-    match build_config ~l2 ~interleave ~mapping ~width ~height with
-    | exception Invalid_argument e ->
+    Cli.user_error
+  | Ok emit_stage -> (
+  match read_source file app with
+  | Error e ->
+    prerr_endline ("occ: " ^ e);
+    Cli.user_error
+  | Ok (source, src, app) -> (
+    let candidates_result =
+      if String.equal mapping "auto" then
+        (* mapping selection proper: let the pipeline's cost model choose *)
+        let build m = build_config ~l2 ~interleave ~mapping:m ~width ~height in
+        match (build "M1", build "M2") with
+        | Ok m1, Ok m2 -> Ok (m1, [ m1; m2 ])
+        | Error e, _ | _, Error e -> Error e
+      else
+        match build_config ~l2 ~interleave ~mapping ~width ~height with
+        | Ok cfg -> Ok (cfg, [])
+        | Error e -> Error e
+    in
+    match candidates_result with
+    | Error e ->
       prerr_endline ("occ: " ^ e);
-      1
-    | ccfg ->
-      let analysis =
-        Obs.Phase_timer.time timer "analysis" (fun () ->
-            Lang.Analysis.analyze program)
-      in
+      Cli.user_error
+    | Ok (ccfg, candidates) ->
       let profile =
         Option.map
-          (fun a arr -> Workloads.Profile.for_transform a analysis arr)
+          (fun a ->
+            let analysis = Lang.Analysis.analyze (Workloads.App.program a) in
+            fun arr -> Workloads.Profile.for_transform a analysis arr)
           app
       in
-      let rep =
-        Obs.Phase_timer.time timer "algorithm1" (fun () ->
-            Core.Transform.run ?profile ccfg analysis)
+      let result =
+        Core.Pipeline.compile ~verify ?profile ~candidates
+          ?codegen:(if emit_c <> None then Some "kernel" else None)
+          ~cfg:ccfg source
       in
-      if report then Format.printf "// %a@." Core.Transform.pp_report rep;
-      if explain then explain_report rep;
-      if layouts then
-        List.iter
-          (fun d ->
-            if d.Core.Transform.optimized then
-              Format.printf "// %a@." Core.Layout.pp d.Core.Transform.layout)
-          rep.Core.Transform.decisions;
-      let transformed =
-        Obs.Phase_timer.time timer "codegen" (fun () ->
-            Core.Transform.rewrite_program rep program)
-      in
-      (match emit_c with
+      print_diags ?src result.Core.Pipeline.diags;
+      (match diag_json with
       | Some path -> (
-        try
-          Obs.Phase_timer.time timer "codegen" (fun () ->
-              Lang.Codegen.emit_to_file ~name:"kernel" path transformed);
-          Format.printf "// C code written to %s@." path
+        try write_diag_json ?src path result.Core.Pipeline.diags
         with Sys_error e ->
-          Printf.eprintf "occ: cannot write C output: %s\n" e;
-          exit 1)
+          Printf.eprintf "occ: cannot write diagnostics: %s\n" e)
       | None -> ());
-      Format.printf "%a@." Lang.Ast.pp_program transformed;
-      if timings then Format.printf "%a@." Obs.Phase_timer.pp timer;
-      0)
+      let rep = result.Core.Pipeline.artifacts.Core.Pipeline.report in
+      let transformed =
+        result.Core.Pipeline.artifacts.Core.Pipeline.transformed
+      in
+      (match emit_stage with
+      | Some st -> (
+        match Core.Pipeline.emit result st with
+        | Some dump -> print_endline dump
+        | None -> prerr_endline "occ: the pipeline did not reach that stage")
+      | None ->
+        Option.iter
+          (fun rep ->
+            if report then Format.printf "// %a@." Core.Transform.pp_report rep;
+            if explain then explain_report rep;
+            if layouts then
+              List.iter
+                (fun d ->
+                  if d.Core.Transform.optimized then
+                    Format.printf "// %a@." Core.Layout.pp
+                      d.Core.Transform.layout)
+                rep.Core.Transform.decisions)
+          rep;
+        (match (emit_c, result.Core.Pipeline.artifacts.Core.Pipeline.c_code) with
+        | Some path, Some c -> (
+          try
+            let oc = open_out path in
+            output_string oc c;
+            close_out oc;
+            Format.printf "// C code written to %s@." path
+          with Sys_error e ->
+            Printf.eprintf "occ: cannot write C output: %s\n" e)
+        | _ -> ());
+        Option.iter
+          (fun t -> Format.printf "%a@." Lang.Ast.pp_program t)
+          transformed);
+      if timings then
+        Format.printf "%a@." Obs.Phase_timer.pp result.Core.Pipeline.timer;
+      if result.Core.Pipeline.ok then Cli.ok else Cli.user_error))
 
 let file_arg =
   Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Source file.")
@@ -154,27 +198,14 @@ let app_arg =
     & opt (some string) None
     & info [ "app" ] ~docv:"NAME" ~doc:"Use a built-in application model.")
 
-let l2 =
-  Arg.(
-    value & opt string "private"
-    & info [ "l2" ] ~docv:"ORG" ~doc:"L2 organization: private or shared.")
-
-let interleave =
-  Arg.(
-    value & opt string "line"
-    & info [ "interleave" ] ~docv:"GRAN" ~doc:"Interleaving: line or page.")
-
 let mapping =
   Arg.(
     value & opt string "M1"
     & info [ "mapping" ] ~docv:"MAP"
-        ~doc:"L2-to-MC mapping: M1, M2, or a controller count (8, 16).")
-
-let width =
-  Arg.(value & opt int 8 & info [ "width" ] ~docv:"W" ~doc:"Mesh width.")
-
-let height =
-  Arg.(value & opt int 8 & info [ "height" ] ~docv:"H" ~doc:"Mesh height.")
+        ~doc:
+          "L2-to-MC mapping: M1, M2, a controller count (8, 16), or auto \
+           to let the mapping-selection pass choose between M1 and M2 by \
+           estimated cost.")
 
 let report =
   Arg.(value & flag & info [ "report" ] ~doc:"Print the per-array report.")
@@ -194,8 +225,7 @@ let explain =
 let timings =
   Arg.(
     value & flag
-    & info [ "timings" ]
-        ~doc:"Print per-phase wall times (parse, analysis, algorithm1, codegen).")
+    & info [ "timings" ] ~doc:"Print per-pass wall times.")
 
 let emit_c =
   Arg.(
@@ -204,12 +234,41 @@ let emit_c =
     & info [ "emit-c" ] ~docv:"FILE"
         ~doc:"Also write the transformed program as C with OpenMP pragmas.")
 
+let emit =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit" ] ~docv:"STAGE"
+        ~doc:
+          "Print one pipeline stage's artifact instead of the default \
+           output: ast, analysis, solve, mapping, report, transformed, or \
+           c.")
+
+let verify =
+  Arg.(
+    value
+    & opt ~vopt:true (enum [ ("on", true); ("off", false) ]) true
+    & info [ "verify" ] ~docv:"on|off"
+        ~doc:
+          "Run the inter-pass verifier (unimodularity, solution recheck, \
+           home-table bijectivity, layout bounds, sampled semantic \
+           equivalence).  On by default; --verify=off disables it.")
+
+let diag_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "diag-json" ] ~docv:"FILE"
+        ~doc:
+          "Write all diagnostics as a JSON array to FILE (- for stdout).")
+
 let cmd =
   let doc = "compiler-guided off-chip access localization (PLDI 2015)" in
   Cmd.v
     (Cmd.info "occ" ~doc)
     Term.(
-      const run $ file_arg $ app_arg $ l2 $ interleave $ mapping $ width
-      $ height $ report $ layouts $ explain $ timings $ emit_c)
+      const run $ file_arg $ app_arg $ Cli.l2 $ Cli.interleave $ mapping
+      $ Cli.width $ Cli.height $ report $ layouts $ explain $ timings
+      $ emit_c $ emit $ verify $ diag_json)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,16 +11,17 @@ open Cmdliner
 
 let run name optimized l2 interleave policy mapping width height tpc optimal
     full_scale seed show_map dump_trace stats_json trace_out trace_sample =
+  Cli.guard ~name:"simulate" @@ fun () ->
   if trace_sample < 1 then (
     Printf.eprintf "simulate: --trace-sample must be at least 1 (got %d)\n"
       trace_sample;
-    2)
+    Cli.user_error)
   else
   match Workloads.Suite.by_name name with
   | exception Not_found ->
     Printf.eprintf "simulate: unknown application %S (known: %s)\n" name
       (String.concat ", " Workloads.Suite.names);
-    1
+    Cli.user_error
   | app -> (
     match
       Sim.Config.build ~scaled:(not full_scale) ~l2 ~interleave ~policy
@@ -28,7 +29,7 @@ let run name optimized l2 interleave policy mapping width height tpc optimal
     with
     | Error e ->
       prerr_endline ("simulate: " ^ e);
-      1
+      Cli.user_error
     | Ok cfg ->
       let program = Workloads.App.program app in
       let analysis = Lang.Analysis.analyze program in
@@ -92,7 +93,7 @@ let run name optimized l2 interleave policy mapping width height tpc optimal
       Format.printf "@.row-buffer hit rate:";
       Array.iter (fun o -> Format.printf " %.2f" o) r.Sim.Engine.mc_row_hit_rate;
       Format.printf "@.";
-      0)
+      Cli.ok)
 
 let name_arg =
   Arg.(
@@ -102,32 +103,6 @@ let name_arg =
 
 let optimized =
   Arg.(value & flag & info [ "optimized" ] ~doc:"Apply the layout pass first.")
-
-let l2 =
-  Arg.(
-    value & opt string "private"
-    & info [ "l2" ] ~docv:"ORG" ~doc:"L2 organization: private or shared.")
-
-let interleave =
-  Arg.(
-    value & opt string "line"
-    & info [ "interleave" ] ~docv:"GRAN" ~doc:"Interleaving: line or page.")
-
-let policy =
-  Arg.(
-    value & opt string "hardware"
-    & info [ "policy" ] ~docv:"POL"
-        ~doc:"Page policy: hardware, first-touch or mc-aware.")
-
-let mapping =
-  Arg.(
-    value & opt string "M1"
-    & info [ "mapping" ] ~docv:"MAP" ~doc:"L2-to-MC mapping: M1, M2, 8, 16.")
-
-let width = Arg.(value & opt int 8 & info [ "width" ] ~docv:"W" ~doc:"Mesh width.")
-
-let height =
-  Arg.(value & opt int 8 & info [ "height" ] ~docv:"H" ~doc:"Mesh height.")
 
 let tpc =
   Arg.(
@@ -194,8 +169,8 @@ let cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
-      const run $ name_arg $ optimized $ l2 $ interleave $ policy $ mapping
-      $ width $ height $ tpc $ optimal $ full_scale $ seed $ show_map
-      $ dump_trace $ stats_json $ trace_out $ trace_sample)
+      const run $ name_arg $ optimized $ Cli.l2 $ Cli.interleave $ Cli.policy
+      $ Cli.mapping $ Cli.width $ Cli.height $ tpc $ optimal $ full_scale
+      $ seed $ show_map $ dump_trace $ stats_json $ trace_out $ trace_sample)
 
 let () = exit (Cmd.eval' cmd)

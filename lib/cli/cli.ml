@@ -1,0 +1,43 @@
+open Cmdliner
+
+let ok = 0
+
+let user_error = 1
+
+let internal_error = 2
+
+let guard ~name f =
+  try f ()
+  with e ->
+    Printf.eprintf "%s: internal error: %s\n" name (Printexc.to_string e);
+    if Printexc.backtrace_status () then
+      prerr_string (Printexc.get_backtrace ());
+    internal_error
+
+let l2 =
+  Arg.(
+    value & opt string "private"
+    & info [ "l2" ] ~docv:"ORG" ~doc:"L2 organization: private or shared.")
+
+let interleave =
+  Arg.(
+    value & opt string "line"
+    & info [ "interleave" ] ~docv:"GRAN" ~doc:"Interleaving: line or page.")
+
+let policy =
+  Arg.(
+    value & opt string "hardware"
+    & info [ "policy" ] ~docv:"POL"
+        ~doc:"Page policy: hardware, first-touch or mc-aware.")
+
+let mapping =
+  Arg.(
+    value & opt string "M1"
+    & info [ "mapping" ] ~docv:"MAP"
+        ~doc:"L2-to-MC mapping: M1, M2, or a controller count (8, 16).")
+
+let width =
+  Arg.(value & opt int 8 & info [ "width" ] ~docv:"W" ~doc:"Mesh width.")
+
+let height =
+  Arg.(value & opt int 8 & info [ "height" ] ~docv:"H" ~doc:"Mesh height.")

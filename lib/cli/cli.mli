@@ -1,0 +1,41 @@
+(** Conventions shared by the command-line drivers (occ, simulate,
+    offchip-sweep).
+
+    Exit codes: [0] success, [1] user error (bad flags, malformed input,
+    compile errors), [2] internal error (a bug — an unexpected
+    exception).  [guard] enforces the last one uniformly. *)
+
+val ok : int
+
+val user_error : int
+
+val internal_error : int
+
+val guard : name:string -> (unit -> int) -> int
+(** Runs the driver body; an escaping exception is reported as
+    [<name>: internal error: ...] on stderr (with a backtrace when
+    [OCAMLRUNPARAM] asks for one) and becomes exit code
+    {!internal_error}. *)
+
+(** {2 Shared platform flags}
+
+    The platform knobs every driver exposes, with one spelling and one
+    doc string. *)
+
+val l2 : string Cmdliner.Term.t
+(** [--l2 private|shared] *)
+
+val interleave : string Cmdliner.Term.t
+(** [--interleave line|page] *)
+
+val policy : string Cmdliner.Term.t
+(** [--policy hardware|first-touch|mc-aware] *)
+
+val mapping : string Cmdliner.Term.t
+(** [--mapping M1|M2|<mc-count>] *)
+
+val width : int Cmdliner.Term.t
+(** [--width W] *)
+
+val height : int Cmdliner.Term.t
+(** [--height H] *)

@@ -9,11 +9,16 @@ type t = {
   k : int;
 }
 
+let make_result ~name ~width ~height ~cx ~cy ~k =
+  if cx <= 0 || cy <= 0 || k <= 0 then Error "Cluster.make"
+  else if width mod cx <> 0 || height mod cy <> 0 then
+    Error "Cluster.make: clusters must tile the mesh evenly"
+  else Ok { name; width; height; cx; cy; nx = width / cx; ny = height / cy; k }
+
 let make ~name ~width ~height ~cx ~cy ~k =
-  if cx <= 0 || cy <= 0 || k <= 0 then invalid_arg "Cluster.make";
-  if width mod cx <> 0 || height mod cy <> 0 then
-    invalid_arg "Cluster.make: clusters must tile the mesh evenly";
-  { name; width; height; cx; cy; nx = width / cx; ny = height / cy; k }
+  match make_result ~name ~width ~height ~cx ~cy ~k with
+  | Ok c -> c
+  | Error e -> invalid_arg e
 
 let num_clusters c = c.cx * c.cy
 
@@ -55,7 +60,7 @@ let m1 ~width ~height = make ~name:"M1" ~width ~height ~cx:2 ~cy:2 ~k:1
 
 let m2 ~width ~height = make ~name:"M2" ~width ~height ~cx:2 ~cy:1 ~k:2
 
-let with_mcs ~width ~height ~mcs =
+let with_mcs_result ~width ~height ~mcs =
   (* as square a cluster grid as evenly tiles the mesh *)
   let rec best_split d best =
     if d > mcs then best
@@ -70,9 +75,15 @@ let with_mcs ~width ~height ~mcs =
       best_split (d + 1) best
   in
   match best_split 1 None with
-  | None -> invalid_arg "Cluster.with_mcs: no even tiling"
+  | None -> Error "Cluster.with_mcs: no even tiling"
   | Some (cx, _) ->
-    make ~name:(Printf.sprintf "M1x%d" mcs) ~width ~height ~cx ~cy:(mcs / cx) ~k:1
+    make_result ~name:(Printf.sprintf "M1x%d" mcs) ~width ~height ~cx
+      ~cy:(mcs / cx) ~k:1
+
+let with_mcs ~width ~height ~mcs =
+  match with_mcs_result ~width ~height ~mcs with
+  | Ok c -> c
+  | Error e -> invalid_arg e
 
 let pp ppf c =
   Format.fprintf ppf "%s: %dx%d mesh, %dx%d clusters of %dx%d cores, k=%d"

@@ -30,10 +30,20 @@ type t = {
   k : int;  (** MCs per cluster *)
 }
 
+val make_result :
+  name:string ->
+  width:int ->
+  height:int ->
+  cx:int ->
+  cy:int ->
+  k:int ->
+  (t, string) result
+(** Derives [nx, ny]; an uneven tiling (validity constraint) is a value
+    error. *)
+
 val make :
   name:string -> width:int -> height:int -> cx:int -> cy:int -> k:int -> t
-(** Derives [nx, ny]; raises [Invalid_argument] if the mesh does not divide
-    evenly (validity constraint). *)
+(** Raising wrapper over {!make_result} ([Invalid_argument]). *)
 
 val num_clusters : t -> int
 
@@ -71,8 +81,12 @@ val m2 : width:int -> height:int -> t
 (** Fig. 8b: two half-mesh clusters, [k = 2] — trades locality for
     memory-level parallelism. *)
 
-val with_mcs : width:int -> height:int -> mcs:int -> t
+val with_mcs_result :
+  width:int -> height:int -> mcs:int -> (t, string) result
 (** The Fig. 27 configurations: [mcs] controllers, [k = 1], clusters in as
     square a grid as divides the mesh. *)
+
+val with_mcs : width:int -> height:int -> mcs:int -> t
+(** Raising wrapper over {!with_mcs_result} ([Invalid_argument]). *)
 
 val pp : Format.formatter -> t -> unit

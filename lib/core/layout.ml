@@ -123,7 +123,7 @@ let transformed_subscripts l subs =
     | Mod (e, k) -> Lang.Ast.Mod (to_expr e, Lang.Ast.Int k)
     | Perm (e, _) ->
       (* emitted as a compiler-generated lookup (index array) *)
-      Lang.Ast.Load { Lang.Ast.array = "__home"; subs = [ to_expr e ] }
+      Lang.Ast.Load (Lang.Ast.mk_ref ~array:"__home" ~subs:[ to_expr e ] ())
   in
   Array.to_list (Array.map (fun d -> to_expr d.expr) l.out)
 

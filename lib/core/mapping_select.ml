@@ -35,11 +35,17 @@ let estimated_cost topo c placement ~bank_pressure =
   let queue = bank_pressure /. float_of_int m.mcs_per_cluster *. queue_weight in
   network +. queue
 
-let choose topo ~candidates ~bank_pressure =
+let choose_opt topo ~candidates ~bank_pressure =
   match candidates with
-  | [] -> invalid_arg "Mapping_select.choose: no candidates"
+  | [] -> None
   | first :: rest ->
     let cost (c, p) = estimated_cost topo c p ~bank_pressure in
-    List.fold_left
-      (fun best cand -> if cost cand < cost best then cand else best)
-      first rest
+    Some
+      (List.fold_left
+         (fun best cand -> if cost cand < cost best then cand else best)
+         first rest)
+
+let choose topo ~candidates ~bank_pressure =
+  match choose_opt topo ~candidates ~bank_pressure with
+  | Some best -> best
+  | None -> invalid_arg "Mapping_select.choose: no candidates"

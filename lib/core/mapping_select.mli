@@ -24,10 +24,18 @@ val estimated_cost :
     by the profiled [bank_pressure] (mean bank-queue occupancy under the
     default mapping) and divided across the cluster's [k] controllers. *)
 
+val choose_opt :
+  Noc.Topology.t ->
+  candidates:(Cluster.t * Noc.Placement.t) list ->
+  bank_pressure:float ->
+  (Cluster.t * Noc.Placement.t) option
+(** The candidate with the lowest {!estimated_cost}; [None] when the
+    candidate list is empty. *)
+
 val choose :
   Noc.Topology.t ->
   candidates:(Cluster.t * Noc.Placement.t) list ->
   bank_pressure:float ->
   Cluster.t * Noc.Placement.t
-(** The candidate with the lowest {!estimated_cost}.  Raises
-    [Invalid_argument] on an empty candidate list. *)
+(** Raising wrapper over {!choose_opt} ([Invalid_argument] on an empty
+    list). *)

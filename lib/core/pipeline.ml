@@ -1,0 +1,203 @@
+module Ast = Lang.Ast
+module Diag = Lang.Diag
+module Span = Lang.Span
+module Analysis = Lang.Analysis
+
+type source = Source of { file : string; src : string } | Program of Ast.program
+
+type ('a, 'b) pass = { name : string; run : 'a -> ('b, Diag.t list) result }
+
+let pass name run = { name; run }
+
+type artifacts = {
+  mutable program : Ast.program option;
+  mutable analysis : Analysis.t option;
+  mutable solved : Transform.solved list option;
+  mutable cfg : Customize.config option;
+  mutable report : Transform.report option;
+  mutable transformed : Ast.program option;
+  mutable c_code : string option;
+}
+
+type t = {
+  artifacts : artifacts;
+  diags : Diag.t list;
+  timer : Obs.Phase_timer.t;
+  ok : bool;
+}
+
+(* The manager: run one pass, time it, fold its diagnostics into the
+   accumulator.  [None] means the pass failed and the chain stops; the
+   artifacts recorded so far stay available (for --emit). *)
+type ctx = { timer : Obs.Phase_timer.t; mutable diags : Diag.t list }
+
+let run_pass ctx p x =
+  match Obs.Phase_timer.time ctx.timer p.name (fun () -> p.run x) with
+  | Ok y -> Some y
+  | Error ds ->
+    ctx.diags <- ctx.diags @ ds;
+    None
+
+let parse_pass =
+  pass "parse" (function
+    | Source { file; src } -> Lang.Parser.parse_program_result ~file src
+    | Program p -> Ok p)
+
+let check_pass = pass "check" Lang.Parser.check_result
+
+let analyze_pass = pass "analyze" Analysis.analyze_result
+
+let solve_pass ?profile ?threshold () =
+  pass "solve" (fun analysis ->
+      Ok (Transform.solve_all ?profile ?threshold analysis))
+
+(* Candidate selection (Section 4): with one candidate this is the
+   identity; with several, the estimated-cost model picks the mapping. *)
+let mapping_pass ~bank_pressure =
+  pass "mapping" (fun candidates ->
+      match candidates with
+      | [] ->
+        Error
+          [ Diag.error ~code:"C001" Span.dummy "no candidate cluster mapping" ]
+      | [ cfg ] -> Ok cfg
+      | cfgs ->
+        let cost (c : Customize.config) =
+          Mapping_select.estimated_cost c.Customize.topo c.Customize.cluster
+            c.Customize.placement ~bank_pressure
+        in
+        Ok
+          (List.fold_left
+             (fun best c -> if cost c < cost best then c else best)
+             (List.hd cfgs) (List.tl cfgs)))
+
+let customize_pass =
+  pass "customize" (fun (cfg, solved) -> Ok (Transform.customize_all cfg solved))
+
+let rewrite_pass =
+  pass "rewrite" (fun (report, program) ->
+      Ok (Transform.rewrite_program report program))
+
+let codegen_pass ~name = pass "codegen" (Lang.Codegen.emit_result ~name)
+
+let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
+    ?(candidates = []) ?codegen ~cfg source =
+  let ctx = { timer = Obs.Phase_timer.create (); diags = [] } in
+  let art =
+    {
+      program = None;
+      analysis = None;
+      solved = None;
+      cfg = None;
+      report = None;
+      transformed = None;
+      c_code = None;
+    }
+  in
+  let ( let* ) x f = match x with Some v -> f v | None -> None in
+  let (_ : unit option) =
+    let* program = run_pass ctx parse_pass source in
+    art.program <- Some program;
+    let* program = run_pass ctx check_pass program in
+    art.program <- Some program;
+    let* analysis = run_pass ctx analyze_pass program in
+    art.analysis <- Some analysis;
+    let* solved = run_pass ctx (solve_pass ?profile ?threshold ()) analysis in
+    art.solved <- Some solved;
+    let* cfg =
+      run_pass ctx (mapping_pass ~bank_pressure)
+        (if candidates = [] then [ cfg ] else candidates)
+    in
+    art.cfg <- Some cfg;
+    let* report = run_pass ctx customize_pass (cfg, solved) in
+    art.report <- Some report;
+    let* transformed = run_pass ctx rewrite_pass (report, program) in
+    art.transformed <- Some transformed;
+    if verify then begin
+      let ds =
+        Obs.Phase_timer.time ctx.timer "verify" (fun () ->
+            Verify.run ~cfg ~solved ~report ~original:program ~transformed)
+      in
+      ctx.diags <- ctx.diags @ ds
+    end;
+    match codegen with
+    | None -> Some ()
+    | Some name ->
+      let* c = run_pass ctx (codegen_pass ~name) transformed in
+      art.c_code <- Some c;
+      Some ()
+  in
+  {
+    artifacts = art;
+    diags = Diag.sorted ctx.diags;
+    timer = ctx.timer;
+    ok = not (Diag.has_errors ctx.diags);
+  }
+
+(* --- stage dumps (--emit) --------------------------------------------- *)
+
+type stage = Ast_ | Analysis_ | Solve | Mapping | Report | Transformed | C
+
+let stages =
+  [
+    ("ast", Ast_);
+    ("analysis", Analysis_);
+    ("solve", Solve);
+    ("mapping", Mapping);
+    ("report", Report);
+    ("transformed", Transformed);
+    ("c", C);
+  ]
+
+let stage_names = List.map fst stages
+
+let stage_of_string s = List.assoc_opt (String.lowercase_ascii s) stages
+
+let pp_analysis ppf (a : Analysis.t) =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (info : Analysis.array_info) ->
+      let dims =
+        String.concat "x"
+          (Array.to_list (Array.map string_of_int info.Analysis.extents))
+      in
+      Format.fprintf ppf "%s [%s]%s:@," info.Analysis.decl.Ast.name dims
+        (if info.Analysis.decl.Ast.index_array then " (index)" else "");
+      List.iter
+        (fun (o : Analysis.occurrence) ->
+          Format.fprintf ppf "  %s %s par_dim=%s weight=%d@,"
+            (if o.Analysis.is_write then "write" else "read")
+            (match o.Analysis.kind with
+            | Analysis.Affine_ref _ -> "affine"
+            | Analysis.Indexed_ref -> "indexed")
+            (match o.Analysis.par_dim with
+            | Some u -> string_of_int u
+            | None -> "-")
+            o.Analysis.trip_count)
+        info.Analysis.occurrences)
+    a.Analysis.arrays;
+  Format.fprintf ppf "@]"
+
+let emit t stage =
+  let str pp x = Format.asprintf "%a" pp x in
+  match stage with
+  | Ast_ -> Option.map (str Ast.pp_program) t.artifacts.program
+  | Analysis_ -> Option.map (str pp_analysis) t.artifacts.analysis
+  | Solve ->
+    Option.map
+      (fun solved ->
+        String.concat "\n" (List.map (str Transform.pp_solved) solved))
+      t.artifacts.solved
+  | Mapping ->
+    Option.map
+      (fun (c : Customize.config) ->
+        let m =
+          Mapping_select.evaluate c.Customize.topo c.Customize.cluster
+            c.Customize.placement
+        in
+        Format.asprintf "%a@,avg distance to MC: %.2f hops, MCs per cluster: %d"
+          Cluster.pp c.Customize.cluster m.Mapping_select.avg_distance
+          m.Mapping_select.mcs_per_cluster)
+      t.artifacts.cfg
+  | Report -> Option.map (str Transform.pp_report) t.artifacts.report
+  | Transformed -> Option.map (str Ast.pp_program) t.artifacts.transformed
+  | C -> t.artifacts.c_code

@@ -1,0 +1,77 @@
+(** The staged compiler pipeline.
+
+    The pass sequence of the layout-transformation compiler, made
+    explicit:
+
+    {v
+    parse → check → analyze → solve → mapping → customize → rewrite
+          [→ verify] [→ codegen]
+    v}
+
+    Every pass has the uniform shape
+    [run : input -> (output, Diag.t list) result]; the manager sequences
+    them, accumulates diagnostics across passes, and records per-pass
+    wall times through {!Obs.Phase_timer}.  A failing pass stops the
+    chain but keeps every artifact produced so far, so [--emit] can dump
+    the last good stage.  With [verify] on (the default), the inter-pass
+    {!Verify} checks run after the rewrite and their violations join the
+    diagnostic stream. *)
+
+type source =
+  | Source of { file : string; src : string }
+  | Program of Lang.Ast.program  (** already-built AST (workload models) *)
+
+type ('a, 'b) pass = {
+  name : string;
+  run : 'a -> ('b, Lang.Diag.t list) result;
+}
+
+val pass : string -> ('a -> ('b, Lang.Diag.t list) result) -> ('a, 'b) pass
+
+type artifacts = {
+  mutable program : Lang.Ast.program option;  (** after parse + check *)
+  mutable analysis : Lang.Analysis.t option;
+  mutable solved : Transform.solved list option;
+  mutable cfg : Customize.config option;  (** the chosen mapping *)
+  mutable report : Transform.report option;
+  mutable transformed : Lang.Ast.program option;
+  mutable c_code : string option;
+}
+
+type t = {
+  artifacts : artifacts;
+  diags : Lang.Diag.t list;  (** sorted; every severity *)
+  timer : Obs.Phase_timer.t;
+  ok : bool;  (** no error-severity diagnostic was produced *)
+}
+
+val compile :
+  ?verify:bool ->
+  ?profile:(string -> (Affine.Vec.t * Affine.Vec.t) list) ->
+  ?threshold:float ->
+  ?bank_pressure:float ->
+  ?candidates:Customize.config list ->
+  ?codegen:string ->
+  cfg:Customize.config ->
+  source ->
+  t
+(** Runs the full pipeline.  [candidates] (default [[cfg]]) are the
+    cluster mappings the mapping-selection pass chooses among by
+    estimated cost; with a single candidate the choice is the identity.
+    [codegen] names the emitted C kernel and enables the codegen pass. *)
+
+(** {2 Stage dumps} *)
+
+type stage = Ast_ | Analysis_ | Solve | Mapping | Report | Transformed | C
+
+val stages : (string * stage) list
+(** CLI name → stage: ast, analysis, solve, mapping, report,
+    transformed, c. *)
+
+val stage_names : string list
+
+val stage_of_string : string -> stage option
+
+val emit : t -> stage -> string option
+(** Printable dump of one stage's artifact, when the pipeline got that
+    far. *)

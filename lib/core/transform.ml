@@ -58,56 +58,75 @@ let weighted_refs ?profile ~threshold (info : Analysis.array_info) =
     info.occurrences;
   (List.rev !refs, !total, !worst_fit)
 
-let decide ?profile ~threshold (cfg : Customize.config)
-    (info : Analysis.array_info) =
-  let name = info.decl.Ast.name in
-  let identity =
-    Layout.identity ~array:name ~extents:info.extents
-      ~elem_bytes:cfg.Customize.elem_bytes
-  in
-  let keep why total =
+(* partition-dimension of the transformed space: the slowest-varying
+   (footnote 3) *)
+let v_dim = 0
+
+type outcome = Solved of Data_to_core.solution | Kept of why_kept
+
+type solved = {
+  s_info : Analysis.array_info;
+  s_refs : Data_to_core.weighted_ref list;
+      (** the weighted references the solver saw (after indexed
+          approximation) — kept for the inter-pass verifier *)
+  s_total : int;
+  s_outcome : outcome;
+}
+
+(* Stage 1 of Algorithm 1: platform-independent.  Collect each array's
+   weighted references (approximating indexed ones from the profile) and
+   solve the Data-to-Core system. *)
+let solve_one ?profile ~threshold (info : Analysis.array_info) =
+  if info.decl.Ast.index_array then
+    { s_info = info; s_refs = []; s_total = 0; s_outcome = Kept Index_array }
+  else begin
+    let refs, total, worst_fit = weighted_refs ?profile ~threshold info in
+    let outcome =
+      match refs with
+      | [] -> (
+        match worst_fit with
+        | Some w -> Kept (Bad_approximation w)
+        | None -> Kept No_parallel_reference)
+      | _ -> (
+        match Data_to_core.solve ~refs ~v:v_dim with
+        | None -> Kept No_solution
+        | Some sol -> Solved sol)
+    in
+    { s_info = info; s_refs = refs; s_total = total; s_outcome = outcome }
+  end
+
+let solve_all ?profile ?(threshold = Indexed.default_threshold)
+    (analysis : Analysis.t) =
+  List.map (solve_one ?profile ~threshold) analysis.Analysis.arrays
+
+(* Stage 2: platform-dependent customization of each solved mapping. *)
+let customize_one (cfg : Customize.config) (s : solved) =
+  let name = s.s_info.decl.Ast.name in
+  match s.s_outcome with
+  | Kept why ->
     {
-      info;
-      layout = identity;
+      info = s.s_info;
+      layout =
+        Layout.identity ~array:name ~extents:s.s_info.extents
+          ~elem_bytes:cfg.Customize.elem_bytes;
       optimized = false;
       kept = Some why;
       satisfied_weight = 0;
-      total_weight = total;
+      total_weight = s.s_total;
     }
-  in
-  if info.decl.Ast.index_array then keep Index_array 0
-  else begin
-    let refs, total, worst_fit = weighted_refs ?profile ~threshold info in
-    match refs with
-    | [] -> (
-      match worst_fit with
-      | Some w -> keep (Bad_approximation w) total
-      | None -> keep No_parallel_reference total)
-    | _ -> (
-      (* data-partition dimension: the slowest-varying (footnote 3) *)
-      let v = 0 in
-      match Data_to_core.solve ~refs ~v with
-      | None -> keep No_solution total
-      | Some sol ->
-        let layout =
-          Customize.customize cfg ~array:name ~extents:info.extents
-            ~u:sol.Data_to_core.u_matrix ~v
-        in
-        {
-          info;
-          layout;
-          optimized = true;
-          kept = None;
-          satisfied_weight = sol.Data_to_core.satisfied_weight;
-          total_weight = total;
-        })
-  end
+  | Solved sol ->
+    {
+      info = s.s_info;
+      layout =
+        Customize.customize cfg ~array:name ~extents:s.s_info.extents
+          ~u:sol.Data_to_core.u_matrix ~v:v_dim;
+      optimized = true;
+      kept = None;
+      satisfied_weight = sol.Data_to_core.satisfied_weight;
+      total_weight = s.s_total;
+    }
 
-let run ?profile ?(threshold = Indexed.default_threshold)
-    (cfg : Customize.config) (analysis : Analysis.t) =
-  let decisions =
-    List.map (decide ?profile ~threshold cfg) analysis.Analysis.arrays
-  in
+let report_of decisions =
   let data_arrays =
     List.filter (fun d -> not d.info.Analysis.decl.Ast.index_array) decisions
   in
@@ -122,6 +141,11 @@ let run ?profile ?(threshold = Indexed.default_threshold)
     pct_refs_satisfied =
       (if tot = 0 then 0. else 100. *. float_of_int sat /. float_of_int tot);
   }
+
+let customize_all cfg solved = report_of (List.map (customize_one cfg) solved)
+
+let run ?profile ?threshold (cfg : Customize.config) (analysis : Analysis.t) =
+  customize_all cfg (solve_all ?profile ?threshold analysis)
 
 let layout_of report name =
   let d =
@@ -215,13 +239,31 @@ let rewrite_program report (p : Ast.program) =
   let decls =
     if uses_home_lookup report then
       (* the compiler-emitted home-bank lookup (shared L2) *)
-      { Ast.name = "__home";
-        extents = [ Ast.Int (home_table_size report) ];
-        index_array = true }
+      Ast.mk_decl ~name:"__home"
+        ~extents:[ Ast.Int (home_table_size report) ]
+        ~index_array:true ()
       :: decls
     else decls
   in
   { p with Ast.decls; Ast.nests = List.map rewrite_stmt p.Ast.nests }
+
+let pp_solved ppf (s : solved) =
+  let name = s.s_info.Analysis.decl.Ast.name in
+  match s.s_outcome with
+  | Solved sol ->
+    Format.fprintf ppf "@[<v>%s: g = %a (weight %d/%d), U =@,%a@]" name
+      Vec.pp sol.Data_to_core.g sol.Data_to_core.satisfied_weight s.s_total
+      Affine.Matrix.pp sol.Data_to_core.u_matrix
+  | Kept why ->
+    let reason =
+      match why with
+      | Index_array -> "index array"
+      | No_parallel_reference -> "no parallel affine reference"
+      | No_solution -> "no non-trivial solution"
+      | Bad_approximation f ->
+        Printf.sprintf "approximation inaccuracy %.0f%%" (100. *. f)
+    in
+    Format.fprintf ppf "%s: kept (%s)" name reason
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>arrays optimized: %.1f%%, references satisfied: %.1f%%"

@@ -29,14 +29,47 @@ type report = {
   pct_refs_satisfied : float;  (** Table 2, column 3 (weighted) *)
 }
 
+type outcome =
+  | Solved of Data_to_core.solution
+  | Kept of why_kept
+
+type solved = {
+  s_info : Lang.Analysis.array_info;
+  s_refs : Data_to_core.weighted_ref list;
+      (** the weighted references the solver saw (after indexed
+          approximation) — kept for the inter-pass verifier *)
+  s_total : int;  (** total reference weight, satisfied or not *)
+  s_outcome : outcome;
+}
+
+val v_dim : int
+(** The data-partition dimension of the transformed space (0: the
+    slowest-varying, footnote 3). *)
+
+val solve_all :
+  ?profile:(string -> (Affine.Vec.t * Affine.Vec.t) list) ->
+  ?threshold:float ->
+  Lang.Analysis.t ->
+  solved list
+(** Algorithm 1, platform-independent half: per array, collect weighted
+    references (approximating indexed ones from the profile) and solve
+    the Data-to-Core system.  [profile array] returns (iteration,
+    data-vector) samples for arrays with indexed references (default: no
+    profile, such arrays are kept). *)
+
+val customize_all : Customize.config -> solved list -> report
+(** Algorithm 1, platform-dependent half: customize every solved mapping
+    for the given L2 organization / interleaving / cluster mapping. *)
+
 val run :
   ?profile:(string -> (Affine.Vec.t * Affine.Vec.t) list) ->
   ?threshold:float ->
   Customize.config ->
   Lang.Analysis.t ->
   report
-(** [profile array] returns (iteration, data-vector) samples for arrays
-    with indexed references (default: no profile, such arrays are kept). *)
+(** [run cfg a = customize_all cfg (solve_all a)]. *)
+
+val pp_solved : Format.formatter -> solved -> unit
 
 val layout_of : report -> string -> Layout.t
 (** Layout chosen for an array (identity when kept).  Raises [Not_found]

@@ -1,0 +1,27 @@
+(** Inter-pass verifier.
+
+    Independent re-checks of the invariants each pipeline stage claims,
+    run between passes (and from [occ --verify]):
+
+    - [V001] every optimized layout's [U] is unimodular;
+    - [V002] the Data-to-Core solution still solves its weighted system
+      ([Bᵀ·gᵥ = 0] recheck, and the satisfied weight matches);
+    - [V003] every [Perm] home table is a permutation, and all layouts
+      agree on it (a single [__home] array is emitted);
+    - [V004] sampled original indices stay inside the transformed
+      allocation and map injectively;
+    - [V005] the cluster map is a thread ↔ node bijection;
+    - [V006] the transformed program is semantically equivalent to the
+      original on sampled iterations: every statement-level reference
+      evaluates to the element [Layout.offset_of_index] predicts.
+
+    Violations come back as located diagnostics (span of the offending
+    declaration or reference), never exceptions. *)
+
+val run :
+  cfg:Customize.config ->
+  solved:Transform.solved list ->
+  report:Transform.report ->
+  original:Lang.Ast.program ->
+  transformed:Lang.Ast.program ->
+  Lang.Diag.t list

@@ -231,5 +231,25 @@ let analyze (p : Ast.program) =
   in
   { program = p; params; arrays }
 
+(* Pre-checks the one Unsupported condition with a located diagnostic per
+   offending declaration, then runs the (infallible) analysis. *)
+let analyze_result (p : Ast.program) =
+  let bad =
+    List.filter_map
+      (fun (d : Ast.decl) ->
+        if List.exists (fun e -> const_expr p.params e = None) d.extents then
+          Some
+            (Diag.error ~code:"S006" d.decl_span
+               ("non-constant extent for " ^ d.name))
+        else None)
+      p.decls
+  in
+  if bad <> [] then Error bad
+  else
+    match analyze p with
+    | t -> Ok t
+    | exception Unsupported msg ->
+      Error [ Diag.error ~code:"S006" Span.dummy msg ]
+
 let array_info t name =
   List.find (fun a -> String.equal a.decl.name name) t.arrays

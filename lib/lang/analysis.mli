@@ -40,6 +40,10 @@ exception Unsupported of string
 val analyze : Ast.program -> t
 (** Raises {!Unsupported} if an extent is not constant. *)
 
+val analyze_result : Ast.program -> (t, Diag.t list) result
+(** Like {!analyze}, but returns one located diagnostic ([S006]) per
+    declaration whose extents are not constant. *)
+
 val array_info : t -> string -> array_info
 (** Raises [Not_found] for an undeclared array. *)
 

@@ -17,7 +17,7 @@ type expr =
   | Mod of expr * expr
   | Load of ref_  (** array read appearing inside an expression *)
 
-and ref_ = { array : string; subs : expr list }
+and ref_ = { array : string; subs : expr list; ref_span : Span.t }
 
 type relop = Lt | Le | Gt | Ge | Eq | Ne
 
@@ -26,7 +26,14 @@ type stmt =
   | Loop of loop
   | If of cond  (** the pass conservatively assumes both branches run *)
 
-and cond = { lhs : expr; op : relop; rhs : expr; then_ : stmt list; else_ : stmt list }
+and cond = {
+  lhs : expr;
+  op : relop;
+  rhs : expr;
+  then_ : stmt list;
+  else_ : stmt list;
+  cond_span : Span.t;  (** the [if (...)] header *)
+}
 
 and loop = {
   index : string;
@@ -34,6 +41,7 @@ and loop = {
   hi : expr;  (** inclusive: [for i = lo to hi] *)
   parallel : bool;  (** [parfor]: iterations block-distributed over cores *)
   body : stmt list;
+  loop_span : Span.t;  (** the [for i = lo to hi] header *)
 }
 
 type decl = {
@@ -42,6 +50,7 @@ type decl = {
   index_array : bool;
       (** integer-valued array used only in subscripts (e.g. CRS column
           indices); never layout-transformed *)
+  decl_span : Span.t;
 }
 
 type program = {
@@ -49,6 +58,70 @@ type program = {
   decls : decl list;
   nests : stmt list;  (** top-level loop nests, executed in order *)
 }
+
+(* Constructors for programmatically-built nodes (rewrites, tests): the
+   span defaults to {!Span.dummy}. *)
+
+let mk_ref ?(span = Span.dummy) ~array ~subs () =
+  { array; subs; ref_span = span }
+
+let mk_decl ?(span = Span.dummy) ?(index_array = false) ~name ~extents () =
+  { name; extents; index_array; decl_span = span }
+
+let span_of_stmt = function
+  | Assign (r, _) -> r.ref_span
+  | Loop l -> l.loop_span
+  | If c -> c.cond_span
+
+(* Structural identity with every span replaced by {!Span.dummy} — what
+   the parse∘print round-trip preserves. *)
+let rec strip_spans_expr = function
+  | (Int _ | Var _) as e -> e
+  | Neg a -> Neg (strip_spans_expr a)
+  | Add (a, b) -> Add (strip_spans_expr a, strip_spans_expr b)
+  | Sub (a, b) -> Sub (strip_spans_expr a, strip_spans_expr b)
+  | Mul (a, b) -> Mul (strip_spans_expr a, strip_spans_expr b)
+  | Div (a, b) -> Div (strip_spans_expr a, strip_spans_expr b)
+  | Mod (a, b) -> Mod (strip_spans_expr a, strip_spans_expr b)
+  | Load r -> Load (strip_spans_ref r)
+
+and strip_spans_ref r =
+  { r with subs = List.map strip_spans_expr r.subs; ref_span = Span.dummy }
+
+let rec strip_spans_stmt = function
+  | Assign (r, e) -> Assign (strip_spans_ref r, strip_spans_expr e)
+  | Loop l ->
+    Loop
+      {
+        l with
+        lo = strip_spans_expr l.lo;
+        hi = strip_spans_expr l.hi;
+        body = List.map strip_spans_stmt l.body;
+        loop_span = Span.dummy;
+      }
+  | If c ->
+    If
+      {
+        c with
+        lhs = strip_spans_expr c.lhs;
+        rhs = strip_spans_expr c.rhs;
+        then_ = List.map strip_spans_stmt c.then_;
+        else_ = List.map strip_spans_stmt c.else_;
+        cond_span = Span.dummy;
+      }
+
+let strip_spans p =
+  {
+    p with
+    decls =
+      List.map
+        (fun d ->
+          { d with extents = List.map strip_spans_expr d.extents; decl_span = Span.dummy })
+        p.decls;
+    nests = List.map strip_spans_stmt p.nests;
+  }
+
+let equal_program a b = strip_spans a = strip_spans b
 
 let rec pp_expr ppf = function
   | Int n -> Format.pp_print_int ppf n
@@ -67,7 +140,7 @@ and pp_atom ppf e =
   | Neg _ | Add _ | Sub _ | Mul _ | Div _ | Mod _ ->
     Format.fprintf ppf "(%a)" pp_expr e
 
-and pp_ref ppf { array; subs } =
+and pp_ref ppf { array; subs; _ } =
   Format.pp_print_string ppf array;
   List.iter (fun s -> Format.fprintf ppf "[%a]" pp_expr s) subs
 

@@ -8,27 +8,34 @@
 
 type env = { extents : (string * int list) list; index_arrays : string list }
 
-let rec static_extent env e =
+(* All back-end failures are located diagnostics, raised as {!Diag.Fatal}
+   and surfaced through {!emit_result}; {!emit} keeps the historical
+   [Invalid_argument] for callers that treat them as fatal. *)
+let error ~code ~span msg = raise (Diag.Fatal (Diag.error ~code span msg))
+
+let rec static_extent ~span env e =
   match e with
   | Ast.Int n -> n
   | Ast.Var x -> (
     match List.assoc_opt x env with
     | Some v -> v
-    | None -> invalid_arg ("Codegen: non-constant extent " ^ x))
-  | Ast.Neg a -> -static_extent env a
-  | Ast.Add (a, b) -> static_extent env a + static_extent env b
-  | Ast.Sub (a, b) -> static_extent env a - static_extent env b
-  | Ast.Mul (a, b) -> static_extent env a * static_extent env b
-  | Ast.Div (a, b) -> static_extent env a / static_extent env b
-  | Ast.Mod (a, b) -> static_extent env a mod static_extent env b
-  | Ast.Load _ -> invalid_arg "Codegen: load in extent"
+    | None -> error ~code:"G002" ~span ("Codegen: non-constant extent " ^ x))
+  | Ast.Neg a -> -static_extent ~span env a
+  | Ast.Add (a, b) -> static_extent ~span env a + static_extent ~span env b
+  | Ast.Sub (a, b) -> static_extent ~span env a - static_extent ~span env b
+  | Ast.Mul (a, b) -> static_extent ~span env a * static_extent ~span env b
+  | Ast.Div (a, b) -> static_extent ~span env a / static_extent ~span env b
+  | Ast.Mod (a, b) -> static_extent ~span env a mod static_extent ~span env b
+  | Ast.Load _ -> error ~code:"G002" ~span "Codegen: load in extent"
 
 (* flattened reference: A[(e1)*M2*M3 + (e2)*M3 + e3] *)
 let rec render_ref env buf (r : Ast.ref_) =
   let extents =
     match List.assoc_opt r.Ast.array env.extents with
     | Some e -> e
-    | None -> invalid_arg ("Codegen: unknown array " ^ r.Ast.array)
+    | None ->
+      error ~code:"G003" ~span:r.Ast.ref_span
+        ("Codegen: unknown array " ^ r.Ast.array)
   in
   Buffer.add_string buf r.Ast.array;
   Buffer.add_char buf '[';
@@ -129,12 +136,14 @@ let rec render_stmt env buf depth = function
     indent buf depth;
     Buffer.add_string buf "}\n"
 
-let emit ?(name = "kernel") (p : Ast.program) =
+let emit_exn ?(name = "kernel") (p : Ast.program) =
   let param_env = p.Ast.params in
   let extents =
     List.map
       (fun (d : Ast.decl) ->
-        (d.Ast.name, List.map (static_extent param_env) d.Ast.extents))
+        ( d.Ast.name,
+          List.map (static_extent ~span:d.Ast.decl_span param_env) d.Ast.extents
+        ))
       p.Ast.decls
   in
   let index_arrays =
@@ -172,6 +181,16 @@ let emit ?(name = "kernel") (p : Ast.program) =
   List.iter (render_stmt env buf 1) p.Ast.nests;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+let emit_result ?name p =
+  match emit_exn ?name p with
+  | s -> Ok s
+  | exception Diag.Fatal d -> Error [ d ]
+
+let emit ?name p =
+  match emit_exn ?name p with
+  | s -> s
+  | exception Diag.Fatal d -> invalid_arg d.Diag.message
 
 let emit_to_file ?name path p =
   let oc = open_out path in

@@ -14,11 +14,16 @@
     shared-L2 customization) become [long] buffers with an
     initialization hook the caller fills in. *)
 
-val emit : ?name:string -> Ast.program -> string
-(** [emit p] is a complete C translation unit: array definitions, an
-    [init_<name>_index_arrays] stub for index-array contents, and a
+val emit_result : ?name:string -> Ast.program -> (string, Diag.t list) result
+(** [emit_result p] is a complete C translation unit: array definitions,
+    an [init_<name>_index_arrays] stub for index-array contents, and a
     [run_<name>] function containing the loop nests.  [name] defaults to
-    ["kernel"]. *)
+    ["kernel"].  Failures ([G002] non-constant extent, [G003] unknown
+    array) come back as located diagnostics. *)
+
+val emit : ?name:string -> Ast.program -> string
+(** Raising wrapper over {!emit_result}: raises [Invalid_argument] with
+    the diagnostic's message. *)
 
 val emit_to_file : ?name:string -> string -> Ast.program -> unit
 (** Writes {!emit} output to a path. *)

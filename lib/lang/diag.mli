@@ -1,0 +1,54 @@
+(** Structured, located compiler diagnostics.
+
+    Every compiler-side failure — lexical, syntactic, semantic, and the
+    inter-pass verifier's invariant violations — is a [Diag.t]: a
+    severity, a stable error code ([L...] lexical, [P...] parse, [S...]
+    semantic, [C...] configuration, [V...] verifier, [G...] codegen), a
+    source {!Span.t}, a message and optional secondary notes.  Passes
+    return [('a, t list) result]; the caret pretty-printer and JSON
+    encoder render the same value for terminals and tooling. *)
+
+type severity = Error | Warning | Note
+
+type note = { note_span : Span.t option; note_text : string }
+
+type t = {
+  severity : severity;
+  code : string;
+  span : Span.t;
+  message : string;
+  notes : note list;
+}
+
+exception Fatal of t
+(** Raised only by the legacy raising wrappers ([Parser.parse],
+    [Interp.trace] on malformed input); pipeline entry points catch it. *)
+
+val make :
+  ?severity:severity -> ?code:string -> ?notes:note list -> Span.t -> string -> t
+
+val error : ?code:string -> ?notes:note list -> Span.t -> string -> t
+
+val warning : ?code:string -> ?notes:note list -> Span.t -> string -> t
+
+val note : ?span:Span.t -> string -> note
+
+val severity_string : severity -> string
+
+val is_error : t -> bool
+
+val has_errors : t list -> bool
+
+val sorted : t list -> t list
+(** Stable sort by file, then start offset, errors before warnings. *)
+
+val pp : ?src:string -> Format.formatter -> t -> unit
+(** [file:line:col: severity[code]: message] with a caret line under the
+    offending source text when [src] is supplied. *)
+
+val to_string : ?src:string -> t -> string
+
+val to_json : ?src:string -> t -> Obs.Json.t
+
+val list_to_json : ?src:string -> t list -> Obs.Json.t
+(** Sorted array of diagnostics — the payload of [occ --diag-json]. *)

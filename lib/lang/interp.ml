@@ -55,7 +55,10 @@ let trace ~threads ?(threads_per_core = 1) ~addr_of
       | Ast.Var x -> (
         match Hashtbl.find_opt env x with
         | Some v -> v
-        | None -> failwith ("unbound variable " ^ x))
+        | None ->
+          raise
+            (Diag.Fatal
+               (Diag.error ~code:"I001" Span.dummy ("unbound variable " ^ x))))
       | Ast.Neg a -> -eval t a
       | Ast.Add (a, b) -> eval t a + eval t b
       | Ast.Sub (a, b) -> eval t a - eval t b

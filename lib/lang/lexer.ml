@@ -30,6 +30,8 @@ type token =
   | SEMI
   | EOF
 
+type spanned = { tok : token; span : Span.t }
+
 exception Error of string * int
 
 let keyword = function
@@ -49,82 +51,118 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize src =
+(* The scanner proper: spanned tokens, or the first lexical diagnostic.
+   [//] comments run to end of line; [/* ... */] comments nest one level
+   deep in spirit (they do not nest — the first [*/] closes) and must be
+   terminated before EOF. *)
+let scan ?(file = "<input>") src =
   let n = String.length src in
   let toks = ref [] in
-  let push t = toks := t :: !toks in
+  let push tok lo hi = toks := { tok; span = Span.make ~file ~lo ~hi } :: !toks in
+  let err ?notes code lo hi msg =
+    Result.Error (Diag.error ~code ?notes (Span.make ~file ~lo ~hi) msg)
+  in
   let i = ref 0 in
-  while !i < n do
+  let result = ref None in
+  while Option.is_none !result && !i < n do
     let c = src.[!i] in
+    let st = !i in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
     else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
       while !i < n && src.[!i] <> '\n' do
         incr i
       done
     end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* block comment: scan for the closing [*/]; reaching EOF first is a
+         located error at the opening delimiter, not silent truncation *)
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then
+        result :=
+          Some
+            (err "L002" st (st + 2) "unterminated block comment"
+               ~notes:[ Diag.note "the comment is opened here and never closed with */" ])
+    end
     else if is_digit c then begin
-      let st = !i in
       while !i < n && is_digit src.[!i] do
         incr i
       done;
-      push (INT (int_of_string (String.sub src st (!i - st))))
+      push (INT (int_of_string (String.sub src st (!i - st)))) st !i
     end
     else if is_ident_start c then begin
-      let st = !i in
       while !i < n && is_ident_char src.[!i] do
         incr i
       done;
       let s = String.sub src st (!i - st) in
-      push (match keyword s with Some k -> k | None -> IDENT s)
+      push (match keyword s with Some k -> k | None -> IDENT s) st !i
     end
-    else if c = '<' then begin
+    else if c = '<' then
       if !i + 1 < n && src.[!i + 1] = '=' then begin
-        push LE;
+        push LE st (st + 2);
         i := !i + 2
       end
       else begin
-        push LT;
+        push LT st (st + 1);
         incr i
       end
-    end
-    else if c = '>' then begin
+    else if c = '>' then
       if !i + 1 < n && src.[!i + 1] = '=' then begin
-        push GE;
+        push GE st (st + 2);
         i := !i + 2
       end
       else begin
-        push GT;
+        push GT st (st + 1);
         incr i
       end
-    end
     else if c = '=' && !i + 1 < n && src.[!i + 1] = '=' then begin
-      push EQEQ;
+      push EQEQ st (st + 2);
       i := !i + 2
     end
     else if c = '!' && !i + 1 < n && src.[!i + 1] = '=' then begin
-      push NE;
+      push NE st (st + 2);
       i := !i + 2
     end
     else begin
       (match c with
-      | '[' -> push LBRACKET
-      | ']' -> push RBRACKET
-      | '{' -> push LBRACE
-      | '}' -> push RBRACE
-      | '(' -> push LPAREN
-      | ')' -> push RPAREN
-      | '+' -> push PLUS
-      | '-' -> push MINUS
-      | '*' -> push STAR
-      | '/' -> push SLASH
-      | '%' -> push PERCENT
-      | '=' -> push EQUALS
-      | ';' -> push SEMI
-      | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !i)));
-      incr i
+      | '[' -> push LBRACKET st (st + 1)
+      | ']' -> push RBRACKET st (st + 1)
+      | '{' -> push LBRACE st (st + 1)
+      | '}' -> push RBRACE st (st + 1)
+      | '(' -> push LPAREN st (st + 1)
+      | ')' -> push RPAREN st (st + 1)
+      | '+' -> push PLUS st (st + 1)
+      | '-' -> push MINUS st (st + 1)
+      | '*' -> push STAR st (st + 1)
+      | '/' -> push SLASH st (st + 1)
+      | '%' -> push PERCENT st (st + 1)
+      | '=' -> push EQUALS st (st + 1)
+      | ';' -> push SEMI st (st + 1)
+      | _ ->
+        result :=
+          Some
+            (err "L001" st (st + 1)
+               (Printf.sprintf "unexpected character %C" c)));
+      if Option.is_none !result then incr i
     end
   done;
-  List.rev (EOF :: !toks)
+  match !result with
+  | Some e -> e
+  | None ->
+    push EOF n n;
+    Ok (List.rev !toks)
+
+let tokenize src =
+  match scan src with
+  | Ok spanned -> List.map (fun s -> s.tok) spanned
+  | Error d -> raise (Error (d.Diag.message, d.Diag.span.Span.lo))
 
 let pp_token ppf = function
   | IDENT s -> Format.fprintf ppf "ident %s" s

@@ -1,25 +1,45 @@
-exception Error of string
+exception Error of Diag.t
 
-type state = { mutable toks : Lexer.token list }
+type state = {
+  mutable toks : Lexer.spanned list;
+  file : string;
+  mutable last_end : int;  (* end offset of the most recently consumed token *)
+}
 
-let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t.Lexer.tok
 
-let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+let peek_span st =
+  match st.toks with
+  | [] -> Span.make ~file:st.file ~lo:st.last_end ~hi:st.last_end
+  | t :: _ -> t.Lexer.span
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | t :: r ->
+    st.last_end <- t.Lexer.span.Span.hi;
+    st.toks <- r
+
+(* Span from a start offset to the end of the last consumed token. *)
+let since st lo = Span.make ~file:st.file ~lo ~hi:st.last_end
+
+let syntax_error ?(code = "P001") st msg = raise (Error (Diag.error ~code (peek_span st) msg))
 
 let expect st t =
   if peek st = t then advance st
   else
-    raise
-      (Error
-         (Format.asprintf "expected %a, found %a" Lexer.pp_token t
-            Lexer.pp_token (peek st)))
+    syntax_error st
+      (Format.asprintf "expected %a, found %a" Lexer.pp_token t Lexer.pp_token
+         (peek st))
 
 let ident st =
   match peek st with
   | Lexer.IDENT s ->
     advance st;
     s
-  | t -> raise (Error (Format.asprintf "expected identifier, found %a" Lexer.pp_token t))
+  | t ->
+    syntax_error ~code:"P002" st
+      (Format.asprintf "expected identifier, found %a" Lexer.pp_token t)
 
 (* expr := term (("+"|"-") term)* *)
 let rec expr st =
@@ -67,10 +87,16 @@ and factor st =
     expect st Lexer.RPAREN;
     e
   | Lexer.IDENT name ->
+    let lo = (peek_span st).Span.lo in
     advance st;
-    if peek st = Lexer.LBRACKET then Ast.Load { array = name; subs = subscripts st }
+    if peek st = Lexer.LBRACKET then begin
+      let subs = subscripts st in
+      Ast.Load { Ast.array = name; subs; ref_span = since st lo }
+    end
     else Ast.Var name
-  | t -> raise (Error (Format.asprintf "unexpected token %a" Lexer.pp_token t))
+  | t ->
+    syntax_error ~code:"P003" st
+      (Format.asprintf "unexpected token %a" Lexer.pp_token t)
 
 and subscripts st =
   let rec loop acc =
@@ -92,29 +118,41 @@ let relop st =
   | Lexer.GE -> advance st; Ast.Ge
   | Lexer.EQEQ -> advance st; Ast.Eq
   | Lexer.NE -> advance st; Ast.Ne
-  | t -> raise (Error (Format.asprintf "expected comparison, found %a" Lexer.pp_token t))
+  | t ->
+    syntax_error ~code:"P004" st
+      (Format.asprintf "expected comparison, found %a" Lexer.pp_token t)
 
 let rec stmt st =
   match peek st with
   | Lexer.KW_FOR | Lexer.KW_PARFOR -> Ast.Loop (loop_stmt st)
   | Lexer.KW_IF -> if_stmt st
   | Lexer.IDENT name ->
+    let lo = (peek_span st).Span.lo in
     advance st;
     let subs = subscripts st in
-    if subs = [] then raise (Error ("assignment target must be an array reference: " ^ name));
+    let ref_span = since st lo in
+    if subs = [] then
+      raise
+        (Error
+           (Diag.error ~code:"P006" ref_span
+              ("assignment target must be an array reference: " ^ name)));
     expect st Lexer.EQUALS;
     let rhs = expr st in
     expect st Lexer.SEMI;
-    Ast.Assign ({ array = name; subs }, rhs)
-  | t -> raise (Error (Format.asprintf "expected statement, found %a" Lexer.pp_token t))
+    Ast.Assign ({ Ast.array = name; subs; ref_span }, rhs)
+  | t ->
+    syntax_error ~code:"P005" st
+      (Format.asprintf "expected statement, found %a" Lexer.pp_token t)
 
 and if_stmt st =
+  let lo = (peek_span st).Span.lo in
   expect st Lexer.KW_IF;
   expect st Lexer.LPAREN;
   let lhs = expr st in
   let op = relop st in
   let rhs = expr st in
   expect st Lexer.RPAREN;
+  let cond_span = since st lo in
   let block () =
     expect st Lexer.LBRACE;
     let rec items acc =
@@ -134,9 +172,10 @@ and if_stmt st =
     end
     else []
   in
-  Ast.If { Ast.lhs; op; rhs; then_; else_ }
+  Ast.If { Ast.lhs; op; rhs; then_; else_; cond_span }
 
 and loop_stmt st =
+  let lo_off = (peek_span st).Span.lo in
   let parallel =
     match peek st with
     | Lexer.KW_PARFOR -> true
@@ -149,6 +188,7 @@ and loop_stmt st =
   let lo = expr st in
   expect st Lexer.KW_TO;
   let hi = expr st in
+  let loop_span = since st lo_off in
   let body =
     if peek st = Lexer.LBRACE then begin
       advance st;
@@ -163,65 +203,90 @@ and loop_stmt st =
     end
     else [ stmt st ]
   in
-  { Ast.index; lo; hi; parallel; body }
+  { Ast.index; lo; hi; parallel; body; loop_span }
 
 let program st =
   let params = ref [] and decls = ref [] and nests = ref [] in
-  let rec const_eval e =
+  let rec const_eval ~span e =
     (* parameters may be used in later param definitions and extents *)
     match e with
     | Ast.Int n -> n
     | Ast.Var x -> (
       match List.assoc_opt x !params with
       | Some v -> v
-      | None -> raise (Error ("unknown parameter " ^ x)))
-    | Ast.Neg a -> -const_eval a
-    | Ast.Add (a, b) -> const_eval a + const_eval b
-    | Ast.Sub (a, b) -> const_eval a - const_eval b
-    | Ast.Mul (a, b) -> const_eval a * const_eval b
-    | Ast.Div (a, b) -> const_eval a / const_eval b
-    | Ast.Mod (a, b) -> const_eval a mod const_eval b
-    | Ast.Load _ -> raise (Error "array reference in constant expression")
+      | None ->
+        raise (Error (Diag.error ~code:"S001" span ("unknown parameter " ^ x))))
+    | Ast.Neg a -> -const_eval ~span a
+    | Ast.Add (a, b) -> const_eval ~span a + const_eval ~span b
+    | Ast.Sub (a, b) -> const_eval ~span a - const_eval ~span b
+    | Ast.Mul (a, b) -> const_eval ~span a * const_eval ~span b
+    | Ast.Div (a, b) -> const_eval ~span a / const_eval ~span b
+    | Ast.Mod (a, b) -> const_eval ~span a mod const_eval ~span b
+    | Ast.Load _ ->
+      raise
+        (Error (Diag.error ~code:"S002" span "array reference in constant expression"))
   in
   let rec items () =
     match peek st with
     | Lexer.EOF -> ()
     | Lexer.KW_PARAM ->
+      let lo = (peek_span st).Span.lo in
       advance st;
       let name = ident st in
       expect st Lexer.EQUALS;
-      let v = const_eval (expr st) in
+      let e = expr st in
+      let v = const_eval ~span:(since st lo) e in
       expect st Lexer.SEMI;
       params := !params @ [ (name, v) ];
       items ()
     | Lexer.KW_ARRAY | Lexer.KW_INDEX ->
+      let lo = (peek_span st).Span.lo in
       let index_array = peek st = Lexer.KW_INDEX in
       advance st;
       let name = ident st in
       let extents = subscripts st in
-      if extents = [] then raise (Error ("array without dimensions: " ^ name));
+      if extents = [] then
+        raise
+          (Error
+             (Diag.error ~code:"S003" (since st lo)
+                ("array without dimensions: " ^ name)));
       expect st Lexer.SEMI;
-      decls := !decls @ [ { Ast.name; extents; index_array } ];
+      decls := !decls @ [ { Ast.name; extents; index_array; decl_span = since st lo } ];
       items ()
     | Lexer.KW_FOR | Lexer.KW_PARFOR ->
       nests := !nests @ [ stmt st ];
       items ()
-    | t -> raise (Error (Format.asprintf "unexpected top-level token %a" Lexer.pp_token t))
+    | t ->
+      syntax_error ~code:"P007" st
+        (Format.asprintf "unexpected top-level token %a" Lexer.pp_token t)
   in
   items ();
   { Ast.params = !params; decls = !decls; nests = !nests }
 
-(* Scope checking: every referenced array declared, with matching rank. *)
-let check (p : Ast.program) =
+(* Scope checking: every referenced array declared, with matching rank.
+   All violations are collected — one located diagnostic per offending
+   reference — instead of dying at the first. *)
+let check_result (p : Ast.program) =
   let ranks = Hashtbl.create 16 in
-  List.iter (fun (d : Ast.decl) -> Hashtbl.replace ranks d.name (List.length d.extents)) p.decls;
+  List.iter
+    (fun (d : Ast.decl) ->
+      Hashtbl.replace ranks d.name (List.length d.extents, d.decl_span))
+    p.decls;
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
   let check_ref (r : Ast.ref_) =
     match Hashtbl.find_opt ranks r.array with
-    | None -> raise (Error ("undeclared array " ^ r.array))
-    | Some rk ->
+    | None ->
+      emit (Diag.error ~code:"S004" r.ref_span ("undeclared array " ^ r.array))
+    | Some (rk, dspan) ->
       if rk <> List.length r.subs then
-        raise (Error (Printf.sprintf "array %s has rank %d, used with %d subscripts"
-                        r.array rk (List.length r.subs)))
+        emit
+          (Diag.error ~code:"S005" r.ref_span
+             ~notes:
+               (if Span.is_dummy dspan then []
+                else [ Diag.note ~span:dspan (r.array ^ " declared here") ])
+             (Printf.sprintf "array %s has rank %d, used with %d subscripts"
+                r.array rk (List.length r.subs)))
   in
   let rec check_expr = function
     | Ast.Int _ | Ast.Var _ -> ()
@@ -249,13 +314,44 @@ let check (p : Ast.program) =
       List.iter check_stmt c.Ast.else_
   in
   List.iter check_stmt p.nests;
-  p
+  match List.rev !diags with [] -> Ok p | ds -> Result.Error ds
 
-let parse src = check (program { toks = Lexer.tokenize src })
+let check (p : Ast.program) =
+  match check_result p with
+  | Ok p -> p
+  | Result.Error (d :: _) -> raise (Error d)
+  | Result.Error [] -> assert false
 
-let parse_file path =
+let parse_program_result ?(file = "<input>") src =
+  match Lexer.scan ~file src with
+  | Result.Error d -> Result.Error [ d ]
+  | Ok toks -> (
+    match program { toks; file; last_end = 0 } with
+    | p -> Ok p
+    | exception Error d -> Result.Error [ d ])
+
+let parse_result ?file src =
+  match parse_program_result ?file src with
+  | Result.Error _ as e -> e
+  | Ok p -> check_result p
+
+let parse ?file src =
+  match parse_result ?file src with
+  | Ok p -> p
+  | Result.Error (d :: _) -> raise (Error d)
+  | Result.Error [] -> assert false
+
+let read_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  parse src
+  src
+
+let parse_file_result path =
+  match read_file path with
+  | src -> parse_result ~file:path src
+  | exception Sys_error e ->
+    Result.Error [ Diag.error ~code:"P000" (Span.make ~file:path ~lo:0 ~hi:0) e ]
+
+let parse_file path = parse ~file:path (read_file path)

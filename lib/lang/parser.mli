@@ -8,20 +8,45 @@
                | loop
     loop     ::= ("for"|"parfor") IDENT "=" expr "to" expr body
     body     ::= "{" stmt* "}" | stmt
-    stmt     ::= loop | ref "=" expr ";"
+    stmt     ::= loop | "if" "(" expr relop expr ")" block ("else" block)?
+               | ref "=" expr ";"
     ref      ::= IDENT ("[" expr "]")+
     expr     ::= term (("+"|"-") term)*
     term     ::= factor (("*"|"/"|"%") factor)*
     factor   ::= INT | "-" factor | "(" expr ")" | IDENT | ref
-    v} *)
+    v}
 
-exception Error of string
-(** Syntax or scoping error. *)
+    The [_result] entry points return located diagnostics; [parse] and
+    [parse_file] are raising wrappers kept for callers that treat any
+    malformed input as fatal. *)
 
-val parse : string -> Ast.program
-(** Parses a full source string.  Checks that every referenced array is
-    declared and that subscript counts match declarations.  Raises
-    {!Error} or {!Lexer.Error} on malformed input. *)
+exception Error of Diag.t
+(** Syntax or scoping error, raised by {!parse} / {!parse_file}. *)
+
+val parse_program_result :
+  ?file:string -> string -> (Ast.program, Diag.t list) result
+(** Lex and parse only — no scope check.  The pipeline runs the check as
+    its own pass. *)
+
+val parse_result :
+  ?file:string -> string -> (Ast.program, Diag.t list) result
+(** Parses a full source string and scope-checks it: every referenced
+    array must be declared with a matching subscript count.  Lexical and
+    syntax errors stop at the first diagnostic; semantic checking
+    collects one located diagnostic per offending reference. *)
+
+val parse_file_result : string -> (Ast.program, Diag.t list) result
+(** Reads and parses a file; an unreadable file is a [P000] diagnostic. *)
+
+val check_result : Ast.program -> (Ast.program, Diag.t list) result
+(** Scope check alone, for programmatically constructed programs. *)
+
+val parse : ?file:string -> string -> Ast.program
+(** Raising wrapper over {!parse_result}: raises {!Error} with the first
+    diagnostic. *)
 
 val parse_file : string -> Ast.program
 (** Reads and parses a file. *)
+
+val check : Ast.program -> Ast.program
+(** Raising wrapper over {!check_result}. *)

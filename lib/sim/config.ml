@@ -147,15 +147,18 @@ let build ?(scaled = true) ?(l2 = "private") ?(interleave = "line")
     if scaled then make_default ~l1_size:4096 ~l2_size:16384
     else make_default ~l1_size:(16 * 1024) ~l2_size:(256 * 1024)
   in
-  let cfg = mesh ~width ~height base in
+  (* cluster construction rejects meshes it cannot partition evenly;
+     surface that as a value error, not an exception *)
+  let catch f = match f () with c -> Ok c | exception Invalid_argument e -> Error e in
+  let* cfg = catch (fun () -> mesh ~width ~height base) in
   let* cfg =
     match mapping with
     | "M1" -> Ok cfg
-    | "M2" -> Ok (with_cluster cfg (Core.Cluster.m2 ~width ~height))
+    | "M2" -> catch (fun () -> with_cluster cfg (Core.Cluster.m2 ~width ~height))
     | m -> (
       match int_of_string_opt m with
       | Some mcs when mcs > 0 ->
-        Ok (with_cluster cfg (Core.Cluster.with_mcs ~width ~height ~mcs))
+        catch (fun () -> with_cluster cfg (Core.Cluster.with_mcs ~width ~height ~mcs))
       | _ -> Error ("unknown mapping " ^ m))
   in
   let* l2_org =

@@ -2,13 +2,16 @@
    test/golden/.
 
      dune exec test/gen_golden.exe -- golden/seed0_stats.json
+     dune exec test/gen_golden.exe -- --emits test/golden
 
    The seed-0 stats golden pins the simulator's observable behavior: the
    engine refactors (event heap, request pool, route memoization) must
-   keep it byte-identical.  Regenerating it is legitimate only when a
-   change intentionally alters the simulated timing model — never to
+   keep it byte-identical.  The --emits goldens pin the compiler
+   pipeline's stage dumps (occ --emit) for jacobi and hpccg.
+   Regenerating either is legitimate only when a change intentionally
+   alters the simulated timing model or the pass artifacts — never to
    absorb an accidental behavior change; say why in the commit that
-   updates it. *)
+   updates them. *)
 
 let small_src =
   {|
@@ -18,16 +21,61 @@ array B[N][N];
 parfor i = 1 to N-2 { for j = 0 to N-1 { A[i][j] = B[i][j] + B[i-1][j] + B[i+1][j]; } }
 |}
 
-let () =
+let stats_golden path =
   let cfg = Sim.Config.scaled () in
   let program = Lang.Parser.parse small_src in
   let r = Sim.Runner.run cfg ~optimized:false program in
   let doc = Sweep.Exec.result_json ~app:"golden-small" cfg r in
-  let out = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
-  match out with
+  match path with
   | Some path ->
     let oc = open_out path in
     Obs.Json.to_channel oc doc;
     close_out oc;
     Printf.printf "golden written to %s\n" path
   | None -> print_string (Obs.Json.to_string doc)
+
+(* The pipeline stage dumps the test suite compares against
+   (test_pipeline.ml): default platform, same stages as occ --emit. *)
+let emit_goldens dir =
+  let cfg =
+    match Sim.Config.build ~scaled:false () with
+    | Ok c -> Sim.Config.customize_config c
+    | Error e -> failwith e
+  in
+  let write name dump =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc dump;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "golden written to %s\n" path
+  in
+  let emit r stage =
+    match Core.Pipeline.emit r stage with
+    | Some s -> s
+    | None -> failwith "pipeline did not reach the requested stage"
+  in
+  let jacobi = "examples/jacobi.mc" in
+  let src =
+    let ic = open_in_bin jacobi in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let rj =
+    Core.Pipeline.compile ~cfg (Core.Pipeline.Source { file = jacobi; src })
+  in
+  write "jacobi_solve.txt" (emit rj Core.Pipeline.Solve);
+  write "jacobi_transformed.txt" (emit rj Core.Pipeline.Transformed);
+  let app = Workloads.Suite.by_name "hpccg" in
+  let program = Workloads.App.program app in
+  let analysis = Lang.Analysis.analyze program in
+  let profile arr = Workloads.Profile.for_transform app analysis arr in
+  let rh = Core.Pipeline.compile ~profile ~cfg (Core.Pipeline.Program program) in
+  write "hpccg_solve.txt" (emit rh Core.Pipeline.Solve)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--emits" :: dir :: _ -> emit_goldens dir
+  | _ :: path :: _ -> stats_golden (Some path)
+  | _ -> stats_golden None

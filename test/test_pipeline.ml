@@ -1,0 +1,356 @@
+(* The staged pass pipeline (Core.Pipeline): equivalence with the legacy
+   one-shot transform on every workload, the inter-pass verifier on a
+   deliberately corrupted mapping, golden --emit stage dumps, located
+   lexer/semantic diagnostics, and a parse∘print round-trip property. *)
+
+module Ast = Lang.Ast
+module Diag = Lang.Diag
+module Span = Lang.Span
+module Pipeline = Core.Pipeline
+module Transform = Core.Transform
+module D2c = Core.Data_to_core
+
+let default_cfg () =
+  match Sim.Config.build ~scaled:false () with
+  | Ok c -> Sim.Config.customize_config c
+  | Error e -> failwith e
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let jacobi_path = "../examples/jacobi.mc"
+
+let transformed_of (r : Pipeline.t) what =
+  match r.Pipeline.artifacts.Pipeline.transformed with
+  | Some t -> t
+  | None -> Alcotest.failf "%s: pipeline produced no transformed program" what
+
+(* --- pipeline vs legacy transform ------------------------------------- *)
+
+(* The pipeline (parse → check → analyze → solve → mapping → customize →
+   rewrite) must produce byte-identical transformed code to the legacy
+   monolithic [Transform.run] + [rewrite_program] path, with the verifier
+   on and silent. *)
+
+let check_matches_legacy ~what ~legacy r =
+  Alcotest.(check bool) (what ^ ": pipeline ok") true r.Pipeline.ok;
+  Alcotest.(check (list string))
+    (what ^ ": verifier is silent")
+    []
+    (List.map (fun d -> Diag.to_string d) r.Pipeline.diags);
+  Alcotest.(check string)
+    (what ^ ": transformed code is byte-identical")
+    legacy
+    (Ast.program_to_string (transformed_of r what))
+
+let test_workloads_match_legacy () =
+  let cfg = default_cfg () in
+  List.iter
+    (fun (app : Workloads.App.t) ->
+      let program = Workloads.App.program app in
+      let analysis = Lang.Analysis.analyze program in
+      let profile arr = Workloads.Profile.for_transform app analysis arr in
+      let legacy =
+        Ast.program_to_string
+          (Transform.rewrite_program (Transform.run ~profile cfg analysis) program)
+      in
+      let r = Pipeline.compile ~profile ~cfg (Pipeline.Program program) in
+      check_matches_legacy ~what:app.Workloads.App.name ~legacy r)
+    Workloads.Suite.all
+
+let test_jacobi_matches_legacy () =
+  let cfg = default_cfg () in
+  let src = read_file jacobi_path in
+  let program = Lang.Parser.parse ~file:jacobi_path src in
+  let legacy =
+    Ast.program_to_string
+      (Transform.rewrite_program
+         (Transform.run cfg (Lang.Analysis.analyze program))
+         program)
+  in
+  let r = Pipeline.compile ~cfg (Pipeline.Source { file = jacobi_path; src }) in
+  check_matches_legacy ~what:"jacobi.mc" ~legacy r
+
+(* --- the verifier on a corrupted mapping ------------------------------ *)
+
+(* Zero out the data-partition row of a solved array's [U]: the verifier
+   must report it as located error diagnostics (unimodularity and
+   solution-row rechecks), never crash. *)
+let test_verifier_catches_corrupted_mapping () =
+  let cfg = default_cfg () in
+  let src = read_file jacobi_path in
+  let r =
+    Pipeline.compile ~verify:false ~cfg
+      (Pipeline.Source { file = jacobi_path; src })
+  in
+  let get what = function
+    | Some x -> x
+    | None -> Alcotest.failf "pipeline did not produce %s" what
+  in
+  let art = r.Pipeline.artifacts in
+  let program = get "a program" art.Pipeline.program in
+  let solved = get "solutions" art.Pipeline.solved in
+  let report = get "a report" art.Pipeline.report in
+  let transformed = get "transformed code" art.Pipeline.transformed in
+  let corrupted_any = ref false in
+  let zero_row u =
+    let u = Affine.Matrix.copy u in
+    Array.fill u.(Transform.v_dim) 0 (Array.length u.(Transform.v_dim)) 0;
+    u
+  in
+  let corrupted =
+    List.map
+      (fun (s : Transform.solved) ->
+        match s.Transform.s_outcome with
+        | Transform.Solved sol ->
+          corrupted_any := true;
+          {
+            s with
+            Transform.s_outcome =
+              Transform.Solved { sol with D2c.u_matrix = zero_row sol.D2c.u_matrix };
+          }
+        | Transform.Kept _ -> s)
+      solved
+  in
+  Alcotest.(check bool) "jacobi has a solved array to corrupt" true !corrupted_any;
+  (* the same bogus matrix, as the customize pass carries it *)
+  let corrupted_report =
+    {
+      report with
+      Transform.decisions =
+        List.map
+          (fun (d : Transform.decision) ->
+            if d.Transform.optimized then
+              {
+                d with
+                Transform.layout =
+                  {
+                    d.Transform.layout with
+                    Core.Layout.u = zero_row d.Transform.layout.Core.Layout.u;
+                  };
+              }
+            else d)
+          report.Transform.decisions;
+    }
+  in
+  let diags =
+    Core.Verify.run ~cfg ~solved:corrupted ~report:corrupted_report
+      ~original:program ~transformed
+  in
+  Alcotest.(check bool) "the corruption is reported" true (diags <> []);
+  Alcotest.(check bool)
+    "all corruption diagnostics are errors" true
+    (List.for_all Diag.is_error diags);
+  let codes = List.sort_uniq compare (List.map (fun d -> d.Diag.code) diags) in
+  Alcotest.(check bool)
+    "unimodularity violation reported (V001)" true (List.mem "V001" codes);
+  Alcotest.(check bool)
+    "solution-row violation reported (V002)" true (List.mem "V002" codes);
+  List.iter
+    (fun (d : Diag.t) ->
+      Alcotest.(check bool)
+        ("located: " ^ d.Diag.message)
+        false
+        (Span.is_dummy d.Diag.span);
+      Alcotest.(check string)
+        "diagnostic points into jacobi.mc" jacobi_path d.Diag.span.Span.file)
+    diags
+
+(* --- golden --emit stage dumps ---------------------------------------- *)
+
+let check_golden name got =
+  let want = String.trim (read_file ("golden/" ^ name)) in
+  Alcotest.(check string) name want (String.trim got)
+
+let emit_or_fail r stage =
+  match Pipeline.emit r stage with
+  | Some s -> s
+  | None -> Alcotest.fail "pipeline did not reach the requested stage"
+
+let test_golden_emits () =
+  let cfg = default_cfg () in
+  let src = read_file jacobi_path in
+  let rj = Pipeline.compile ~cfg (Pipeline.Source { file = jacobi_path; src }) in
+  check_golden "jacobi_solve.txt" (emit_or_fail rj Pipeline.Solve);
+  check_golden "jacobi_transformed.txt" (emit_or_fail rj Pipeline.Transformed);
+  let app = Workloads.Suite.by_name "hpccg" in
+  let program = Workloads.App.program app in
+  let analysis = Lang.Analysis.analyze program in
+  let profile arr = Workloads.Profile.for_transform app analysis arr in
+  let rh = Pipeline.compile ~profile ~cfg (Pipeline.Program program) in
+  check_golden "hpccg_solve.txt" (emit_or_fail rh Pipeline.Solve)
+
+(* --- located lexical and semantic diagnostics ------------------------- *)
+
+let test_block_comments_are_whitespace () =
+  let plain = "param N = 8; array A[N]; parfor i = 0 to N-1 { A[i] = i; }" in
+  let commented =
+    "param N = 8; /* size */ array A[N];\n\
+     /* a block comment\n\
+     \   spanning lines */\n\
+     parfor i = 0 to N-1 { A[i] = i; }"
+  in
+  Alcotest.(check bool)
+    "block comments lex as whitespace" true
+    (Ast.equal_program (Lang.Parser.parse plain) (Lang.Parser.parse commented))
+
+let test_unterminated_comment_located () =
+  let src = "array A[4];\n/* oops" in
+  match Lang.Lexer.scan ~file:"t.mc" src with
+  | Ok _ -> Alcotest.fail "unterminated block comment not reported"
+  | Error d ->
+    Alcotest.(check string) "code" "L002" d.Diag.code;
+    Alcotest.(check string) "file" "t.mc" d.Diag.span.Span.file;
+    Alcotest.(check int)
+      "span starts at the opening /*"
+      (String.index src '/')
+      d.Diag.span.Span.lo;
+    Alcotest.(check bool) "has an explanatory note" true (d.Diag.notes <> [])
+
+let test_stray_character_located () =
+  let src = "array A[4]; ? x" in
+  match Lang.Lexer.scan ~file:"t.mc" src with
+  | Ok _ -> Alcotest.fail "stray character not reported"
+  | Error d ->
+    Alcotest.(check string) "code" "L001" d.Diag.code;
+    Alcotest.(check int)
+      "span points at the character"
+      (String.index src '?')
+      d.Diag.span.Span.lo
+
+let test_undeclared_array_located () =
+  let src = "param N = 8;\narray A[N];\nparfor i = 0 to N-1 { B[i] = A[i]; }" in
+  match Lang.Parser.parse_result ~file:"t.mc" src with
+  | Ok _ -> Alcotest.fail "undeclared array not reported"
+  | Error ds ->
+    let d = List.hd ds in
+    Alcotest.(check string) "code" "S004" d.Diag.code;
+    Alcotest.(check int)
+      "span starts at the reference"
+      (String.index src 'B')
+      d.Diag.span.Span.lo
+
+(* --- parse ∘ print round-trip ----------------------------------------- *)
+
+(* Random ASTs restricted to the shapes the printer represents
+   canonically: integer literals are non-negative (negative ones print as
+   unary minus and re-parse as [Neg]) and the right operand of [+] is
+   never itself [+]/[-] (additive chains print left-associated, without
+   parentheses).  Everything else — unary minus, products, nested
+   compounds — round-trips because [pp_atom] parenthesizes them. *)
+
+let arrays = [ ("A", 2); ("B", 2); ("V", 1) ]
+
+let gen_program : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let gen_leaf =
+    frequency
+      [
+        (2, map (fun n -> Ast.Int n) (int_range 0 99));
+        (3, map (fun v -> Ast.Var v) (oneofl [ "i"; "j"; "k"; "N"; "M" ]));
+      ]
+  in
+  let rec gen_expr depth =
+    if depth <= 0 then gen_leaf
+    else
+      frequency
+        [
+          (4, gen_leaf);
+          (2, map2 (fun a b -> Ast.Add (a, b)) (gen_expr (depth - 1)) (gen_term (depth - 1)));
+          (2, map2 (fun a b -> Ast.Sub (a, b)) (gen_expr (depth - 1)) (gen_expr (depth - 1)));
+          (1, map (fun a -> Ast.Neg a) (gen_expr (depth - 1)));
+          (1, map2 (fun a b -> Ast.Mul (a, b)) (gen_expr (depth - 1)) (gen_expr (depth - 1)));
+          (1, map2 (fun a b -> Ast.Div (a, b)) (gen_expr (depth - 1)) (gen_expr (depth - 1)));
+          (1, map2 (fun a b -> Ast.Mod (a, b)) (gen_expr (depth - 1)) (gen_expr (depth - 1)));
+          (1, gen_load (depth - 1));
+        ]
+  (* anything but a top-level [+]/[-]: safe as the right operand of [+] *)
+  and gen_term depth =
+    if depth <= 0 then gen_leaf
+    else
+      frequency
+        [
+          (4, gen_leaf);
+          (1, map (fun a -> Ast.Neg a) (gen_expr (depth - 1)));
+          (1, map2 (fun a b -> Ast.Mul (a, b)) (gen_expr (depth - 1)) (gen_expr (depth - 1)));
+          (1, gen_load (depth - 1));
+        ]
+  and gen_load depth =
+    let* name, rank = oneofl arrays in
+    let* subs = list_repeat rank (gen_expr depth) in
+    return (Ast.Load (Ast.mk_ref ~array:name ~subs ()))
+  in
+  let gen_assign depth =
+    let* name, rank = oneofl arrays in
+    let* subs = list_repeat rank (gen_expr depth) in
+    let* rhs = gen_expr depth in
+    return (Ast.Assign (Ast.mk_ref ~array:name ~subs (), rhs))
+  in
+  let rec gen_stmt depth =
+    if depth <= 0 then gen_assign 1
+    else
+      frequency
+        [ (3, gen_assign depth); (2, gen_loop depth); (1, gen_if depth) ]
+  and gen_loop depth =
+    let* index = oneofl [ "i"; "j"; "k" ] in
+    let* lo = gen_expr 1 in
+    let* hi = gen_expr 1 in
+    let* parallel = bool in
+    let* body = list_size (int_range 1 2) (gen_stmt (depth - 1)) in
+    return (Ast.Loop { Ast.index; lo; hi; parallel; body; loop_span = Span.dummy })
+  and gen_if depth =
+    let* lhs = gen_expr 1 in
+    let* op = oneofl [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne ] in
+    let* rhs = gen_expr 1 in
+    let* then_ = list_size (int_range 1 2) (gen_stmt (depth - 1)) in
+    let* else_ = list_size (int_range 0 1) (gen_stmt (depth - 1)) in
+    return (Ast.If { Ast.lhs; op; rhs; then_; else_; cond_span = Span.dummy })
+  in
+  let* nv = int_range 0 99 in
+  let* mv = int_range 0 99 in
+  let decls =
+    List.map
+      (fun (name, rank) ->
+        Ast.mk_decl ~name ~extents:(List.init rank (fun _ -> Ast.Int 8)) ())
+      arrays
+  in
+  (* top level of the grammar only admits loop nests *)
+  let* nests = list_size (int_range 1 3) (gen_loop 2) in
+  return { Ast.params = [ ("N", nv); ("M", mv) ]; decls; nests }
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse (print ast) == ast" ~count:300
+    (QCheck.make ~print:Ast.program_to_string gen_program)
+    (fun p ->
+      let printed = Ast.program_to_string p in
+      match Lang.Parser.parse_result printed with
+      | Error ds ->
+        QCheck.Test.fail_reportf "printed program does not re-parse: %s"
+          (Diag.to_string (List.hd ds))
+      | Ok q -> Ast.equal_program p q)
+
+let suite =
+  [
+    ( "pipeline",
+      [
+        Alcotest.test_case "matches legacy transform on all workloads" `Quick
+          test_workloads_match_legacy;
+        Alcotest.test_case "matches legacy transform on jacobi.mc" `Quick
+          test_jacobi_matches_legacy;
+        Alcotest.test_case "verifier catches a corrupted mapping" `Quick
+          test_verifier_catches_corrupted_mapping;
+        Alcotest.test_case "golden --emit stage dumps" `Quick test_golden_emits;
+        Alcotest.test_case "block comments are whitespace" `Quick
+          test_block_comments_are_whitespace;
+        Alcotest.test_case "unterminated comment is located" `Quick
+          test_unterminated_comment_located;
+        Alcotest.test_case "stray character is located" `Quick
+          test_stray_character_located;
+        Alcotest.test_case "undeclared array is located" `Quick
+          test_undeclared_array_located;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+      ] );
+  ]
