@@ -50,13 +50,13 @@ let apps () =
 
 let sig_of_cfg (cfg : Config.t) =
   Printf.sprintf "%dx%d/%s/%s/%s/%s/tpc%d/opt%b/l1:%d/l2:%d/cc%d/lk%d/j%b/ch%d/bk%d/rh%d/sd%d"
-    cfg.Config.topo.Noc.Topology.width cfg.Config.topo.Noc.Topology.height
-    cfg.Config.cluster.Core.Cluster.name
-    cfg.Config.placement.Noc.Placement.name
+    (Config.topo cfg).Noc.Topology.width (Config.topo cfg).Noc.Topology.height
+    (Config.cluster cfg).Core.Cluster.name
+    (Config.placement cfg).Noc.Placement.name
     (match cfg.Config.l2_org with
     | Config.Private_l2 -> "private"
     | Config.Shared_l2 -> "shared")
-    ((match cfg.Config.interleaving with
+    ((match Config.interleaving cfg with
      | Dram.Address_map.Line_interleaved -> "line"
      | Dram.Address_map.Page_interleaved -> "page")
     ^
@@ -67,7 +67,7 @@ let sig_of_cfg (cfg : Config.t) =
     cfg.Config.threads_per_core cfg.Config.optimal cfg.Config.l1_size
     cfg.Config.l2_size cfg.Config.compute_cycles
     cfg.Config.noc.Noc.Network.link_bytes cfg.Config.jitter
-    cfg.Config.channels_per_mc cfg.Config.banks_per_mc
+    (Config.channels_per_mc cfg) (Config.banks_per_mc cfg)
     (cfg.Config.timing.Dram.Timing.row_hit
     + (match cfg.Config.mc_scheduler with Dram.Fr_fcfs.Fr_fcfs -> 0 | Dram.Fr_fcfs.Fcfs -> 1000)
     + match cfg.Config.mc_row_policy with
@@ -97,20 +97,25 @@ let run cfg ~optimized (app : App.t) =
 
 (* --- standard configurations --- *)
 
+let or_fail = function Ok v -> v | Error e -> failwith e
+
 let base () = Config.scaled ()
 
 let line_cfg () = base ()
 
 let page_cfg ?(policy = Config.Hardware) () =
   {
-    (base ()) with
-    Config.interleaving = Dram.Address_map.Page_interleaved;
-    page_policy = policy;
+    (Config.with_interleaving (base ()) Dram.Address_map.Page_interleaved) with
+    Config.page_policy = policy;
   }
 
 let shared_cfg () = { (base ()) with Config.l2_org = Config.Shared_l2 }
 
-let m2_cfg () = Config.with_cluster (base ()) (Core.Cluster.m2 ~width:8 ~height:8)
+let m2_cfg () =
+  or_fail
+    (Result.bind
+       (Core.Cluster.m2 ~width:8 ~height:8)
+       (Config.with_cluster (base ())))
 
 (* --- metrics --- *)
 

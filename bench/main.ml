@@ -198,17 +198,22 @@ let fig18 () =
     "(paper: fma3d and minighost have much higher utilization, which is\n\
      why the analysis favours M2 for them)";
   let cfg = H.line_cfg () in
-  let m2 = Core.Cluster.m2 ~width:8 ~height:8 in
-  let m2p = Config.placement_for cfg.Config.topo m2 in
+  let m2 = H.or_fail (Core.Cluster.m2 ~width:8 ~height:8) in
+  let m2p = H.or_fail (Core.Platform.placement_for (Config.topo cfg) m2) in
   Printf.printf "  %-10s %10s   %s\n" "" "occupancy" "selected mapping";
   List.iter
     (fun app ->
       let r = H.run cfg ~optimized:true app in
       let occ = H.avg_occupancy r in
       let chosen, _ =
-        Core.Mapping_select.choose cfg.Config.topo
-          ~candidates:[ (cfg.Config.cluster, cfg.Config.placement); (m2, m2p) ]
-          ~bank_pressure:occ
+        match
+          Core.Mapping_select.choose_opt (Config.topo cfg)
+            ~candidates:
+              [ (Config.cluster cfg, Config.placement cfg); (m2, m2p) ]
+            ~bank_pressure:occ
+        with
+        | Some c -> c
+        | None -> assert false
       in
       Printf.printf "  %-10s %10.2f   %-4s %s\n" app.App.name occ
         chosen.Core.Cluster.name (H.bar occ 8. 24))
@@ -218,11 +223,15 @@ let fig19 () =
   H.header "Figure 19: different controller placements"
     "(paper: P2 is slightly better than P1/P3 — about 20.7% average —\n\
      because its average distance-to-controller is lower)";
-  let topo = (H.line_cfg ()).Config.topo in
+  let topo = Config.topo (H.line_cfg ()) in
   let with_sites name sites =
     let cfg = H.line_cfg () in
-    let placement = Config.placement_for ~sites topo cfg.Config.cluster in
-    (name, { cfg with Config.placement = { placement with Noc.Placement.name } })
+    let placement =
+      H.or_fail (Core.Platform.placement_for ~sites topo (Config.cluster cfg))
+    in
+    ( name,
+      H.or_fail
+        (Config.with_placement cfg { placement with Noc.Placement.name }) )
   in
   let coords nodes = Array.map (Noc.Topology.coord_of_node topo) nodes in
   let placements =
@@ -247,7 +256,7 @@ let fig19 () =
         List.fold_left ( +. ) 0. gains /. float_of_int (List.length gains)
       in
       Printf.printf "  %-6s %12.2f %+9.1f%%\n" name
-        (Noc.Placement.avg_distance cfg.Config.placement cfg.Config.topo)
+        (Noc.Placement.avg_distance (Config.placement cfg) (Config.topo cfg))
         avg)
     placements
 
@@ -261,8 +270,10 @@ let fig20 () =
       let cfg =
         if mcs = 4 then H.line_cfg ()
         else
-          Config.with_cluster (H.line_cfg ())
-            (Core.Cluster.with_mcs ~width:8 ~height:8 ~mcs)
+          H.or_fail
+            (Result.bind
+               (Core.Cluster.with_mcs_result ~width:8 ~height:8 ~mcs)
+               (Config.with_cluster (H.line_cfg ())))
       in
       let gains =
         List.map
@@ -283,7 +294,7 @@ let fig21 () =
   Printf.printf "  %-8s %10s\n" "mesh" "exec gain";
   List.iter
     (fun (w, h) ->
-      let cfg = Config.mesh ~width:w ~height:h (H.line_cfg ()) in
+      let cfg = H.or_fail (Config.mesh ~width:w ~height:h (H.line_cfg ())) in
       let gains =
         List.map
           (fun app ->
@@ -456,7 +467,7 @@ let ablation () =
       Config.noc = { Noc.Network.per_hop_latency = 4; link_bytes = 4096 };
     };
   show "no issue jitter" { (H.line_cfg ()) with Config.jitter = false };
-  show "single DRAM channel" { (H.line_cfg ()) with Config.channels_per_mc = 1 };
+  show "single DRAM channel" (Config.with_channels_per_mc (H.line_cfg ()) 1);
   show "FCFS scheduling (no FR)"
     { (H.line_cfg ()) with Config.mc_scheduler = Dram.Fr_fcfs.Fcfs };
   show "closed-page DRAM"
@@ -500,7 +511,7 @@ let micro () =
                ignore (Core.Transform.run ccfg apsi.H.analysis)));
         Test.make ~name:"parser.parse-apsi"
           (Staged.stage (fun () ->
-               ignore (Lang.Parser.parse apsi.H.app.App.source)));
+               ignore (Lang.Parser.parse_result apsi.H.app.App.source)));
         Test.make ~name:"layout.offset_of_index"
           (Staged.stage (fun () -> ignore (Core.Layout.offset_of_index layout idx)));
         Test.make ~name:"topology.xy_route-corner"

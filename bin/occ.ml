@@ -11,6 +11,8 @@
      occ --app hpccg --interleave page --layouts
      occ examples/jacobi.mc --emit solve
      occ examples/jacobi.mc --diag-json diags.json
+     occ --app apsi --mapping auto --platform mesh8x8-mc8 \
+         --calibrate stats.json --timings
 
    Exit codes: 0 success, 1 user error (bad flags, diagnostics of error
    severity), 2 internal error. *)
@@ -38,12 +40,18 @@ let read_source file app =
   | Some _, Some _ -> Error "give either a file or --app, not both"
   | None, None -> Error "give a source file or --app NAME"
 
-let build_config ~l2 ~interleave ~mapping ~width ~height =
+let read_json path =
   match
-    Sim.Config.build ~scaled:false ~l2 ~interleave ~mapping ~width ~height ()
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
   with
-  | Ok cfg -> Ok (Sim.Config.customize_config cfg)
-  | Error e -> Error e
+  | s -> Obs.Json.of_string s
+  | exception Sys_error e -> Error e
+
+let bank_pressure_of_file path =
+  Result.bind (read_json path) Core.Mapping_select.bank_pressure_of_stats
 
 let why_kept_to_string = function
   | Core.Transform.Index_array -> "index array (never transformed)"
@@ -90,8 +98,8 @@ let write_diag_json ?src path diags =
   output_char oc '\n';
   if not (String.equal path "-") then close_out oc
 
-let run file app l2 interleave mapping width height report layouts explain
-    timings emit_c emit verify diag_json =
+let run file app platform l2 interleave mapping width height calibrate report
+    layouts explain timings emit_c emit verify diag_json =
   Cli.guard ~name:"occ" @@ fun () ->
   let emit_stage =
     match emit with
@@ -114,23 +122,29 @@ let run file app l2 interleave mapping width height report layouts explain
     prerr_endline ("occ: " ^ e);
     Cli.user_error
   | Ok (source, src, app) -> (
-    let candidates_result =
-      if String.equal mapping "auto" then
-        (* mapping selection proper: let the pipeline's cost model choose *)
-        let build m = build_config ~l2 ~interleave ~mapping:m ~width ~height in
-        match (build "M1", build "M2") with
-        | Ok m1, Ok m2 -> Ok (m1, [ m1; m2 ])
-        | Error e, _ | _, Error e -> Error e
-      else
-        match build_config ~l2 ~interleave ~mapping ~width ~height with
-        | Ok cfg -> Ok (cfg, [])
-        | Error e -> Error e
+    (* --mapping auto: let the pipeline's cost model choose among every
+       mapping the platform can realize; the platform keeps its own
+       mapping while the candidates are enumerated from it. *)
+    let auto = String.equal mapping "auto" in
+    let cfg_result =
+      Sim.Config.build ~scaled:false ~platform ~l2 ~interleave
+        ~mapping:(if auto then "" else mapping)
+        ~width ~height ()
     in
-    match candidates_result with
-    | Error e ->
+    let pressure_result =
+      match calibrate with
+      | None -> Ok 1.0
+      | Some path -> (
+        match bank_pressure_of_file path with
+        | Ok _ as r -> r
+        | Error e -> Error (Printf.sprintf "--calibrate %s: %s" path e))
+    in
+    match (cfg_result, pressure_result) with
+    | Error e, _ | _, Error e ->
       prerr_endline ("occ: " ^ e);
       Cli.user_error
-    | Ok (ccfg, candidates) ->
+    | Ok cfg, Ok bank_pressure ->
+      let ccfg = Sim.Config.customize_config cfg in
       let profile =
         Option.map
           (fun a ->
@@ -139,7 +153,8 @@ let run file app l2 interleave mapping width height report layouts explain
           app
       in
       let result =
-        Core.Pipeline.compile ~verify ?profile ~candidates
+        Core.Pipeline.compile ~verify ?profile ~bank_pressure
+          ?platform:(if auto then Some (Sim.Config.platform cfg) else None)
           ?codegen:(if emit_c <> None then Some "kernel" else None)
           ~cfg:ccfg source
       in
@@ -185,8 +200,23 @@ let run file app l2 interleave mapping width height report layouts explain
         Option.iter
           (fun t -> Format.printf "%a@." Lang.Ast.pp_program t)
           transformed);
-      if timings then
+      if timings then begin
         Format.printf "%a@." Obs.Phase_timer.pp result.Core.Pipeline.timer;
+        Format.printf "bank pressure: %.3f%s@." bank_pressure
+          (match calibrate with
+          | Some path -> Printf.sprintf " (calibrated from %s)" path
+          | None -> " (default)");
+        Option.iter
+          (fun scored ->
+            List.iter
+              (fun (s : Core.Mapping_select.scored) ->
+                Format.printf "  candidate %-8s estimated cost %8.1f  (%s)@."
+                  s.Core.Mapping_select.cluster.Core.Cluster.name
+                  s.Core.Mapping_select.cost
+                  s.Core.Mapping_select.placement.Noc.Placement.name)
+              scored)
+          result.Core.Pipeline.artifacts.Core.Pipeline.mapping_scores
+      end;
       if result.Core.Pipeline.ok then Cli.ok else Cli.user_error))
 
 let file_arg =
@@ -200,12 +230,26 @@ let app_arg =
 
 let mapping =
   Arg.(
-    value & opt string "M1"
+    value & opt string ""
     & info [ "mapping" ] ~docv:"MAP"
         ~doc:
           "L2-to-MC mapping: M1, M2, a controller count (8, 16), or auto \
-           to let the mapping-selection pass choose between M1 and M2 by \
-           estimated cost.")
+           to let the mapping-selection pass choose among every mapping \
+           the platform can realize (M1, M2 and the 8/16-controller \
+           configurations its controller budget admits) by estimated \
+           cost.  Default: the platform's own mapping.")
+
+let calibrate =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "calibrate" ] ~docv:"STATS.json"
+        ~doc:
+          "Calibrate the mapping-selection cost model from a profiled \
+           run: STATS.json is a simulate --stats-json (or sweep result) \
+           file, from which the bank pressure — time-averaged requests \
+           waiting in bank queues, mem.queue_cycles / sim.finish_time — \
+           is derived.  Default pressure: 1.0.")
 
 let report =
   Arg.(value & flag & info [ "report" ] ~doc:"Print the per-array report.")
@@ -252,7 +296,8 @@ let verify =
         ~doc:
           "Run the inter-pass verifier (unimodularity, solution recheck, \
            home-table bijectivity, layout bounds, sampled semantic \
-           equivalence).  On by default; --verify=off disables it.")
+           equivalence, and — with --emit-c — the emitted-C access \
+           replay).  On by default; --verify=off disables it.")
 
 let diag_json =
   Arg.(
@@ -267,8 +312,8 @@ let cmd =
   Cmd.v
     (Cmd.info "occ" ~doc)
     Term.(
-      const run $ file_arg $ app_arg $ Cli.l2 $ Cli.interleave $ mapping
-      $ Cli.width $ Cli.height $ report $ layouts $ explain $ timings
-      $ emit_c $ emit $ verify $ diag_json)
+      const run $ file_arg $ app_arg $ Cli.platform $ Cli.l2 $ Cli.interleave
+      $ mapping $ Cli.width $ Cli.height $ calibrate $ report $ layouts
+      $ explain $ timings $ emit_c $ emit $ verify $ diag_json)
 
 let () = exit (Cmd.eval' cmd)

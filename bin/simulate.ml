@@ -9,8 +9,9 @@
 
 open Cmdliner
 
-let run name optimized l2 interleave policy mapping width height tpc optimal
-    full_scale seed show_map dump_trace stats_json trace_out trace_sample =
+let run name optimized platform l2 interleave policy mapping width height tpc
+    optimal full_scale seed show_map dump_trace stats_json trace_out
+    trace_sample =
   Cli.guard ~name:"simulate" @@ fun () ->
   if trace_sample < 1 then (
     Printf.eprintf "simulate: --trace-sample must be at least 1 (got %d)\n"
@@ -24,8 +25,8 @@ let run name optimized l2 interleave policy mapping width height tpc optimal
     Cli.user_error
   | app -> (
     match
-      Sim.Config.build ~scaled:(not full_scale) ~l2 ~interleave ~policy
-        ~mapping ~width ~height ~tpc ~optimal ~seed ()
+      Sim.Config.build ~scaled:(not full_scale) ~platform ~l2 ~interleave
+        ~policy ~mapping ~width ~height ~tpc ~optimal ~seed ()
     with
     | Error e ->
       prerr_endline ("simulate: " ^ e);
@@ -169,8 +170,9 @@ let cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
-      const run $ name_arg $ optimized $ Cli.l2 $ Cli.interleave $ Cli.policy
-      $ Cli.mapping $ Cli.width $ Cli.height $ tpc $ optimal $ full_scale
-      $ seed $ show_map $ dump_trace $ stats_json $ trace_out $ trace_sample)
+      const run $ name_arg $ optimized $ Cli.platform $ Cli.l2 $ Cli.interleave
+      $ Cli.policy $ Cli.mapping $ Cli.width $ Cli.height $ tpc $ optimal
+      $ full_scale $ seed $ show_map $ dump_trace $ stats_json $ trace_out
+      $ trace_sample)
 
 let () = exit (Cmd.eval' cmd)

@@ -35,10 +35,17 @@ parfor j = 1 to N-2 {
 }
 |}
 
+let parse src =
+  match Lang.Parser.parse_result src with
+  | Ok p -> p
+  | Error ds ->
+    List.iter (fun d -> prerr_endline (Lang.Diag.to_string ~src d)) ds;
+    exit 1
+
 let () =
   let cfg = Sim.Config.scaled () in
   let show name src =
-    let program = Lang.Parser.parse src in
+    let program = parse src in
     let analysis = Lang.Analysis.analyze program in
     Printf.printf "--- %s ---\n" name;
     (* dependence analysis *)

@@ -10,18 +10,29 @@
 
      dune exec examples/mapping_tradeoff.exe *)
 
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline e;
+    exit 1
+
 let () =
   let base = Sim.Config.scaled () in
-  let m2cfg = Sim.Config.with_cluster base (Core.Cluster.m2 ~width:8 ~height:8) in
+  let m2cfg =
+    or_die
+      (Result.bind
+         (Core.Cluster.m2 ~width:8 ~height:8)
+         (Sim.Config.with_cluster base))
+  in
   let candidates =
     [
-      (base.Sim.Config.cluster, base.Sim.Config.placement);
-      (m2cfg.Sim.Config.cluster, m2cfg.Sim.Config.placement);
+      (Sim.Config.cluster base, Sim.Config.placement base);
+      (Sim.Config.cluster m2cfg, Sim.Config.placement m2cfg);
     ]
   in
   List.iter
     (fun (cl, pl) ->
-      let m = Core.Mapping_select.evaluate base.Sim.Config.topo cl pl in
+      let m = Core.Mapping_select.evaluate (Sim.Config.topo base) cl pl in
       Printf.printf "%-3s: avg distance-to-MC %.2f hops, %d controller(s) per cluster\n"
         cl.Core.Cluster.name m.Core.Mapping_select.avg_distance
         m.Core.Mapping_select.mcs_per_cluster)
@@ -47,8 +58,12 @@ let () =
         Array.fold_left ( +. ) 0. occ /. float_of_int (Array.length occ)
       in
       let chosen, _ =
-        Core.Mapping_select.choose base.Sim.Config.topo ~candidates
-          ~bank_pressure:pressure
+        match
+          Core.Mapping_select.choose_opt (Sim.Config.topo base) ~candidates
+            ~bank_pressure:pressure
+        with
+        | Some c -> c
+        | None -> assert false
       in
       Printf.printf
         "%-10s M1 gain %+6.1f%%   M2 gain %+6.1f%%   bank pressure %.2f  ->  compiler picks %s\n"

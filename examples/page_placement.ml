@@ -14,10 +14,8 @@ let () =
   let app = Workloads.Suite.by_name "apsi" in
   let program = Workloads.App.program app in
   let base =
-    {
-      (Sim.Config.scaled ()) with
-      Sim.Config.interleaving = Dram.Address_map.Page_interleaved;
-    }
+    Sim.Config.with_interleaving (Sim.Config.scaled ())
+      Dram.Address_map.Page_interleaved
   in
   let run ?(optimized = false) policy =
     Sim.Runner.run

@@ -18,9 +18,16 @@ parfor i = 2 to N-2 {
 }
 |}
 
+let parse src =
+  match Lang.Parser.parse_result src with
+  | Ok p -> p
+  | Error ds ->
+    List.iter (fun d -> prerr_endline (Lang.Diag.to_string ~src d)) ds;
+    exit 1
+
 let () =
   (* 1. parse *)
-  let program = Lang.Parser.parse source in
+  let program = parse source in
   Format.printf "--- original (Fig. 9a) ---@.%a@.@." Lang.Ast.pp_program program;
 
   (* 2. run the layout-transformation pass (Algorithm 1) *)

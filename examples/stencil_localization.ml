@@ -11,8 +11,8 @@ let () =
   let cfg = Sim.Config.scaled () in
   let app = Workloads.Suite.by_name "swim" in
   let program = Workloads.App.program app in
-  let cluster = cfg.Sim.Config.cluster in
-  let topo = cfg.Sim.Config.topo in
+  let cluster = Sim.Config.cluster cfg in
+  let topo = Sim.Config.topo cfg in
   let show label r =
     let s = (r : Sim.Engine.result).Sim.Engine.stats in
     (* requests per (cluster, controller) *)

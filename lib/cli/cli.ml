@@ -32,9 +32,21 @@ let policy =
 
 let mapping =
   Arg.(
-    value & opt string "M1"
+    value & opt string ""
     & info [ "mapping" ] ~docv:"MAP"
-        ~doc:"L2-to-MC mapping: M1, M2, or a controller count (8, 16).")
+        ~doc:
+          "L2-to-MC mapping override: M1, M2, or a controller count (8, \
+           16).  Default: the platform's own mapping (M1 on the presets).")
+
+let platform =
+  Arg.(
+    value & opt string ""
+    & info [ "platform" ] ~docv:"PRESET|FILE"
+        ~doc:
+          "Platform description: a named preset (mesh8x8-mc4, mesh8x8-mc8, \
+           mesh8x8-mc16, mesh8x8-m2) or a platform JSON file.  Default: \
+           mesh8x8-mc4, the Table 1 machine.  Overrides --width/--height; \
+           --mapping still re-maps it.")
 
 let width =
   Arg.(value & opt int 8 & info [ "width" ] ~docv:"W" ~doc:"Mesh width.")

@@ -32,7 +32,12 @@ val policy : string Cmdliner.Term.t
 (** [--policy hardware|first-touch|mc-aware] *)
 
 val mapping : string Cmdliner.Term.t
-(** [--mapping M1|M2|<mc-count>] *)
+(** [--mapping M1|M2|<mc-count>]; [""] (the default) keeps the
+    platform's own mapping. *)
+
+val platform : string Cmdliner.Term.t
+(** [--platform PRESET|FILE] — a {!Core.Platform} preset name or JSON
+    file; [""] (the default) is the [mesh8x8-mc4] preset. *)
 
 val width : int Cmdliner.Term.t
 (** [--width W] *)

@@ -15,11 +15,6 @@ let make_result ~name ~width ~height ~cx ~cy ~k =
     Error "Cluster.make: clusters must tile the mesh evenly"
   else Ok { name; width; height; cx; cy; nx = width / cx; ny = height / cy; k }
 
-let make ~name ~width ~height ~cx ~cy ~k =
-  match make_result ~name ~width ~height ~cx ~cy ~k with
-  | Ok c -> c
-  | Error e -> invalid_arg e
-
 let num_clusters c = c.cx * c.cy
 
 let num_mcs c = num_clusters c * c.k
@@ -56,9 +51,9 @@ let centroid_of_cluster c j =
   let cxi = j / c.cy and cyi = j mod c.cy in
   Noc.Coord.make ((cxi * c.nx) + (c.nx / 2)) ((cyi * c.ny) + (c.ny / 2))
 
-let m1 ~width ~height = make ~name:"M1" ~width ~height ~cx:2 ~cy:2 ~k:1
+let m1 ~width ~height = make_result ~name:"M1" ~width ~height ~cx:2 ~cy:2 ~k:1
 
-let m2 ~width ~height = make ~name:"M2" ~width ~height ~cx:2 ~cy:1 ~k:2
+let m2 ~width ~height = make_result ~name:"M2" ~width ~height ~cx:2 ~cy:1 ~k:2
 
 let with_mcs_result ~width ~height ~mcs =
   (* as square a cluster grid as evenly tiles the mesh *)
@@ -79,11 +74,6 @@ let with_mcs_result ~width ~height ~mcs =
   | Some (cx, _) ->
     make_result ~name:(Printf.sprintf "M1x%d" mcs) ~width ~height ~cx
       ~cy:(mcs / cx) ~k:1
-
-let with_mcs ~width ~height ~mcs =
-  match with_mcs_result ~width ~height ~mcs with
-  | Ok c -> c
-  | Error e -> invalid_arg e
 
 let pp ppf c =
   Format.fprintf ppf "%s: %dx%d mesh, %dx%d clusters of %dx%d cores, k=%d"

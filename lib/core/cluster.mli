@@ -41,10 +41,6 @@ val make_result :
 (** Derives [nx, ny]; an uneven tiling (validity constraint) is a value
     error. *)
 
-val make :
-  name:string -> width:int -> height:int -> cx:int -> cy:int -> k:int -> t
-(** Raising wrapper over {!make_result} ([Invalid_argument]). *)
-
 val num_clusters : t -> int
 
 val num_mcs : t -> int
@@ -73,11 +69,12 @@ val thread_of_node : t -> Noc.Topology.t -> int -> int
 val centroid_of_cluster : t -> int -> Noc.Coord.t
 (** Integer centroid, for controller placement. *)
 
-val m1 : width:int -> height:int -> t
+val m1 : width:int -> height:int -> (t, string) result
 (** Fig. 8a: one quadrant-shaped cluster per controller, [k = 1] — the
-    paper's default mapping. *)
+    paper's default mapping.  A mesh the 2×2 cluster grid cannot tile
+    evenly is a value error. *)
 
-val m2 : width:int -> height:int -> t
+val m2 : width:int -> height:int -> (t, string) result
 (** Fig. 8b: two half-mesh clusters, [k = 2] — trades locality for
     memory-level parallelism. *)
 
@@ -85,8 +82,5 @@ val with_mcs_result :
   width:int -> height:int -> mcs:int -> (t, string) result
 (** The Fig. 27 configurations: [mcs] controllers, [k = 1], clusters in as
     square a grid as divides the mesh. *)
-
-val with_mcs : width:int -> height:int -> mcs:int -> t
-(** Raising wrapper over {!with_mcs_result} ([Invalid_argument]). *)
 
 val pp : Format.formatter -> t -> unit

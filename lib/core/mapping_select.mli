@@ -1,9 +1,12 @@
 (** Compiler selection among candidate L2-to-MC mappings (Section 4).
 
     Fully automatic derivation of the best mapping is impractical, but
-    given a candidate set the compiler can weigh (1) distance-to-MC and
-    (2) memory-level parallelism and pick the most effective one — the
-    analysis that favours M2 over M1 for fma3d and minighost. *)
+    given a candidate set the compiler can weigh (1) distance-to-MC,
+    (2) memory-level parallelism and (3) how thin the fixed channel budget
+    is spread over active controllers, and pick the most effective
+    mapping — the analysis that favours M2 over M1 for fma3d and
+    minighost, and the Fig. 27 8/16-MC configurations once the profiled
+    bank pressure is high enough to pay for them. *)
 
 type metrics = {
   avg_distance : float;
@@ -20,22 +23,45 @@ val estimated_cost :
   bank_pressure:float ->
   float
 (** Expected off-chip round-trip cost under the mapping:
-    [2·avg_distance·per_hop + queue_wait], with the queueing term scaled
-    by the profiled [bank_pressure] (mean bank-queue occupancy under the
-    default mapping) and divided across the cluster's [k] controllers. *)
+    [2·avg_distance·per_hop + queue + transfer], where the queueing term
+    scales with the profiled [bank_pressure] (time-averaged waiting
+    requests across the bank queues under the default mapping) divided
+    over all [num_mcs·k] controllers a request can queue at, and the
+    transfer term grows with the number of active controllers (the
+    package's channel budget is fixed, so each of [N] controllers gets
+    [1/N] of it). *)
+
+type scored = {
+  cluster : Cluster.t;
+  placement : Noc.Placement.t;
+  cost : float;
+}
+
+val score :
+  Noc.Topology.t ->
+  candidates:(Cluster.t * Noc.Placement.t) list ->
+  bank_pressure:float ->
+  scored list
+(** Every candidate with its {!estimated_cost}, cheapest first; exact-cost
+    ties break on the cluster name, so the result is invariant under
+    permutation of the candidate list. *)
 
 val choose_opt :
   Noc.Topology.t ->
   candidates:(Cluster.t * Noc.Placement.t) list ->
   bank_pressure:float ->
   (Cluster.t * Noc.Placement.t) option
-(** The candidate with the lowest {!estimated_cost}; [None] when the
-    candidate list is empty. *)
+(** Head of {!score}; [None] when the candidate list is empty. *)
 
-val choose :
-  Noc.Topology.t ->
-  candidates:(Cluster.t * Noc.Placement.t) list ->
-  bank_pressure:float ->
-  Cluster.t * Noc.Placement.t
-(** Raising wrapper over {!choose_opt} ([Invalid_argument] on an empty
-    list). *)
+val bank_pressure_of_snapshot :
+  Obs.Metrics.snapshot -> (float, string) result
+(** Derives the calibrated bank pressure from a profiled run's metrics:
+    [mem.queue_cycles / sim.finish_time], i.e. (by Little's law) the
+    time-averaged number of requests waiting in bank queues.  The 1.0
+    default the pipeline uses corresponds to roughly one perpetually
+    queued request platform-wide. *)
+
+val bank_pressure_of_stats : Obs.Json.t -> (float, string) result
+(** {!bank_pressure_of_snapshot} on a stats document: accepts either a
+    full [simulate --stats-json] / sweep result file (snapshot under
+    [.stats.metrics]) or a bare metrics snapshot. *)

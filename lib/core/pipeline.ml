@@ -14,6 +14,7 @@ type artifacts = {
   mutable analysis : Analysis.t option;
   mutable solved : Transform.solved list option;
   mutable cfg : Customize.config option;
+  mutable mapping_scores : Mapping_select.scored list option;
   mutable report : Transform.report option;
   mutable transformed : Ast.program option;
   mutable c_code : string option;
@@ -52,8 +53,10 @@ let solve_pass ?profile ?threshold () =
       Ok (Transform.solve_all ?profile ?threshold analysis))
 
 (* Candidate selection (Section 4): with one candidate this is the
-   identity; with several, the estimated-cost model picks the mapping. *)
-let mapping_pass ~bank_pressure =
+   identity; with several, Mapping_select's estimated-cost model ranks
+   them all (the ranking lands in [artifacts.mapping_scores] and, as a
+   C002 note, in the diagnostic stream) and the cheapest wins. *)
+let mapping_pass ~bank_pressure ~art =
   pass "mapping" (fun candidates ->
       match candidates with
       | [] ->
@@ -61,14 +64,82 @@ let mapping_pass ~bank_pressure =
           [ Diag.error ~code:"C001" Span.dummy "no candidate cluster mapping" ]
       | [ cfg ] -> Ok cfg
       | cfgs ->
-        let cost (c : Customize.config) =
-          Mapping_select.estimated_cost c.Customize.topo c.Customize.cluster
-            c.Customize.placement ~bank_pressure
+        let topo = (List.hd cfgs).Customize.topo in
+        let scored =
+          Mapping_select.score topo
+            ~candidates:
+              (List.map
+                 (fun (c : Customize.config) ->
+                   (c.Customize.cluster, c.Customize.placement))
+                 cfgs)
+            ~bank_pressure
         in
-        Ok
-          (List.fold_left
-             (fun best c -> if cost c < cost best then c else best)
-             (List.hd cfgs) (List.tl cfgs)))
+        art.mapping_scores <- Some scored;
+        let best = List.hd scored in
+        let chosen =
+          List.find
+            (fun (c : Customize.config) ->
+              String.equal c.Customize.cluster.Cluster.name
+                best.Mapping_select.cluster.Cluster.name)
+            cfgs
+        in
+        Ok chosen)
+
+(* C002 (note): which mapping the cost model picked, against what field,
+   under what calibrated pressure — so --diag-json records the selection. *)
+let selection_note ~bank_pressure (scored : Mapping_select.scored list) =
+  match scored with
+  | [] | [ _ ] -> []
+  | best :: _ ->
+    [
+      Diag.make ~severity:Diag.Note ~code:"C002" Span.dummy
+        (Printf.sprintf
+           "mapping %s selected among %d candidates at bank pressure %.3f \
+            (estimated cost: %s)"
+           best.Mapping_select.cluster.Cluster.name (List.length scored)
+           bank_pressure
+           (String.concat ", "
+              (List.map
+                 (fun (s : Mapping_select.scored) ->
+                   Printf.sprintf "%s=%.1f" s.Mapping_select.cluster.Cluster.name
+                     s.Mapping_select.cost)
+                 scored)));
+    ]
+
+(* C003 (warning): an array kept its original layout for a reason the
+   user can fix — a profile fit just over the threshold, or indexed
+   references with no profile to approximate them from.  Structural
+   reasons (index arrays, no non-trivial solution) stay silent. *)
+let keep_warnings ~have_profile (report : Transform.report) =
+  List.filter_map
+    (fun (d : Transform.decision) ->
+      let name = d.Transform.info.Analysis.decl.Ast.name in
+      let span = d.Transform.info.Analysis.decl.Ast.decl_span in
+      match d.Transform.kept with
+      | Some (Transform.Bad_approximation fit) ->
+        Some
+          (Diag.warning ~code:"C003" span
+             (Printf.sprintf
+                "array %s kept its original layout: the affine approximation \
+                 of its indexed references misses the profile by %.2f; raise \
+                 --threshold or profile a more representative run to let the \
+                 layout pass transform it"
+                name fit))
+      | Some Transform.No_parallel_reference
+        when (not have_profile)
+             && List.exists
+                  (fun (o : Analysis.occurrence) ->
+                    o.Analysis.kind = Analysis.Indexed_ref)
+                  d.Transform.info.Analysis.occurrences ->
+        Some
+          (Diag.warning ~code:"C003" span
+             (Printf.sprintf
+                "array %s kept its original layout: its parallel references \
+                 are indexed and no access profile was supplied to \
+                 approximate them (built-in models provide one via --app)"
+                name))
+      | _ -> None)
+    report.Transform.decisions
 
 let customize_pass =
   pass "customize" (fun (cfg, solved) -> Ok (Transform.customize_all cfg solved))
@@ -80,7 +151,7 @@ let rewrite_pass =
 let codegen_pass ~name = pass "codegen" (Lang.Codegen.emit_result ~name)
 
 let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
-    ?(candidates = []) ?codegen ~cfg source =
+    ?platform ?(candidates = []) ?codegen ~cfg source =
   let ctx = { timer = Obs.Phase_timer.create (); diags = [] } in
   let art =
     {
@@ -88,10 +159,30 @@ let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
       analysis = None;
       solved = None;
       cfg = None;
+      mapping_scores = None;
       report = None;
       transformed = None;
       c_code = None;
     }
+  in
+  (* Candidate mappings: explicit [candidates] win; otherwise the platform
+     enumerates every Section 4 / Fig. 27 configuration it can realize;
+     with neither, the single [cfg] passes through unchanged. *)
+  let candidates =
+    if candidates <> [] then candidates
+    else
+      match platform with
+      | None -> [ cfg ]
+      | Some p ->
+        List.map
+          (fun (q : Platform.t) ->
+            {
+              cfg with
+              Customize.topo = q.Platform.topo;
+              cluster = q.Platform.cluster;
+              placement = q.Platform.placement;
+            })
+          (Platform.candidates p)
   in
   let ( let* ) x f = match x with Some v -> f v | None -> None in
   let (_ : unit option) =
@@ -103,13 +194,15 @@ let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
     art.analysis <- Some analysis;
     let* solved = run_pass ctx (solve_pass ?profile ?threshold ()) analysis in
     art.solved <- Some solved;
-    let* cfg =
-      run_pass ctx (mapping_pass ~bank_pressure)
-        (if candidates = [] then [ cfg ] else candidates)
-    in
+    let* cfg = run_pass ctx (mapping_pass ~bank_pressure ~art) candidates in
     art.cfg <- Some cfg;
+    (match art.mapping_scores with
+    | Some scored -> ctx.diags <- ctx.diags @ selection_note ~bank_pressure scored
+    | None -> ());
     let* report = run_pass ctx customize_pass (cfg, solved) in
     art.report <- Some report;
+    ctx.diags <-
+      ctx.diags @ keep_warnings ~have_profile:(Option.is_some profile) report;
     let* transformed = run_pass ctx rewrite_pass (report, program) in
     art.transformed <- Some transformed;
     if verify then begin
@@ -124,6 +217,13 @@ let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
     | Some name ->
       let* c = run_pass ctx (codegen_pass ~name) transformed in
       art.c_code <- Some c;
+      if verify then begin
+        let ds =
+          Obs.Phase_timer.time ctx.timer "verify-codegen" (fun () ->
+              Verify.check_codegen ~report ~original:program ~transformed)
+        in
+        ctx.diags <- ctx.diags @ ds
+      end;
       Some ()
   in
   {

@@ -33,6 +33,9 @@ type artifacts = {
   mutable analysis : Lang.Analysis.t option;
   mutable solved : Transform.solved list option;
   mutable cfg : Customize.config option;  (** the chosen mapping *)
+  mutable mapping_scores : Mapping_select.scored list option;
+      (** full candidate ranking, cheapest first, when the mapping pass
+          had more than one candidate to choose from *)
   mutable report : Transform.report option;
   mutable transformed : Lang.Ast.program option;
   mutable c_code : string option;
@@ -50,15 +53,23 @@ val compile :
   ?profile:(string -> (Affine.Vec.t * Affine.Vec.t) list) ->
   ?threshold:float ->
   ?bank_pressure:float ->
+  ?platform:Platform.t ->
   ?candidates:Customize.config list ->
   ?codegen:string ->
   cfg:Customize.config ->
   source ->
   t
-(** Runs the full pipeline.  [candidates] (default [[cfg]]) are the
-    cluster mappings the mapping-selection pass chooses among by
-    estimated cost; with a single candidate the choice is the identity.
-    [codegen] names the emitted C kernel and enables the codegen pass. *)
+(** Runs the full pipeline.  The mapping pass chooses among candidate
+    cluster mappings by estimated cost under [bank_pressure] (default 1.0;
+    calibrate it from a profiled run with
+    {!Mapping_select.bank_pressure_of_stats}): explicit [candidates] if
+    given, else everything [platform] can realize
+    ({!Platform.candidates} — M1, M2 and the Fig. 27 8/16-MC
+    configurations the controller budget admits), else the single [cfg].
+    The full ranking lands in [artifacts.mapping_scores] and as a C002
+    note; arrays kept unmapped for a user-fixable reason get C003
+    warnings.  [codegen] names the emitted C kernel, enables the codegen
+    pass, and (with [verify]) the V007 replay check. *)
 
 (** {2 Stage dumps} *)
 

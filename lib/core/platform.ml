@@ -1,0 +1,383 @@
+type interleaving = Line_interleaved | Page_interleaved
+
+type t = {
+  name : string;
+  topo : Noc.Topology.t;
+  cluster : Cluster.t;
+  placement : Noc.Placement.t;
+  interleaving : interleaving;
+  line_bytes : int;
+  page_bytes : int;
+  elem_bytes : int;
+  banks_per_mc : int;
+  channels_per_mc : int;
+}
+
+let ( let* ) = Result.bind
+
+let num_mcs t = Cluster.num_mcs t.cluster
+
+let granule_bytes t =
+  match t.interleaving with
+  | Line_interleaved -> t.line_bytes
+  | Page_interleaved -> t.page_bytes
+
+let corner_sites (topo : Noc.Topology.t) =
+  let w = topo.width - 1 and h = topo.height - 1 in
+  [|
+    Noc.Coord.make 0 0;
+    Noc.Coord.make w 0;
+    Noc.Coord.make 0 h;
+    Noc.Coord.make w h;
+  |]
+
+let placement_for ?sites topo (cluster : Cluster.t) =
+  let mcs = Cluster.num_mcs cluster in
+  let centroids =
+    Array.init mcs (fun m ->
+        Cluster.centroid_of_cluster cluster (Cluster.cluster_of_mc cluster m))
+  in
+  match sites with
+  | Some sites -> Noc.Placement.assign_result topo ~name:"custom" ~sites ~centroids
+  | None ->
+    if mcs <= 4 then
+      Noc.Placement.assign_result topo ~name:"P1-corners"
+        ~sites:(corner_sites topo) ~centroids
+    else
+      Noc.Placement.for_centroids_result topo
+        ~name:(Printf.sprintf "perimeter-%d" mcs)
+        ~centroids
+
+let make_result ?placement ?(interleaving = Line_interleaved)
+    ?(line_bytes = 256) ?(page_bytes = 4096) ?(elem_bytes = 8)
+    ?(banks_per_mc = 16) ?(channels_per_mc = 4) ~name ~topo
+    ~(cluster : Cluster.t) () =
+  let* () =
+    if cluster.Cluster.width <> topo.Noc.Topology.width
+       || cluster.Cluster.height <> topo.Noc.Topology.height
+    then
+      Error
+        (Printf.sprintf
+           "platform %s: cluster %s is for a %dx%d mesh, topology is %dx%d"
+           name cluster.Cluster.name cluster.Cluster.width
+           cluster.Cluster.height topo.Noc.Topology.width
+           topo.Noc.Topology.height)
+    else Ok ()
+  in
+  let* () =
+    if elem_bytes <= 0 then
+      Error (Printf.sprintf "platform %s: elem_bytes must be positive" name)
+    else if line_bytes <= 0 || line_bytes mod elem_bytes <> 0 then
+      Error
+        (Printf.sprintf
+           "platform %s: line_bytes (%d) must be a positive multiple of \
+            elem_bytes (%d)"
+           name line_bytes elem_bytes)
+    else if page_bytes <= 0 || page_bytes mod line_bytes <> 0 then
+      Error
+        (Printf.sprintf
+           "platform %s: page_bytes (%d) must be a positive multiple of \
+            line_bytes (%d)"
+           name page_bytes line_bytes)
+    else if banks_per_mc <= 0 || channels_per_mc <= 0 then
+      Error
+        (Printf.sprintf
+           "platform %s: banks_per_mc and channels_per_mc must be positive"
+           name)
+    else Ok ()
+  in
+  let* placement =
+    match placement with
+    | Some (p : Noc.Placement.t) ->
+      if Noc.Placement.count p <> Cluster.num_mcs cluster then
+        Error
+          (Printf.sprintf
+             "platform %s: placement %s has %d sites for %d controllers" name
+             p.Noc.Placement.name (Noc.Placement.count p)
+             (Cluster.num_mcs cluster))
+      else Ok p
+    | None -> placement_for topo cluster
+  in
+  Ok
+    {
+      name;
+      topo;
+      cluster;
+      placement;
+      interleaving;
+      line_bytes;
+      page_bytes;
+      elem_bytes;
+      banks_per_mc;
+      channels_per_mc;
+    }
+
+let with_cluster t cluster =
+  let* placement = placement_for t.topo cluster in
+  Ok { t with cluster; placement }
+
+let with_mapping t spec =
+  let width = t.topo.Noc.Topology.width
+  and height = t.topo.Noc.Topology.height in
+  match spec with
+  | "" -> Ok t
+  | "M1" | "m1" -> Result.bind (Cluster.m1 ~width ~height) (with_cluster t)
+  | "M2" | "m2" -> Result.bind (Cluster.m2 ~width ~height) (with_cluster t)
+  | s -> (
+    (* "8" and "M1x8" both name the 8-controller configuration — the
+       latter is the cluster name selection notes report, so a C002
+       decision can be fed back verbatim. *)
+    let count =
+      match int_of_string_opt s with
+      | Some _ as v -> v
+      | None when String.length s > 3 ->
+        let prefix = String.sub s 0 3 and rest = String.sub s 3 (String.length s - 3) in
+        if prefix = "M1x" || prefix = "m1x" then int_of_string_opt rest else None
+      | None -> None
+    in
+    match count with
+    | Some mcs when mcs > 0 ->
+      Result.bind (Cluster.with_mcs_result ~width ~height ~mcs) (with_cluster t)
+    | _ -> Error ("unknown mapping " ^ s))
+
+(* --- candidate enumeration (Section 4 / Fig. 27) ----------------------- *)
+
+let same_geometry (a : Cluster.t) (b : Cluster.t) =
+  a.Cluster.cx = b.Cluster.cx && a.Cluster.cy = b.Cluster.cy
+  && a.Cluster.k = b.Cluster.k
+
+let candidates t =
+  let width = t.topo.Noc.Topology.width
+  and height = t.topo.Noc.Topology.height in
+  let budget = num_mcs t in
+  let pool =
+    [
+      Cluster.m1 ~width ~height;
+      Cluster.m2 ~width ~height;
+      Cluster.with_mcs_result ~width ~height ~mcs:8;
+      Cluster.with_mcs_result ~width ~height ~mcs:16;
+    ]
+  in
+  let viable =
+    List.filter_map
+      (function
+        | Ok (c : Cluster.t) when Cluster.num_mcs c <= budget -> Some c
+        | _ -> None)
+      pool
+  in
+  let clusters =
+    List.fold_left
+      (fun acc c ->
+        if List.exists (same_geometry c) acc then acc else acc @ [ c ])
+      [ t.cluster ] viable
+  in
+  List.filter_map
+    (fun c ->
+      if same_geometry c t.cluster then Some t
+      else match with_cluster t c with Ok p -> Some p | Error _ -> None)
+    clusters
+
+(* --- presets ----------------------------------------------------------- *)
+
+let preset_names =
+  [ "mesh8x8-mc4"; "mesh8x8-mc8"; "mesh8x8-mc16"; "mesh8x8-m2" ]
+
+let preset_result name =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "unknown platform %S (expected mesh<W>x<H>-{m1|m2|mc<N>}, e.g. %s, \
+          or a platform JSON file)"
+         name
+         (String.concat ", " preset_names))
+  in
+  match String.index_opt name '-' with
+  | None -> fail ()
+  | Some dash ->
+    let mesh = String.sub name 0 dash
+    and map = String.sub name (dash + 1) (String.length name - dash - 1) in
+    if String.length mesh < 7 || String.sub mesh 0 4 <> "mesh" then fail ()
+    else (
+      match String.index_from_opt mesh 4 'x' with
+      | None -> fail ()
+      | Some cross -> (
+        let w = String.sub mesh 4 (cross - 4)
+        and h = String.sub mesh (cross + 1) (String.length mesh - cross - 1) in
+        let mapping =
+          match map with
+          (* "mc4" is the paper's default M1 mapping (Fig. 8a): four
+             controllers, one per quadrant *)
+          | "m1" | "mc4" -> Some `M1
+          | "m2" -> Some `M2
+          | s when String.length s > 2 && String.sub s 0 2 = "mc" -> (
+            match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+            | Some mcs when mcs > 0 -> Some (`Mcs mcs)
+            | _ -> None)
+          | _ -> None
+        in
+        match (int_of_string_opt w, int_of_string_opt h, mapping) with
+        | Some width, Some height, Some mapping when width >= 1 && height >= 1
+          -> (
+          let topo = Noc.Topology.make ~width ~height in
+          let cluster =
+            match mapping with
+            | `M1 -> Cluster.m1 ~width ~height
+            | `M2 -> Cluster.m2 ~width ~height
+            | `Mcs mcs -> Cluster.with_mcs_result ~width ~height ~mcs
+          in
+          match cluster with
+          | Error e -> Error (Printf.sprintf "platform %s: %s" name e)
+          | Ok cluster -> make_result ~name ~topo ~cluster ())
+        | _ -> fail ()))
+
+let default () =
+  match preset_result "mesh8x8-mc4" with
+  | Ok p -> p
+  | Error e ->
+    (* the default preset is total by construction *)
+    invalid_arg e
+
+(* --- JSON (de)serialization -------------------------------------------- *)
+
+let interleaving_to_string = function
+  | Line_interleaved -> "line"
+  | Page_interleaved -> "page"
+
+let interleaving_of_string = function
+  | "line" -> Ok Line_interleaved
+  | "page" -> Ok Page_interleaved
+  | s -> Error ("unknown interleaving " ^ s)
+
+let to_json t =
+  let open Obs.Json in
+  let coord n =
+    let c = Noc.Topology.coord_of_node t.topo n in
+    List [ Int c.Noc.Coord.x; Int c.Noc.Coord.y ]
+  in
+  obj
+    [
+      ("name", String t.name);
+      ("mesh_width", Int t.topo.Noc.Topology.width);
+      ("mesh_height", Int t.topo.Noc.Topology.height);
+      ( "cluster",
+        obj
+          [
+            ("name", String t.cluster.Cluster.name);
+            ("cx", Int t.cluster.Cluster.cx);
+            ("cy", Int t.cluster.Cluster.cy);
+            ("k", Int t.cluster.Cluster.k);
+          ] );
+      ( "placement",
+        obj
+          [
+            ("name", String t.placement.Noc.Placement.name);
+            ( "sites",
+              List
+                (Array.to_list
+                   (Array.map coord t.placement.Noc.Placement.nodes)) );
+          ] );
+      ("interleaving", String (interleaving_to_string t.interleaving));
+      ("line_bytes", Int t.line_bytes);
+      ("page_bytes", Int t.page_bytes);
+      ("elem_bytes", Int t.elem_bytes);
+      ("banks_per_mc", Int t.banks_per_mc);
+      ("channels_per_mc", Int t.channels_per_mc);
+    ]
+
+let int_field ?default j name =
+  match Obs.Json.member name j with
+  | Some (Obs.Json.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> (
+    match default with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "missing field %S" name))
+
+let str_field ?default j name =
+  match Obs.Json.member name j with
+  | Some (Obs.Json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> (
+    match default with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "missing field %S" name))
+
+let of_json j =
+  let* name = str_field ~default:"custom" j "name" in
+  let* width = int_field j "mesh_width" in
+  let* height = int_field j "mesh_height" in
+  let* () =
+    if width >= 1 && height >= 1 then Ok ()
+    else Error (Printf.sprintf "bad mesh %dx%d" width height)
+  in
+  let topo = Noc.Topology.make ~width ~height in
+  let* cluster =
+    match Obs.Json.member "cluster" j with
+    | None -> Cluster.m1 ~width ~height
+    | Some cj ->
+      let* cname = str_field ~default:"custom" cj "name" in
+      let* cx = int_field cj "cx" in
+      let* cy = int_field cj "cy" in
+      let* k = int_field ~default:1 cj "k" in
+      Cluster.make_result ~name:cname ~width ~height ~cx ~cy ~k
+  in
+  let* placement =
+    match Obs.Json.member "placement" j with
+    | None -> Ok None
+    | Some pj ->
+      let* pname = str_field ~default:"custom" pj "name" in
+      let* sites =
+        match Obs.Json.member "sites" pj with
+        | Some (Obs.Json.List l) ->
+          let rec coords acc = function
+            | [] -> Ok (Array.of_list (List.rev acc))
+            | Obs.Json.List [ Obs.Json.Int x; Obs.Json.Int y ] :: rest ->
+              coords (Noc.Coord.make x y :: acc) rest
+            | _ -> Error "placement sites must be [x, y] pairs"
+          in
+          coords [] l
+        | _ -> Error "placement needs a \"sites\" list"
+      in
+      let* p = Noc.Placement.of_coords_result topo pname sites in
+      Ok (Some p)
+  in
+  let* interleaving =
+    let* s = str_field ~default:"line" j "interleaving" in
+    interleaving_of_string s
+  in
+  let* line_bytes = int_field ~default:256 j "line_bytes" in
+  let* page_bytes = int_field ~default:4096 j "page_bytes" in
+  let* elem_bytes = int_field ~default:8 j "elem_bytes" in
+  let* banks_per_mc = int_field ~default:16 j "banks_per_mc" in
+  let* channels_per_mc = int_field ~default:4 j "channels_per_mc" in
+  make_result ?placement ~interleaving ~line_bytes ~page_bytes ~elem_bytes
+    ~banks_per_mc ~channels_per_mc ~name ~topo ~cluster ()
+
+let of_file path =
+  let contents () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match contents () with
+  | exception Sys_error e -> Error e
+  | s -> (
+    match Obs.Json.of_string s with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok j -> (
+      match of_json j with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok p -> Ok p))
+
+let of_spec spec =
+  if Sys.file_exists spec then of_file spec else preset_result spec
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>platform %s: %dx%d mesh, %a, placement %s, %s interleaving (%d B \
+     lines, %d B pages), %d banks/MC, %d channels/MC@]"
+    t.name t.topo.Noc.Topology.width t.topo.Noc.Topology.height Cluster.pp
+    t.cluster t.placement.Noc.Placement.name
+    (interleaving_to_string t.interleaving)
+    t.line_bytes t.page_bytes t.banks_per_mc t.channels_per_mc

@@ -13,7 +13,12 @@
     - [V005] the cluster map is a thread ↔ node bijection;
     - [V006] the transformed program is semantically equivalent to the
       original on sampled iterations: every statement-level reference
-      evaluates to the element [Layout.offset_of_index] predicts.
+      evaluates to the element [Layout.offset_of_index] predicts;
+    - [V007] the emitted C program's access sequence — row-major
+      addressing over the padded declarations, [__home] resolved through
+      the permutation table — replayed through the interpreter matches,
+      access by access, the trace the chosen layouts imply for the
+      original program ({!check_codegen}, run when codegen is enabled).
 
     Violations come back as located diagnostics (span of the offending
     declaration or reference), never exceptions. *)
@@ -25,3 +30,15 @@ val run :
   original:Lang.Ast.program ->
   transformed:Lang.Ast.program ->
   Lang.Diag.t list
+
+val check_codegen :
+  report:Transform.report ->
+  original:Lang.Ast.program ->
+  transformed:Lang.Ast.program ->
+  Lang.Diag.t list
+(** The V007 replay alone.  Traces both programs with a small thread
+    count (the chunk arithmetic is exercised; trace length is
+    thread-independent), drops the transformed side's [__home] reads, and
+    compares per-nest per-thread streams — lengths in full, elements up
+    to a cap.  The first divergence is reported at the offending nest's
+    span. *)

@@ -187,12 +187,3 @@ let emit_result ?name p =
   | s -> Ok s
   | exception Diag.Fatal d -> Error [ d ]
 
-let emit ?name p =
-  match emit_exn ?name p with
-  | s -> s
-  | exception Diag.Fatal d -> invalid_arg d.Diag.message
-
-let emit_to_file ?name path p =
-  let oc = open_out path in
-  output_string oc (emit ?name p);
-  close_out oc

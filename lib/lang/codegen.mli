@@ -20,10 +20,3 @@ val emit_result : ?name:string -> Ast.program -> (string, Diag.t list) result
     [run_<name>] function containing the loop nests.  [name] defaults to
     ["kernel"].  Failures ([G002] non-constant extent, [G003] unknown
     array) come back as located diagnostics. *)
-
-val emit : ?name:string -> Ast.program -> string
-(** Raising wrapper over {!emit_result}: raises [Invalid_argument] with
-    the diagnostic's message. *)
-
-val emit_to_file : ?name:string -> string -> Ast.program -> unit
-(** Writes {!emit} output to a path. *)

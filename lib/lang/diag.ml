@@ -15,8 +15,8 @@ type t = {
 }
 
 exception Fatal of t
-(** Carrier for legacy raising entry points ([Parser.parse], interpreter
-    misuse); the pipeline itself never lets it escape. *)
+(** Internal abort carrier for the [_result] entry points; callers only
+    ever see the [Error] value it is converted into. *)
 
 let make ?(severity = Error) ?(code = "E000") ?(notes = []) span message =
   { severity; code; span; message; notes }

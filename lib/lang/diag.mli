@@ -21,8 +21,8 @@ type t = {
 }
 
 exception Fatal of t
-(** Raised only by the legacy raising wrappers ([Parser.parse],
-    [Interp.trace] on malformed input); pipeline entry points catch it. *)
+(** Internal carrier used inside [_result] entry points (parser, codegen)
+    to abort to the nearest handler; it never escapes the public API. *)
 
 val make :
   ?severity:severity -> ?code:string -> ?notes:note list -> Span.t -> string -> t

@@ -316,12 +316,6 @@ let check_result (p : Ast.program) =
   List.iter check_stmt p.nests;
   match List.rev !diags with [] -> Ok p | ds -> Result.Error ds
 
-let check (p : Ast.program) =
-  match check_result p with
-  | Ok p -> p
-  | Result.Error (d :: _) -> raise (Error d)
-  | Result.Error [] -> assert false
-
 let parse_program_result ?(file = "<input>") src =
   match Lexer.scan ~file src with
   | Result.Error d -> Result.Error [ d ]
@@ -335,12 +329,6 @@ let parse_result ?file src =
   | Result.Error _ as e -> e
   | Ok p -> check_result p
 
-let parse ?file src =
-  match parse_result ?file src with
-  | Ok p -> p
-  | Result.Error (d :: _) -> raise (Error d)
-  | Result.Error [] -> assert false
-
 let read_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -353,5 +341,3 @@ let parse_file_result path =
   | src -> parse_result ~file:path src
   | exception Sys_error e ->
     Result.Error [ Diag.error ~code:"P000" (Span.make ~file:path ~lo:0 ~hi:0) e ]
-
-let parse_file path = parse ~file:path (read_file path)

@@ -16,12 +16,8 @@
     factor   ::= INT | "-" factor | "(" expr ")" | IDENT | ref
     v}
 
-    The [_result] entry points return located diagnostics; [parse] and
-    [parse_file] are raising wrappers kept for callers that treat any
-    malformed input as fatal. *)
-
-exception Error of Diag.t
-(** Syntax or scoping error, raised by {!parse} / {!parse_file}. *)
+    All entry points return located diagnostics as [Result] values — there
+    are no raising variants. *)
 
 val parse_program_result :
   ?file:string -> string -> (Ast.program, Diag.t list) result
@@ -40,13 +36,3 @@ val parse_file_result : string -> (Ast.program, Diag.t list) result
 
 val check_result : Ast.program -> (Ast.program, Diag.t list) result
 (** Scope check alone, for programmatically constructed programs. *)
-
-val parse : ?file:string -> string -> Ast.program
-(** Raising wrapper over {!parse_result}: raises {!Error} with the first
-    diagnostic. *)
-
-val parse_file : string -> Ast.program
-(** Reads and parses a file. *)
-
-val check : Ast.program -> Ast.program
-(** Raising wrapper over {!check_result}. *)

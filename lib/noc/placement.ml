@@ -2,16 +2,31 @@ type t = { name : string; nodes : int array }
 
 let count p = Array.length p.nodes
 
+let of_coords_result topo name coords =
+  let off = ref None in
+  let nodes =
+    Array.map
+      (fun c ->
+        if not (Topology.in_mesh topo c) then begin
+          if !off = None then off := Some c;
+          0
+        end
+        else Topology.node_of_coord topo c)
+      coords
+  in
+  match !off with
+  | Some c ->
+    Error
+      (Printf.sprintf "Placement %s: site (%d,%d) is off the %dx%d mesh" name
+         c.Coord.x c.Coord.y topo.Topology.width topo.Topology.height)
+  | None -> Ok { name; nodes }
+
+(* Internal helper for the fixed preset placements below, whose sites are
+   in-mesh by construction on any mesh large enough to host them. *)
 let of_coords topo name coords =
-  {
-    name;
-    nodes =
-      Array.map
-        (fun c ->
-          if not (Topology.in_mesh topo c) then invalid_arg "Placement: off-mesh";
-          Topology.node_of_coord topo c)
-        coords;
-  }
+  match of_coords_result topo name coords with
+  | Ok p -> p
+  | Error e -> invalid_arg e
 
 let corners topo =
   let w = topo.Topology.width - 1 and h = topo.Topology.height - 1 in
@@ -47,62 +62,70 @@ let perimeter topo =
   let left = List.init (h - 2) (fun i -> Coord.make 0 (h - 2 - i)) in
   Array.of_list (top @ right @ bottom @ left)
 
-let ring topo ~count =
+let ring_result topo ~count =
   let per = perimeter topo in
   let n = Array.length per in
-  if count <= 0 || count > n then invalid_arg "Placement.ring";
-  of_coords topo
-    (Printf.sprintf "ring-%d" count)
-    (Array.init count (fun j -> per.(j * n / count)))
+  if count <= 0 || count > n then
+    Error
+      (Printf.sprintf
+         "Placement.ring: %d MCs do not fit the %d-node perimeter" count n)
+  else
+    of_coords_result topo
+      (Printf.sprintf "ring-%d" count)
+      (Array.init count (fun j -> per.(j * n / count)))
 
-let assign topo ~name ~sites ~centroids =
+let assign_result topo ~name ~sites ~centroids =
   if Array.length sites < Array.length centroids then
-    invalid_arg "Placement.assign: not enough sites";
-  let n = Array.length centroids in
-  (* greedy seed in MC-index order *)
-  let used = Array.make (Array.length sites) false in
-  let chosen = Array.make n 0 in
-  Array.iteri
-    (fun m c ->
-      let best = ref (-1) and bestd = ref max_int in
-      Array.iteri
-        (fun i pc ->
-          if not used.(i) then begin
-            let d = Coord.manhattan c pc in
-            if d < !bestd then begin
-              bestd := d;
-              best := i
-            end
-          end)
-        sites;
-      assert (!best >= 0);
-      used.(!best) <- true;
-      chosen.(m) <- !best)
-    centroids;
-  (* 2-opt refinement: greedy can strand a later controller far from its
-     cluster (e.g. the edge-center placement); swap assignments while the
-     total centroid distance decreases *)
-  let dist m i = Coord.manhattan centroids.(m) sites.(i) in
-  let improved = ref true in
-  while !improved do
-    improved := false;
-    for a = 0 to n - 1 do
-      for b = a + 1 to n - 1 do
-        let cur = dist a chosen.(a) + dist b chosen.(b) in
-        let swapped = dist a chosen.(b) + dist b chosen.(a) in
-        if swapped < cur then begin
-          let t = chosen.(a) in
-          chosen.(a) <- chosen.(b);
-          chosen.(b) <- t;
-          improved := true
-        end
+    Error
+      (Printf.sprintf "Placement.assign: %d sites for %d controllers"
+         (Array.length sites) (Array.length centroids))
+  else begin
+    let n = Array.length centroids in
+    (* greedy seed in MC-index order *)
+    let used = Array.make (Array.length sites) false in
+    let chosen = Array.make n 0 in
+    Array.iteri
+      (fun m c ->
+        let best = ref (-1) and bestd = ref max_int in
+        Array.iteri
+          (fun i pc ->
+            if not used.(i) then begin
+              let d = Coord.manhattan c pc in
+              if d < !bestd then begin
+                bestd := d;
+                best := i
+              end
+            end)
+          sites;
+        assert (!best >= 0);
+        used.(!best) <- true;
+        chosen.(m) <- !best)
+      centroids;
+    (* 2-opt refinement: greedy can strand a later controller far from its
+       cluster (e.g. the edge-center placement); swap assignments while the
+       total centroid distance decreases *)
+    let dist m i = Coord.manhattan centroids.(m) sites.(i) in
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          let cur = dist a chosen.(a) + dist b chosen.(b) in
+          let swapped = dist a chosen.(b) + dist b chosen.(a) in
+          if swapped < cur then begin
+            let t = chosen.(a) in
+            chosen.(a) <- chosen.(b);
+            chosen.(b) <- t;
+            improved := true
+          end
+        done
       done
-    done
-  done;
-  of_coords topo name (Array.map (fun i -> sites.(i)) chosen)
+    done;
+    of_coords_result topo name (Array.map (fun i -> sites.(i)) chosen)
+  end
 
-let for_centroids topo ~name ~centroids =
-  assign topo ~name ~sites:(perimeter topo) ~centroids
+let for_centroids_result topo ~name ~centroids =
+  assign_result topo ~name ~sites:(perimeter topo) ~centroids
 
 let mc_node p m = p.nodes.(m)
 

@@ -3,7 +3,10 @@
     A placement assigns each MC an attachment node in the mesh.  The paper
     evaluates the default corner placement (Fig. 8a, "P1") and two
     alternatives enabled by flip-chip packaging (Fig. 26, "P2"/"P3"), plus
-    8- and 16-controller variants (Fig. 27). *)
+    8- and 16-controller variants (Fig. 27).
+
+    Fallible constructors are Result-first: a site set that does not fit
+    the mesh is a value error, never an exception. *)
 
 type t = { name : string; nodes : int array }
 (** [nodes.(m)] is the mesh node MC [m] attaches to.  MC indices are
@@ -12,6 +15,9 @@ type t = { name : string; nodes : int array }
     being served by MCs [j·k .. j·k+k-1] (see {!Core.Cluster}). *)
 
 val count : t -> int
+
+val of_coords_result : Topology.t -> string -> Coord.t array -> (t, string) result
+(** Places MC [m] at [coords.(m)]; an off-mesh site is a value error. *)
 
 val corners : Topology.t -> t
 (** P1: one MC at each corner, in the order NW, NE, SW, SE — matching the
@@ -24,24 +30,30 @@ val edge_centers : Topology.t -> t
 val top_bottom : Topology.t -> t
 (** P3: MCs spread along the top and bottom edges. *)
 
-val ring : Topology.t -> count:int -> t
-(** [ring t ~count] spreads [count] MCs evenly around the mesh perimeter,
-    starting at the NW corner and proceeding clockwise; used for the 8-
-    and 16-MC configurations of Fig. 27. *)
+val ring_result : Topology.t -> count:int -> (t, string) result
+(** [ring_result t ~count] spreads [count] MCs evenly around the mesh
+    perimeter, starting at the NW corner and proceeding clockwise; used for
+    the 8- and 16-MC configurations of Fig. 27.  More MCs than perimeter
+    nodes is a value error. *)
 
-val assign :
-  Topology.t -> name:string -> sites:Coord.t array -> centroids:Coord.t array -> t
-(** [assign t ~name ~sites ~centroids] places MC [j] at the unused site
-    closest to [centroids.(j)] (greedy, in MC-index order).  This aligns
-    MC indices with cluster indices for any site set — corners, edge
-    centers, rings — which the interleaved layout requires.  Raises
-    [Invalid_argument] when there are fewer sites than centroids. *)
+val assign_result :
+  Topology.t ->
+  name:string ->
+  sites:Coord.t array ->
+  centroids:Coord.t array ->
+  (t, string) result
+(** [assign_result t ~name ~sites ~centroids] places MC [j] at the unused
+    site closest to [centroids.(j)] (greedy in MC-index order, then 2-opt
+    refined).  This aligns MC indices with cluster indices for any site
+    set — corners, edge centers, rings — which the interleaved layout
+    requires.  Fewer sites than centroids is a value error. *)
 
-val for_centroids : Topology.t -> name:string -> centroids:Coord.t array -> t
-(** [for_centroids t ~name ~centroids] places one MC per centroid at the
-    free perimeter node closest to it (greedy, in MC-index order).  Used to
-    attach MC [j] near cluster [j] for arbitrary cluster grids, preserving
-    the index correspondence the interleaved layout relies on. *)
+val for_centroids_result :
+  Topology.t -> name:string -> centroids:Coord.t array -> (t, string) result
+(** [for_centroids_result t ~name ~centroids] places one MC per centroid at
+    the free perimeter node closest to it (greedy, in MC-index order).  Used
+    to attach MC [j] near cluster [j] for arbitrary cluster grids,
+    preserving the index correspondence the interleaved layout relies on. *)
 
 val nearest : t -> Topology.t -> int -> int
 (** [nearest p topo node] is the MC whose attachment node is closest to

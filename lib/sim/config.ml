@@ -3,29 +3,21 @@ type l2_org = Private_l2 | Shared_l2
 type page_policy = Hardware | First_touch | Mc_aware
 
 type t = {
-  topo : Noc.Topology.t;
-  cluster : Core.Cluster.t;
-  placement : Noc.Placement.t;
+  platform : Core.Platform.t;
   l2_org : l2_org;
-  interleaving : Dram.Address_map.interleaving;
   page_policy : page_policy;
   l1_size : int;
   l1_line : int;
   l1_ways : int;
   l2_size : int;
-  l2_line : int;
   l2_ways : int;
   l1_latency : int;
   l2_latency : int;
   directory_latency : int;
   noc : Noc.Network.config;
   timing : Dram.Timing.t;
-  banks_per_mc : int;
-  channels_per_mc : int;
   mc_scheduler : Dram.Fr_fcfs.scheduler;
   mc_row_policy : Dram.Fr_fcfs.row_policy;
-  page_bytes : int;
-  elem_bytes : int;
   compute_cycles : int;
   jitter : bool;
   threads_per_core : int;
@@ -34,54 +26,51 @@ type t = {
   seed : int;
 }
 
-let corner_sites (topo : Noc.Topology.t) =
-  let w = topo.width - 1 and h = topo.height - 1 in
-  [| Noc.Coord.make 0 0; Noc.Coord.make w 0; Noc.Coord.make 0 h; Noc.Coord.make w h |]
+(* Platform accessors: the simulation layers read the machine description
+   through these so there is exactly one source of truth for it. *)
 
-let placement_for ?sites topo (cluster : Core.Cluster.t) =
-  let mcs = Core.Cluster.num_mcs cluster in
-  let centroids =
-    Array.init mcs (fun m ->
-        Core.Cluster.centroid_of_cluster cluster (Core.Cluster.cluster_of_mc cluster m))
-  in
-  match sites with
-  | Some sites -> Noc.Placement.assign topo ~name:"custom" ~sites ~centroids
-  | None ->
-    if mcs <= 4 then
-      Noc.Placement.assign topo ~name:"P1-corners" ~sites:(corner_sites topo)
-        ~centroids
-    else
-      Noc.Placement.for_centroids topo
-        ~name:(Printf.sprintf "perimeter-%d" mcs)
-        ~centroids
+let platform t = t.platform
+
+let topo t = t.platform.Core.Platform.topo
+
+let cluster t = t.platform.Core.Platform.cluster
+
+let placement t = t.platform.Core.Platform.placement
+
+let interleaving t =
+  match t.platform.Core.Platform.interleaving with
+  | Core.Platform.Line_interleaved -> Dram.Address_map.Line_interleaved
+  | Core.Platform.Page_interleaved -> Dram.Address_map.Page_interleaved
+
+let l2_line t = t.platform.Core.Platform.line_bytes
+
+let page_bytes t = t.platform.Core.Platform.page_bytes
+
+let elem_bytes t = t.platform.Core.Platform.elem_bytes
+
+let banks_per_mc t = t.platform.Core.Platform.banks_per_mc
+
+let channels_per_mc t = t.platform.Core.Platform.channels_per_mc
+
+let num_mcs t = Core.Platform.num_mcs t.platform
 
 let make_default ~l1_size ~l2_size =
-  let topo = Noc.Topology.make ~width:8 ~height:8 in
-  let cluster = Core.Cluster.m1 ~width:8 ~height:8 in
   {
-    topo;
-    cluster;
-    placement = placement_for topo cluster;
+    platform = Core.Platform.default ();
     l2_org = Private_l2;
-    interleaving = Dram.Address_map.Line_interleaved;
     page_policy = Hardware;
     l1_size;
     l1_line = 64;
     l1_ways = 2;
     l2_size;
-    l2_line = 256;
     l2_ways = (if l2_size >= 65536 then 16 else 4);
     l1_latency = 2;
     l2_latency = 10;
     directory_latency = 3;
     noc = Noc.Network.default_config;
     timing = Dram.Timing.ddr3_1600;
-    banks_per_mc = 16;
-    channels_per_mc = 4;
     mc_scheduler = Dram.Fr_fcfs.Fr_fcfs;
     mc_row_policy = Dram.Fr_fcfs.Open_page;
-    page_bytes = 4096;
-    elem_bytes = 8;
     compute_cycles = 16;
     jitter = true;
     threads_per_core = 1;
@@ -96,43 +85,77 @@ let default () = make_default ~l1_size:(16 * 1024) ~l2_size:(256 * 1024)
    working sets comfortably larger than the aggregate L2. *)
 let scaled () = make_default ~l1_size:4096 ~l2_size:16384
 
-let with_cluster t cluster = { t with cluster; placement = placement_for t.topo cluster }
+let with_platform t platform = { t with platform }
+
+let with_cluster t cluster =
+  Result.map
+    (fun platform -> { t with platform })
+    (Core.Platform.with_cluster t.platform cluster)
+
+let with_placement t placement =
+  let p = t.platform in
+  if Noc.Placement.count placement <> Core.Platform.num_mcs p then
+    Error
+      (Printf.sprintf "placement %s has %d sites for %d controllers"
+         placement.Noc.Placement.name
+         (Noc.Placement.count placement)
+         (Core.Platform.num_mcs p))
+  else Ok { t with platform = { p with Core.Platform.placement } }
+
+let with_interleaving t i =
+  let interleaving =
+    match i with
+    | Dram.Address_map.Line_interleaved -> Core.Platform.Line_interleaved
+    | Dram.Address_map.Page_interleaved -> Core.Platform.Page_interleaved
+  in
+  { t with platform = { t.platform with Core.Platform.interleaving } }
+
+let with_channels_per_mc t channels_per_mc =
+  { t with platform = { t.platform with Core.Platform.channels_per_mc } }
 
 let address_map t =
-  Dram.Address_map.make ~interleaving:t.interleaving ~line_bytes:t.l2_line
-    ~page_bytes:t.page_bytes
-    ~num_mcs:(Core.Cluster.num_mcs t.cluster)
-    ~banks_per_mc:t.banks_per_mc ()
+  Dram.Address_map.make ~interleaving:(interleaving t) ~line_bytes:(l2_line t)
+    ~page_bytes:(page_bytes t) ~num_mcs:(num_mcs t)
+    ~banks_per_mc:(banks_per_mc t) ()
 
 let customize_config t =
-  let p_bytes =
-    match t.interleaving with
-    | Dram.Address_map.Line_interleaved -> t.l2_line
-    | Dram.Address_map.Page_interleaved -> t.page_bytes
-  in
   {
-    Core.Customize.cluster = t.cluster;
-    topo = t.topo;
-    placement = t.placement;
+    Core.Customize.cluster = cluster t;
+    topo = topo t;
+    placement = placement t;
     l2 =
       (match t.l2_org with
       | Private_l2 -> Core.Customize.Private_l2
       | Shared_l2 -> Core.Customize.Shared_l2);
-    p_elems = p_bytes / t.elem_bytes;
-    elem_bytes = t.elem_bytes;
+    p_elems = Core.Platform.granule_bytes t.platform / elem_bytes t;
+    elem_bytes = elem_bytes t;
   }
 
 let mesh ~width ~height t =
+  let ( let* ) = Result.bind in
   let topo = Noc.Topology.make ~width ~height in
-  let cluster = Core.Cluster.m1 ~width ~height in
-  { t with topo; cluster; placement = placement_for topo cluster }
+  let* cluster = Core.Cluster.m1 ~width ~height in
+  let* platform =
+    Core.Platform.make_result
+      ~interleaving:t.platform.Core.Platform.interleaving
+      ~line_bytes:t.platform.Core.Platform.line_bytes
+      ~page_bytes:t.platform.Core.Platform.page_bytes
+      ~elem_bytes:t.platform.Core.Platform.elem_bytes
+      ~banks_per_mc:t.platform.Core.Platform.banks_per_mc
+      ~channels_per_mc:t.platform.Core.Platform.channels_per_mc
+      ~name:(Printf.sprintf "mesh%dx%d-mc4" width height)
+      ~topo ~cluster ()
+  in
+  Ok { t with platform }
 
 (* Shared CLI/spec-facing builder: every choice is a plain string or scalar
    so `simulate`, `occ` and sweep specs validate configurations the same
-   way and report the same one-line errors. *)
-let build ?(scaled = true) ?(l2 = "private") ?(interleave = "line")
-    ?(policy = "hardware") ?(mapping = "M1") ?(width = 8) ?(height = 8)
-    ?(tpc = 1) ?(optimal = false) ?(seed = 0) () =
+   way and report the same one-line errors.  [platform] ("" = the default
+   preset) takes precedence over [width]/[height]; [mapping] "" keeps the
+   platform's own mapping. *)
+let build ?(scaled = true) ?(platform = "") ?(l2 = "private")
+    ?(interleave = "line") ?(policy = "hardware") ?(mapping = "")
+    ?(width = 8) ?(height = 8) ?(tpc = 1) ?(optimal = false) ?(seed = 0) () =
   let ( let* ) = Result.bind in
   let* () =
     if width < 1 || height < 1 then
@@ -147,19 +170,16 @@ let build ?(scaled = true) ?(l2 = "private") ?(interleave = "line")
     if scaled then make_default ~l1_size:4096 ~l2_size:16384
     else make_default ~l1_size:(16 * 1024) ~l2_size:(256 * 1024)
   in
-  (* cluster construction rejects meshes it cannot partition evenly;
-     surface that as a value error, not an exception *)
-  let catch f = match f () with c -> Ok c | exception Invalid_argument e -> Error e in
-  let* cfg = catch (fun () -> mesh ~width ~height base) in
   let* cfg =
-    match mapping with
-    | "M1" -> Ok cfg
-    | "M2" -> catch (fun () -> with_cluster cfg (Core.Cluster.m2 ~width ~height))
-    | m -> (
-      match int_of_string_opt m with
-      | Some mcs when mcs > 0 ->
-        catch (fun () -> with_cluster cfg (Core.Cluster.with_mcs ~width ~height ~mcs))
-      | _ -> Error ("unknown mapping " ^ m))
+    if platform = "" then mesh ~width ~height base
+    else
+      Result.map (with_platform base) (Core.Platform.of_spec platform)
+  in
+  (* "" keeps the platform's own mapping (M1 unless a platform says
+     otherwise); an explicit M1/M2/MC-count overrides it *)
+  let* cfg =
+    Result.map (with_platform cfg)
+      (Core.Platform.with_mapping cfg.platform mapping)
   in
   let* l2_org =
     match l2 with
@@ -180,30 +200,22 @@ let build ?(scaled = true) ?(l2 = "private") ?(interleave = "line")
     | "mc-aware" -> Ok Mc_aware
     | s -> Error ("unknown policy " ^ s)
   in
-  Ok
-    {
-      cfg with
-      l2_org;
-      interleaving;
-      page_policy;
-      threads_per_core = tpc;
-      optimal;
-      seed;
-    }
+  let cfg = with_interleaving cfg interleaving in
+  Ok { cfg with l2_org; page_policy; threads_per_core = tpc; optimal; seed }
 
 let to_json t =
   let open Obs.Json in
   obj
     [
-      ("mesh_width", Int t.topo.Noc.Topology.width);
-      ("mesh_height", Int t.topo.Noc.Topology.height);
+      ("mesh_width", Int (topo t).Noc.Topology.width);
+      ("mesh_height", Int (topo t).Noc.Topology.height);
       ( "l2_org",
         String
           (match t.l2_org with Private_l2 -> "private" | Shared_l2 -> "shared")
       );
       ( "interleaving",
         String
-          (match t.interleaving with
+          (match interleaving t with
           | Dram.Address_map.Line_interleaved -> "line"
           | Dram.Address_map.Page_interleaved -> "page") );
       ( "page_policy",
@@ -212,20 +224,20 @@ let to_json t =
           | Hardware -> "hardware"
           | First_touch -> "first-touch"
           | Mc_aware -> "mc-aware") );
-      ("num_mcs", Int (Core.Cluster.num_mcs t.cluster));
-      ("cluster", String t.cluster.Core.Cluster.name);
-      ("placement", String t.placement.Noc.Placement.name);
+      ("num_mcs", Int (num_mcs t));
+      ("cluster", String (cluster t).Core.Cluster.name);
+      ("placement", String (placement t).Noc.Placement.name);
       ("l1_size", Int t.l1_size);
       ("l1_line", Int t.l1_line);
       ("l1_ways", Int t.l1_ways);
       ("l2_size", Int t.l2_size);
-      ("l2_line", Int t.l2_line);
+      ("l2_line", Int (l2_line t));
       ("l2_ways", Int t.l2_ways);
       ("l1_latency", Int t.l1_latency);
       ("l2_latency", Int t.l2_latency);
       ("directory_latency", Int t.directory_latency);
-      ("banks_per_mc", Int t.banks_per_mc);
-      ("channels_per_mc", Int t.channels_per_mc);
+      ("banks_per_mc", Int (banks_per_mc t));
+      ("channels_per_mc", Int (channels_per_mc t));
       ( "mc_scheduler",
         String
           (match t.mc_scheduler with
@@ -236,8 +248,8 @@ let to_json t =
           (match t.mc_row_policy with
           | Dram.Fr_fcfs.Open_page -> "open-page"
           | Dram.Fr_fcfs.Closed_page -> "closed-page") );
-      ("page_bytes", Int t.page_bytes);
-      ("elem_bytes", Int t.elem_bytes);
+      ("page_bytes", Int (page_bytes t));
+      ("elem_bytes", Int (elem_bytes t));
       ("compute_cycles", Int t.compute_cycles);
       ("jitter", Bool t.jitter);
       ("threads_per_core", Int t.threads_per_core);
@@ -250,11 +262,11 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<v>mesh %dx%d, %a, %s L2 (%d B/node, %d B lines), L1 %d B, %s, %d \
      MCs, %d banks/MC@]"
-    t.topo.width t.topo.height Core.Cluster.pp t.cluster
+    (topo t).Noc.Topology.width (topo t).Noc.Topology.height Core.Cluster.pp
+    (cluster t)
     (match t.l2_org with Private_l2 -> "private" | Shared_l2 -> "shared")
-    t.l2_size t.l2_line t.l1_size
-    (match t.interleaving with
+    t.l2_size (l2_line t) t.l1_size
+    (match interleaving t with
     | Dram.Address_map.Line_interleaved -> "cache-line interleaved"
     | Dram.Address_map.Page_interleaved -> "page interleaved")
-    (Core.Cluster.num_mcs t.cluster)
-    t.banks_per_mc
+    (num_mcs t) (banks_per_mc t)

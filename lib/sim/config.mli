@@ -1,4 +1,11 @@
-(** Simulated platform configuration (Table 1).
+(** Simulation parameters over a {!Core.Platform} (Table 1).
+
+    The machine description — topology, cluster mapping, controller
+    placement, interleaving and address-map sizes — lives in the embedded
+    {!Core.Platform.t}; this record adds only the simulation-side knobs
+    (cache sizes, latencies, DRAM timing, scheduling policies, seeds).
+    The simulator reads the platform through the accessors below so the
+    compiler and simulator consume one shared description.
 
     The [default] configuration reproduces Table 1: 8×8 mesh, two-issue
     in-order cores, 16 KB 2-way L1s with 64 B lines, 256 KB 16-way L2s
@@ -17,29 +24,21 @@ type l2_org = Private_l2 | Shared_l2
 type page_policy = Hardware | First_touch | Mc_aware
 
 type t = {
-  topo : Noc.Topology.t;
-  cluster : Core.Cluster.t;
-  placement : Noc.Placement.t;
+  platform : Core.Platform.t;
   l2_org : l2_org;
-  interleaving : Dram.Address_map.interleaving;
   page_policy : page_policy;
   l1_size : int;
   l1_line : int;
   l1_ways : int;
   l2_size : int;  (** per node *)
-  l2_line : int;
   l2_ways : int;
   l1_latency : int;
   l2_latency : int;
   directory_latency : int;
   noc : Noc.Network.config;
   timing : Dram.Timing.t;
-  banks_per_mc : int;
-  channels_per_mc : int;
   mc_scheduler : Dram.Fr_fcfs.scheduler;
   mc_row_policy : Dram.Fr_fcfs.row_policy;
-  page_bytes : int;
-  elem_bytes : int;
   compute_cycles : int;  (** issue cost charged per access *)
   jitter : bool;
       (** add deterministic per-thread issue jitter (0..compute_cycles-1
@@ -61,28 +60,63 @@ val default : unit -> t
 
 val scaled : unit -> t
 
-val corner_sites : Noc.Topology.t -> Noc.Coord.t array
+(** {2 Platform accessors} *)
 
-val placement_for :
-  ?sites:Noc.Coord.t array -> Noc.Topology.t -> Core.Cluster.t -> Noc.Placement.t
-(** MC [j] placed at the unused site nearest cluster [j/k]'s centroid;
-    default sites are the mesh corners when there are at most four MCs,
-    the full perimeter otherwise. *)
+val platform : t -> Core.Platform.t
 
-val with_cluster : t -> Core.Cluster.t -> t
-(** Replaces the mapping and recomputes a matching corner placement. *)
+val topo : t -> Noc.Topology.t
+
+val cluster : t -> Core.Cluster.t
+
+val placement : t -> Noc.Placement.t
+
+val interleaving : t -> Dram.Address_map.interleaving
+(** The platform's interleaving, as the DRAM layer's variant. *)
+
+val l2_line : t -> int
+(** The platform's [line_bytes]. *)
+
+val page_bytes : t -> int
+
+val elem_bytes : t -> int
+
+val banks_per_mc : t -> int
+
+val channels_per_mc : t -> int
+
+val num_mcs : t -> int
+
+(** {2 Functional updates} *)
+
+val with_platform : t -> Core.Platform.t -> t
+
+val with_cluster : t -> Core.Cluster.t -> (t, string) result
+(** Replaces the mapping and recomputes a matching placement; a cluster
+    that does not tile the platform's mesh is a value error. *)
+
+val with_placement : t -> Noc.Placement.t -> (t, string) result
+(** Replaces the controller placement; a site count that differs from the
+    platform's controller count is a value error. *)
+
+val with_interleaving : t -> Dram.Address_map.interleaving -> t
+
+val with_channels_per_mc : t -> int -> t
+
+val mesh : width:int -> height:int -> t -> (t, string) result
+(** Re-targets the configuration to another mesh size (Fig. 21),
+    rebuilding cluster and placement; a mesh M1 cannot tile evenly is a
+    value error. *)
+
+(** {2 Derived views} *)
 
 val address_map : t -> Dram.Address_map.t
 
 val customize_config : t -> Core.Customize.config
 (** The pass-side view of this platform (p = line or page in elements). *)
 
-val mesh : width:int -> height:int -> t -> t
-(** Re-targets the configuration to another mesh size (Fig. 21),
-    rebuilding cluster and placement. *)
-
 val build :
   ?scaled:bool ->
+  ?platform:string ->
   ?l2:string ->
   ?interleave:string ->
   ?policy:string ->
@@ -95,9 +129,12 @@ val build :
   unit ->
   (t, string) result
 (** Builds a configuration from the string/scalar knobs the CLIs and
-    sweep specs expose ([l2] private|shared, [interleave] line|page,
-    [policy] hardware|first-touch|mc-aware, [mapping] M1|M2|MC-count).
-    Returns a one-line error instead of raising on invalid values. *)
+    sweep specs expose ([platform] a preset name or JSON file per
+    {!Core.Platform.of_spec}, taking precedence over [width]/[height];
+    [l2] private|shared, [interleave] line|page, [policy]
+    hardware|first-touch|mc-aware, [mapping] M1|M2|MC-count, or [""] to
+    keep the platform's own mapping).  Returns a one-line error instead
+    of raising on invalid values. *)
 
 val to_json : t -> Obs.Json.t
 (** Scalar platform parameters (mesh, caches, controllers, policies) —

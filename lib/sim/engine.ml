@@ -128,9 +128,14 @@ let new_req slot =
 
 let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
     ~jobs () =
-  let topo = cfg.topo in
+  (* platform values hoisted into locals: the hot closures below must not
+     pay the accessor indirection per access *)
+  let topo = Config.topo cfg in
+  let cluster = Config.cluster cfg in
+  let placement = Config.placement cfg in
+  let l2_line = Config.l2_line cfg in
   let nodes = Noc.Topology.nodes topo in
-  let num_mcs = Core.Cluster.num_mcs cfg.cluster in
+  let num_mcs = Core.Cluster.num_mcs cluster in
   let amap = Config.address_map cfg in
   let net = Noc.Network.create ~config:cfg.noc topo in
   let l1 =
@@ -141,7 +146,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
   let l2 =
     Array.init nodes (fun _ ->
         Sacache.create ~hash_sets:true ~size_bytes:cfg.l2_size
-          ~line_bytes:cfg.l2_line ~ways:cfg.l2_ways ())
+          ~line_bytes:l2_line ~ways:cfg.l2_ways ())
   in
   let dir = Directory.create ~nodes in
   let mcs =
@@ -157,9 +162,9 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
                   ~pid:0 ~ts:now ~value:depth)
           else None
         in
-        Fr_fcfs.create ~timing:cfg.timing ~channels:cfg.channels_per_mc
+        Fr_fcfs.create ~timing:cfg.timing ~channels:(Config.channels_per_mc cfg)
           ~scheduler:cfg.mc_scheduler ~row_policy:cfg.mc_row_policy
-          ?depth_hook ~banks:cfg.banks_per_mc ())
+          ?depth_hook ~banks:(Config.banks_per_mc cfg) ())
   in
   let mc_next_wake = Array.make num_mcs max_int in
   let policy =
@@ -168,8 +173,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
     | Config.First_touch ->
       Page_alloc.First_touch
         (fun node ->
-          let cl = Core.Cluster.cluster_of_node cfg.cluster topo node in
-          List.hd (Core.Cluster.mcs_of_cluster cfg.cluster cl))
+          let cl = Core.Cluster.cluster_of_node cluster topo node in
+          List.hd (Core.Cluster.mcs_of_cluster cluster cl))
     | Config.Mc_aware ->
       let desired =
         match desired_mc_of_vpage with
@@ -177,8 +182,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
         | None -> fun vpage -> Some (vpage mod num_mcs)
       in
       let fallback node =
-        let cl = Core.Cluster.cluster_of_node cfg.cluster topo node in
-        List.hd (Core.Cluster.mcs_of_cluster cfg.cluster cl)
+        let cl = Core.Cluster.cluster_of_node cluster topo node in
+        List.hd (Core.Cluster.mcs_of_cluster cluster cl)
       in
       Page_alloc.Mc_aware { desired; fallback }
   in
@@ -212,11 +217,11 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
      hot path never recomputes a controller site, a nearest-controller
      choice or a hop count (XY hop count = Manhattan distance) *)
   let mc_node_tbl =
-    Array.init num_mcs (fun m -> Noc.Placement.mc_node cfg.placement m)
+    Array.init num_mcs (fun m -> Noc.Placement.mc_node placement m)
   in
   let mc_node m = mc_node_tbl.(m) in
   let nearest_tbl =
-    Array.init nodes (fun n -> Noc.Placement.nearest cfg.placement topo n)
+    Array.init nodes (fun n -> Noc.Placement.nearest placement topo n)
   in
   let nearest_mc node = nearest_tbl.(node) in
   let hop_tbl =
@@ -234,8 +239,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
       js
   in
   let wake_act = Array.init num_mcs (fun m -> Mc_wake m) in
-  let line_of paddr = paddr land lnot (cfg.l2_line - 1) in
-  let data_bytes = cfg.l2_line + ctrl_bytes in
+  let line_of paddr = paddr land lnot (l2_line - 1) in
+  let data_bytes = l2_line + ctrl_bytes in
   let l1_fill_bytes = cfg.l1_line + ctrl_bytes in
   let issue_cost = cfg.compute_cycles * cfg.threads_per_core in
   let store_buffer_depth = 8 in
@@ -267,8 +272,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
   (* bank-local view of a shared-L2 bank address: strip the bank-select
      bits so a bank's sets index its own lines, not the global ones *)
   let bank_local paddr =
-    let line = paddr / cfg.l2_line in
-    ((line / nodes) * cfg.l2_line) + (paddr mod cfg.l2_line)
+    let line = paddr / l2_line in
+    ((line / nodes) * l2_line) + (paddr mod l2_line)
   in
   let log_leg ~measured ~offchip hops cycles =
     if measured then Stats.record_leg stats ~offchip ~hops ~cycles
@@ -496,7 +501,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
         Event_heap.push heap ~time:arr req.a_dir_decide
       end
   and miss_shared jid tid node paddr wr ~rid ~traced ~measured ~resume t =
-    let home = paddr / cfg.l2_line mod nodes in
+    let home = paddr / l2_line mod nodes in
     let req = alloc_req () in
     init_req req ~rid ~jid ~tid ~node ~paddr ~wr ~home ~shared:true ~measured
       ~traced ~resume;
@@ -521,8 +526,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
       | Some ev when evicted_dirty ->
         (* reconstruct a representative global address for the evicted
            bank-local line: same bank, same local line *)
-        let local_line = ev / cfg.l2_line in
-        let global = ((local_line * nodes) + req.home) * cfg.l2_line in
+        let local_line = ev / l2_line in
+        let global = ((local_line * nodes) + req.home) * l2_line in
         writeback ~now:t ~src:req.home global
       | _ -> ());
       let m =

@@ -1,8 +1,8 @@
 let render (cfg : Config.t) =
   let buf = Buffer.create 1024 in
-  let topo = cfg.Config.topo in
-  let cluster = cfg.Config.cluster in
-  let placement = cfg.Config.placement in
+  let topo = (Config.topo cfg) in
+  let cluster = (Config.cluster cfg) in
+  let placement = (Config.placement cfg) in
   let num_mcs = Core.Cluster.num_mcs cluster in
   let mc_at = Array.make (Noc.Topology.nodes topo) (-1) in
   for m = 0 to num_mcs - 1 do
@@ -36,7 +36,7 @@ let render (cfg : Config.t) =
 let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |]
 
 let render_heat (cfg : Config.t) values =
-  let topo = cfg.Config.topo in
+  let topo = (Config.topo cfg) in
   if Array.length values <> Noc.Topology.nodes topo then
     invalid_arg "Platform_map.render_heat";
   let buf = Buffer.create 512 in

@@ -27,14 +27,14 @@ let prepare (cfg : Config.t) ~optimized ?threads ?(core_offset = 0)
     | Some r -> Core.Transform.layout_of r info.Analysis.decl.Lang.Ast.name
     | None ->
       Core.Layout.identity ~array:info.Analysis.decl.Lang.Ast.name
-        ~extents:info.Analysis.extents ~elem_bytes:cfg.elem_bytes
+        ~extents:info.Analysis.extents ~elem_bytes:(Config.elem_bytes cfg)
   in
   (* base-address padding: align every array to num_mcs interleaving units
      and to num_mcs pages, so the chunk-to-controller arithmetic holds
      under both granularities *)
-  let num_mcs = Core.Cluster.num_mcs cfg.cluster in
+  let num_mcs = Core.Cluster.num_mcs (Config.cluster cfg) in
   let alignment =
-    let a = num_mcs * cfg.l2_line and b = num_mcs * cfg.page_bytes in
+    let a = num_mcs * (Config.l2_line cfg) and b = num_mcs * (Config.page_bytes cfg) in
     let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
     a * b / gcd a b
   in
@@ -52,9 +52,9 @@ let prepare (cfg : Config.t) ~optimized ?threads ?(core_offset = 0)
   in
   let addr_of array index =
     let base, layout = Hashtbl.find table array in
-    base + (Core.Layout.offset_of_index layout index * cfg.elem_bytes)
+    base + (Core.Layout.offset_of_index layout index * (Config.elem_bytes cfg))
   in
-  let cores_total = Noc.Topology.nodes cfg.topo in
+  let cores_total = Noc.Topology.nodes (Config.topo cfg) in
   let tpc = cfg.threads_per_core in
   let threads =
     match threads with Some t -> t | None -> cores_total * tpc
@@ -67,7 +67,7 @@ let prepare (cfg : Config.t) ~optimized ?threads ?(core_offset = 0)
   let node_of_thread =
     Array.init threads (fun t ->
         let core = (t / tpc) + core_offset in
-        Core.Cluster.node_of_thread cfg.cluster cfg.topo (core mod cores_total))
+        Core.Cluster.node_of_thread (Config.cluster cfg) (Config.topo cfg) (core mod cores_total))
   in
   let job =
     {
@@ -88,8 +88,8 @@ let prepare (cfg : Config.t) ~optimized ?threads ?(core_offset = 0)
           if d.Core.Transform.optimized then begin
             let name = d.Core.Transform.info.Lang.Analysis.decl.Lang.Ast.name in
             let base, layout = Hashtbl.find table name in
-            let first = base / cfg.page_bytes in
-            let last = (base + Core.Layout.size_bytes layout - 1) / cfg.page_bytes in
+            let first = base / (Config.page_bytes cfg) in
+            let last = (base + Core.Layout.size_bytes layout - 1) / (Config.page_bytes cfg) in
             Some (first, last)
           end
           else None)

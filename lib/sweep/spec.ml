@@ -57,8 +57,8 @@ let config_of_json ~default_seed ~index j =
   match j with
   | Json.Obj fields ->
     let known =
-      [ "name"; "scaled"; "l2"; "interleave"; "policy"; "mapping"; "width";
-        "height"; "tpc"; "optimal"; "seed" ]
+      [ "name"; "platform"; "scaled"; "l2"; "interleave"; "policy"; "mapping";
+        "width"; "height"; "tpc"; "optimal"; "seed" ]
     in
     let* () =
       match List.find_opt (fun (k, _) -> not (List.mem k known)) fields with
@@ -70,11 +70,13 @@ let config_of_json ~default_seed ~index j =
     in
     let ctx = Printf.sprintf "config %S" name in
     let str k d = opt_field string_of ~default:d k j in
+    let* platform = str "platform" "" in
     let* scaled = opt_field bool_of ~default:true "scaled" j in
     let* l2 = str "l2" "private" in
     let* interleave = str "interleave" "line" in
     let* policy = str "policy" "hardware" in
-    let* mapping = str "mapping" "M1" in
+    (* "" keeps the platform's own mapping (M1 on the default platform) *)
+    let* mapping = str "mapping" "" in
     let* width = opt_field int_of ~default:8 "width" j in
     let* height = opt_field int_of ~default:8 "height" j in
     let* tpc = opt_field int_of ~default:1 "tpc" j in
@@ -83,8 +85,8 @@ let config_of_json ~default_seed ~index j =
     let* config =
       Result.map_error
         (fun e -> ctx ^ ": " ^ e)
-        (Sim.Config.build ~scaled ~l2 ~interleave ~policy ~mapping ~width
-           ~height ~tpc ~optimal ~seed ())
+        (Sim.Config.build ~scaled ~platform ~l2 ~interleave ~policy ~mapping
+           ~width ~height ~tpc ~optimal ~seed ())
     in
     Ok (name, config)
   | _ -> Error "each entry of \"configs\" must be an object"

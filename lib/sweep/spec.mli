@@ -13,7 +13,7 @@
       "timeout_s": 300,
       "retries": 2,
       "configs": [
-        { "name": "line-private",
+        { "name": "line-private", "platform": "mesh8x8-mc4",
           "interleave": "line", "l2": "private", "policy": "hardware",
           "mapping": "M1", "width": 8, "height": 8, "tpc": 1,
           "optimal": false, "scaled": true, "seed": 0 }
@@ -22,9 +22,12 @@
     v}
 
     Every config field is optional and defaults to the scaled baseline
-    platform ({!Sim.Config.scaled} semantics); [seed] at the top level is
-    the default for configs that do not set their own.  [expand] flattens
-    the product into one job per (config, app, optimized) triple. *)
+    platform ({!Sim.Config.scaled} semantics); [platform] is a
+    {!Core.Platform} preset name or JSON file and takes precedence over
+    [width]/[height] ([mapping] still re-maps it; [""] keeps the
+    platform's own mapping); [seed] at the top level is the default for
+    configs that do not set their own.  [expand] flattens the product
+    into one job per (config, app, optimized) triple. *)
 
 type job = {
   id : string;  (** ["<config>/<app>/<orig|opt>"], unique within a spec *)

@@ -18,6 +18,14 @@ let make ~name ~description ?(index = []) ?(first_touch_friendly = false)
     warmup_nests;
   }
 
-let program t = Lang.Parser.parse t.source
+(* The built-in model sources are valid by construction; a parse failure
+   here is a broken model definition, not user input. *)
+let program t =
+  match Lang.Parser.parse_result ~file:("<" ^ t.name ^ ">") t.source with
+  | Ok p -> p
+  | Error (d :: _) ->
+    invalid_arg
+      (Printf.sprintf "workload %s does not parse: %s" t.name d.Lang.Diag.message)
+  | Error [] -> assert false
 
 let index_lookup t name v = (List.assoc name t.index_contents) v

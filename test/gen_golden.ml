@@ -21,9 +21,15 @@ array B[N][N];
 parfor i = 1 to N-2 { for j = 0 to N-1 { A[i][j] = B[i][j] + B[i-1][j] + B[i+1][j]; } }
 |}
 
+let parse src =
+  match Lang.Parser.parse_result src with
+  | Ok p -> p
+  | Error (d :: _) -> failwith (Lang.Diag.to_string d)
+  | Error [] -> failwith "parse failed"
+
 let stats_golden path =
   let cfg = Sim.Config.scaled () in
-  let program = Lang.Parser.parse small_src in
+  let program = parse small_src in
   let r = Sim.Runner.run cfg ~optimized:false program in
   let doc = Sweep.Exec.result_json ~app:"golden-small" cfg r in
   match path with

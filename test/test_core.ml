@@ -15,9 +15,11 @@ module Mapping_select = Core.Mapping_select
 
 let topo8 = Noc.Topology.make ~width:8 ~height:8
 
-let m1 = Cluster.m1 ~width:8 ~height:8
+let ok = function Ok v -> v | Error e -> failwith e
 
-let m2 = Cluster.m2 ~width:8 ~height:8
+let m1 = ok (Cluster.m1 ~width:8 ~height:8)
+
+let m2 = ok (Cluster.m2 ~width:8 ~height:8)
 
 let corner_sites =
   [| Noc.Coord.make 0 0; Noc.Coord.make 7 0; Noc.Coord.make 0 7; Noc.Coord.make 7 7 |]
@@ -27,7 +29,7 @@ let placement_for cluster =
     Array.init (Cluster.num_mcs cluster) (fun m ->
         Cluster.centroid_of_cluster cluster (Cluster.cluster_of_mc cluster m))
   in
-  Noc.Placement.assign topo8 ~name:"corners" ~sites:corner_sites ~centroids
+  ok (Noc.Placement.assign_result topo8 ~name:"corners" ~sites:corner_sites ~centroids)
 
 let p1 = placement_for m1
 
@@ -53,9 +55,9 @@ let test_cluster_validity () =
   Alcotest.(check int) "M2 MCs" 4 (Cluster.num_mcs m2);
   Alcotest.(check (list int)) "M2 cluster 1 gets MCs 2,3" [ 2; 3 ]
     (Cluster.mcs_of_cluster m2 1);
-  Alcotest.check_raises "uneven tiling rejected"
-    (Invalid_argument "Cluster.make: clusters must tile the mesh evenly")
-    (fun () -> ignore (Cluster.make ~name:"bad" ~width:8 ~height:8 ~cx:3 ~cy:2 ~k:1))
+  match Cluster.make_result ~name:"bad" ~width:8 ~height:8 ~cx:3 ~cy:2 ~k:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "uneven tiling must be a value error"
 
 let test_thread_node_bijection () =
   let seen = Hashtbl.create 64 in
@@ -95,10 +97,10 @@ let test_placement_alignment () =
   done
 
 let test_with_mcs () =
-  let c8 = Cluster.with_mcs ~width:8 ~height:8 ~mcs:8 in
+  let c8 = ok (Cluster.with_mcs_result ~width:8 ~height:8 ~mcs:8) in
   Alcotest.(check int) "8 clusters" 8 (Cluster.num_clusters c8);
   Alcotest.(check int) "8 cores each" 8 (Cluster.cores_per_cluster c8);
-  let c16 = Cluster.with_mcs ~width:8 ~height:8 ~mcs:16 in
+  let c16 = ok (Cluster.with_mcs_result ~width:8 ~height:8 ~mcs:16) in
   Alcotest.(check int) "16 clusters of 4" 4 (Cluster.cores_per_cluster c16)
 
 (* --- Data_to_core --- *)
@@ -411,7 +413,12 @@ let test_indexed_empty () =
 
 (* --- Transform (Algorithm 1) --- *)
 
-let analyze src = Lang.Analysis.analyze (Lang.Parser.parse src)
+let parse src =
+  match Lang.Parser.parse_result src with
+  | Ok p -> p
+  | Error _ -> Alcotest.fail "parse failed"
+
+let analyze src = Lang.Analysis.analyze (parse src)
 
 let test_transform_fig9 () =
   let report =
@@ -457,7 +464,7 @@ parfor i = 0 to N-1 { for j = 0 to N-1 { B[i][j] = B[i][j] + A[IDX[j]]; } }
 
 let test_transform_rewrite () =
   let program =
-    Lang.Parser.parse
+    parse
       {|
 param N = 128;
 array Z[N][N];
@@ -468,7 +475,7 @@ parfor i = 2 to N-2 { for j = 2 to N-2 { Z[j][i] = Z[j-1][i] + Z[j][i] + Z[j+1][
   let p' = Transform.rewrite_program report program in
   (* the rewritten program must still parse and type-check *)
   let printed = Lang.Ast.program_to_string p' in
-  let reparsed = Lang.Parser.parse printed in
+  let reparsed = parse printed in
   Alcotest.(check int) "declarations preserved" 1 (List.length reparsed.Lang.Ast.decls);
   (* the declaration gained strip-mined dimensions *)
   let d = List.hd reparsed.Lang.Ast.decls in
@@ -519,15 +526,64 @@ let test_mapping_metrics () =
   Alcotest.(check int) "M1 k" 1 mm1.Mapping_select.mcs_per_cluster;
   Alcotest.(check int) "M2 k" 2 mm2.Mapping_select.mcs_per_cluster
 
+let choose_name candidates pressure =
+  match Mapping_select.choose_opt topo8 ~candidates ~bank_pressure:pressure with
+  | Some (c, _) -> c.Cluster.name
+  | None -> Alcotest.fail "empty candidate list"
+
 let test_mapping_choice () =
   let p2 = placement_for m2 in
   let candidates = [ (m1, p1); (m2, p2) ] in
   (* moderate bank pressure (the stencils): locality wins, M1 *)
-  let c, _ = Mapping_select.choose topo8 ~candidates ~bank_pressure:3.5 in
-  Alcotest.(check string) "M1 at moderate pressure" "M1" c.Cluster.name;
+  Alcotest.(check string) "M1 at moderate pressure" "M1"
+    (choose_name candidates 3.5);
   (* heavy pressure (fma3d, minighost): parallelism wins, M2 *)
-  let c, _ = Mapping_select.choose topo8 ~candidates ~bank_pressure:7.0 in
-  Alcotest.(check string) "M2 at high pressure" "M2" c.Cluster.name
+  Alcotest.(check string) "M2 at high pressure" "M2"
+    (choose_name candidates 7.0);
+  Alcotest.(check bool) "empty candidates -> None" true
+    (Mapping_select.choose_opt topo8 ~candidates:[] ~bank_pressure:1.0 = None)
+
+let platform_candidates spec =
+  let p = ok (Core.Platform.of_spec spec) in
+  List.map (fun q -> (q.Core.Platform.cluster, q.Core.Platform.placement))
+    (Core.Platform.candidates p)
+
+let test_mapping_choice_8mc () =
+  (* the mesh8x8-mc8 candidate set adds the Fig. 27 8-MC configuration;
+     it overtakes M1 once the queueing term dominates (crossover at
+     bank pressure 4/3 under the cost model's constants) *)
+  let candidates = platform_candidates "mesh8x8-mc8" in
+  Alcotest.(check int) "three candidates" 3 (List.length candidates);
+  Alcotest.(check string) "light pressure keeps M1" "M1"
+    (choose_name candidates 0.5);
+  Alcotest.(check string) "8 MCs win at moderate pressure" "M1x8"
+    (choose_name candidates 2.0)
+
+let test_mapping_choice_16mc () =
+  (* 16 controllers only pay off under very heavy pressure (crossover vs
+     the 8-MC configuration at bank pressure 15) *)
+  let candidates = platform_candidates "mesh8x8-mc16" in
+  Alcotest.(check int) "four candidates" 4 (List.length candidates);
+  Alcotest.(check string) "8 MCs below the crossover" "M1x8"
+    (choose_name candidates 10.0);
+  Alcotest.(check string) "16 MCs at extreme pressure" "M1x16"
+    (choose_name candidates 20.0)
+
+let test_score_sorted_and_invariant () =
+  let candidates = platform_candidates "mesh8x8-mc16" in
+  let scored = Mapping_select.score topo8 ~candidates ~bank_pressure:2.0 in
+  let costs = List.map (fun s -> s.Mapping_select.cost) scored in
+  Alcotest.(check bool) "costs ascending" true
+    (List.sort compare costs = costs);
+  (* permutation invariance: reversing the candidate list must not change
+     the scored order *)
+  let scored' =
+    Mapping_select.score topo8 ~candidates:(List.rev candidates)
+      ~bank_pressure:2.0
+  in
+  Alcotest.(check (list string)) "order invariant under permutation"
+    (List.map (fun s -> s.Mapping_select.cluster.Cluster.name) scored)
+    (List.map (fun s -> s.Mapping_select.cluster.Cluster.name) scored')
 
 let suite =
   [
@@ -580,5 +636,8 @@ let suite =
       [
         Alcotest.test_case "metrics" `Quick test_mapping_metrics;
         Alcotest.test_case "choice" `Quick test_mapping_choice;
+        Alcotest.test_case "8-MC crossover" `Quick test_mapping_choice_8mc;
+        Alcotest.test_case "16-MC crossover" `Quick test_mapping_choice_16mc;
+        Alcotest.test_case "score order" `Quick test_score_sorted_and_invariant;
       ] );
   ]

@@ -54,8 +54,18 @@ let prop_solve_roundtrip =
 
 (* --- Codegen --- *)
 
+let parse src =
+  match Lang.Parser.parse_result src with
+  | Ok p -> p
+  | Error _ -> failwith "parse failed"
+
+let emit ?name p =
+  match Lang.Codegen.emit_result ?name p with
+  | Ok c -> c
+  | Error _ -> failwith "codegen failed"
+
 let jacobi =
-  Lang.Parser.parse
+  parse
     {|
 param N = 32;
 array Z[N][N];
@@ -68,7 +78,7 @@ parfor i = 1 to N-2 {
 |}
 
 let test_codegen_structure () =
-  let c = Lang.Codegen.emit ~name:"jacobi" jacobi in
+  let c = emit ~name:"jacobi" jacobi in
   let has s = Astring.String.is_infix ~affix:s c in
   Alcotest.(check bool) "defines N" true (has "#define N 32");
   Alcotest.(check bool) "flattens Z" true (has "static double Z[1024];");
@@ -83,7 +93,7 @@ let test_codegen_transformed () =
   (* the strip-mined output of the pass also renders (div/mod in C) *)
   let cfg = Sim.Config.customize_config (Sim.Config.scaled ()) in
   let p =
-    Lang.Parser.parse
+    parse
       {|
 param N = 128;
 array A[N][N];
@@ -91,7 +101,7 @@ parfor i = 0 to N-1 { for j = 0 to N-1 { A[i][j] = A[i][j] + 1; } }
 |}
   in
   let report = Core.Transform.run cfg (Lang.Analysis.analyze p) in
-  let c = Lang.Codegen.emit (Core.Transform.rewrite_program report p) in
+  let c = emit (Core.Transform.rewrite_program report p) in
   Alcotest.(check bool) "division appears" true
     (Astring.String.is_infix ~affix:"/ 32" c
     || Astring.String.is_infix ~affix:"/32" c);
@@ -101,14 +111,14 @@ parfor i = 0 to N-1 { for j = 0 to N-1 { A[i][j] = A[i][j] + 1; } }
 let test_codegen_all_apps () =
   List.iter
     (fun app ->
-      let c = Lang.Codegen.emit ~name:app.Workloads.App.name (Workloads.App.program app) in
+      let c = emit ~name:app.Workloads.App.name (Workloads.App.program app) in
       Alcotest.(check bool) (app.Workloads.App.name ^ " nonempty") true
         (String.length c > 200))
     Workloads.Suite.all
 
 (* --- Loop_transform --- *)
 
-let analyze src = Lang.Analysis.analyze (Lang.Parser.parse src)
+let analyze src = Lang.Analysis.analyze (parse src)
 
 let test_interchange_applies () =
   (* parallel loop indexes the fastest dimension; interchange is legal

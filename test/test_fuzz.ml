@@ -59,19 +59,24 @@ let arb_kernel = QCheck.make ~print:(fun k -> k.src) gen_kernel
 
 (* --- properties --- *)
 
+let parse src =
+  match Lang.Parser.parse_result src with
+  | Ok p -> p
+  | Error _ -> failwith "parse failed"
+
 let prop_roundtrip =
   QCheck.Test.make ~name:"random kernels print/parse round-trip" ~count:100
     arb_kernel
     (fun k ->
-      let p = Lang.Parser.parse k.src in
+      let p = parse k.src in
       let printed = Ast.program_to_string p in
-      String.equal printed (Ast.program_to_string (Lang.Parser.parse printed)))
+      String.equal printed (Ast.program_to_string (parse printed)))
 
 let prop_layouts_injective =
   QCheck.Test.make ~name:"pass layouts stay injective on random kernels"
     ~count:40 arb_kernel
     (fun k ->
-      let analysis = Lang.Analysis.analyze (Lang.Parser.parse k.src) in
+      let analysis = Lang.Analysis.analyze (parse k.src) in
       let ccfg = Sim.Config.customize_config (Sim.Config.scaled ()) in
       let report = Core.Transform.run ccfg analysis in
       List.for_all
@@ -100,7 +105,7 @@ let prop_simulation_conserves =
   QCheck.Test.make ~name:"simulation conserves accesses on random kernels"
     ~count:10 arb_kernel
     (fun k ->
-      let p = Lang.Parser.parse k.src in
+      let p = parse k.src in
       let cfg = Sim.Config.scaled () in
       let check optimized =
         let r = Sim.Runner.run cfg ~optimized p in
@@ -115,7 +120,7 @@ let prop_trace_counts_match =
   QCheck.Test.make ~name:"trace length is layout-independent" ~count:20
     arb_kernel
     (fun k ->
-      let p = Lang.Parser.parse k.src in
+      let p = parse k.src in
       let count addr_of =
         let phases = Lang.Interp.trace ~threads:8 ~addr_of p in
         List.fold_left

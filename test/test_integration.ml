@@ -16,14 +16,19 @@ parfor i = 1 to N-2 { for j = 1 to N-2 { A[i][j] = B[i][j] + B[i-1][j] + B[i+1][
 parfor i = 1 to N-2 { for j = 1 to N-2 { B[i][j] = A[i][j] + A[i][j-1]; } }
 |}
 
-let stencil = Lang.Parser.parse stencil_src
+let parse src =
+  match Lang.Parser.parse_result src with
+  | Ok p -> p
+  | Error _ -> failwith "parse failed"
+
+let stencil = parse stencil_src
 
 (* The defining end-to-end property: after the pass, off-chip requests are
    overwhelmingly cluster-local (requester and controller in the same
    quadrant). *)
 let test_offchip_locality () =
   let cfg = Config.scaled () in
-  let topo = cfg.Config.topo and cl = cfg.Config.cluster in
+  let topo = Config.topo cfg and cl = Config.cluster cfg in
   let local_fraction r =
     let s = (r : Engine.result).Engine.stats in
     let local = ref 0 and total = ref 0 in
@@ -52,9 +57,10 @@ let test_offchip_locality () =
 let test_mc_aware_pages_honored () =
   let cfg =
     {
-      (Config.scaled ()) with
-      Config.interleaving = Dram.Address_map.Page_interleaved;
-      page_policy = Config.Mc_aware;
+      (Config.with_interleaving (Config.scaled ())
+         Dram.Address_map.Page_interleaved)
+      with
+      Config.page_policy = Config.Mc_aware;
     }
   in
   let r = Runner.run cfg ~optimized:true stencil in
@@ -70,9 +76,10 @@ let test_beats_first_touch_on_scrambled_init () =
   let p = Workloads.App.program app in
   let page policy =
     {
-      (Config.scaled ()) with
-      Config.interleaving = Dram.Address_map.Page_interleaved;
-      page_policy = policy;
+      (Config.with_interleaving (Config.scaled ())
+         Dram.Address_map.Page_interleaved)
+      with
+      Config.page_policy = policy;
     }
   in
   let ft = Runner.run (page Config.First_touch) ~optimized:false ~warmup_phases:1 p in
@@ -101,11 +108,14 @@ let test_occ_output_reparses () =
           in
           (* shared-L2 rewrites reference the compiler-emitted __home
              lookup, which rewrite_program must declare *)
-          match Lang.Parser.parse printed with
-          | _ -> ()
-          | exception e ->
+          match Lang.Parser.parse_result printed with
+          | Ok _ -> ()
+          | Error (d :: _) ->
             Alcotest.failf "%s: rewritten program does not reparse (%s)"
-              app.Workloads.App.name (Printexc.to_string e))
+              app.Workloads.App.name d.Lang.Diag.message
+          | Error [] ->
+            Alcotest.failf "%s: rewritten program does not reparse"
+              app.Workloads.App.name)
         Workloads.Suite.all)
     [ private_cfg; shared_cfg ]
 

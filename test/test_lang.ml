@@ -9,6 +9,13 @@ module Interp = Lang.Interp
 module Vec = Affine.Vec
 module Matrix = Affine.Matrix
 
+(* Result-first entry point, unwrapped for tests of well-formed sources. *)
+let parse src =
+  match Parser.parse_result src with
+  | Ok p -> p
+  | Error (d :: _) -> Alcotest.failf "parse failed: %s" d.Lang.Diag.message
+  | Error [] -> assert false
+
 let fig9_source =
   {|
 param N = 8;
@@ -42,7 +49,7 @@ let test_lexer_error () =
 (* --- parser --- *)
 
 let test_parse_fig9 () =
-  let p = Parser.parse fig9_source in
+  let p = parse fig9_source in
   Alcotest.(check int) "one param" 1 (List.length p.Ast.params);
   Alcotest.(check int) "one array" 1 (List.length p.Ast.decls);
   Alcotest.(check int) "one nest" 1 (List.length p.Ast.nests);
@@ -54,9 +61,9 @@ let test_parse_fig9 () =
 
 let test_parse_errors () =
   let expect_error src =
-    match Parser.parse src with
-    | exception Parser.Error _ -> ()
-    | _ -> Alcotest.failf "expected syntax error for %S" src
+    match Parser.parse_result src with
+    | Error (_ :: _) -> ()
+    | Error [] | Ok _ -> Alcotest.failf "expected syntax error for %S" src
   in
   expect_error "array A[4]; parfor i = 0 to 3 { B[i] = 0; }" (* undeclared *);
   expect_error "array A[4]; parfor i = 0 to 3 { A[i][i] = 0; }" (* rank *);
@@ -64,9 +71,9 @@ let test_parse_errors () =
   expect_error "array A; " (* no dims *)
 
 let test_parse_print_roundtrip () =
-  let p = Parser.parse fig9_source in
+  let p = parse fig9_source in
   let printed = Ast.program_to_string p in
-  let p2 = Parser.parse printed in
+  let p2 = parse printed in
   Alcotest.(check string) "print∘parse∘print stable"
     printed (Ast.program_to_string p2)
 
@@ -74,7 +81,7 @@ let test_roundtrip_all_apps () =
   List.iter
     (fun app ->
       let p = Workloads.App.program app in
-      let p2 = Parser.parse (Ast.program_to_string p) in
+      let p2 = parse (Ast.program_to_string p) in
       Alcotest.(check string)
         (app.Workloads.App.name ^ " roundtrip")
         (Ast.program_to_string p) (Ast.program_to_string p2))
@@ -102,7 +109,7 @@ let test_affine_extraction () =
   | Some _ -> Alcotest.fail "i*j is not affine"
 
 let test_analysis_fig9 () =
-  let a = Analysis.analyze (Parser.parse fig9_source) in
+  let a = Analysis.analyze (parse fig9_source) in
   let z = Analysis.array_info a "Z" in
   Alcotest.(check int) "extents" 8 z.Analysis.extents.(0);
   Alcotest.(check int) "4 occurrences" 4 (List.length z.Analysis.occurrences);
@@ -131,7 +138,7 @@ index IDX[N];
 parfor i = 0 to N-1 { X[IDX[i]] = X[i] + 1; }
 |}
   in
-  let a = Analysis.analyze (Parser.parse src) in
+  let a = Analysis.analyze (parse src) in
   let x = Analysis.array_info a "X" in
   let kinds = List.map (fun o -> o.Analysis.kind) x.Analysis.occurrences in
   Alcotest.(check int) "X has 2 occurrences" 2 (List.length kinds);
@@ -151,7 +158,7 @@ array A[N][N];
 parfor i = 0 to N-1 { for j = 0 to N-1 { A[i][j] = 1; } }
 |}
   in
-  let a = Analysis.analyze (Parser.parse src) in
+  let a = Analysis.analyze (parse src) in
   let info = Analysis.array_info a "A" in
   match info.Analysis.occurrences with
   | [ o ] -> Alcotest.(check int) "trip = N²" 100 o.Analysis.trip_count
@@ -174,13 +181,13 @@ parfor i = 0 to N-1 {
 |}
 
 let test_cond_parse_print () =
-  let p = Parser.parse cond_src in
+  let p = parse cond_src in
   let printed = Ast.program_to_string p in
-  let p2 = Parser.parse printed in
+  let p2 = parse printed in
   Alcotest.(check string) "conditional roundtrip" printed (Ast.program_to_string p2)
 
 let test_cond_analysis_conservative () =
-  let a = Analysis.analyze (Parser.parse cond_src) in
+  let a = Analysis.analyze (parse cond_src) in
   (* both branches contribute occurrences: A written and read *)
   let occs name = (Analysis.array_info a name).Analysis.occurrences in
   Alcotest.(check int) "A: write in then, read in else" 2 (List.length (occs "A"));
@@ -189,7 +196,7 @@ let test_cond_analysis_conservative () =
     (List.exists (fun o -> o.Analysis.is_write) (occs "A"))
 
 let test_cond_interp () =
-  let p = Parser.parse cond_src in
+  let p = parse cond_src in
   let phases = Interp.trace ~threads:1 ~addr_of:(fun name v ->
       (if String.equal name "A" then 0 else 100) + v.(0)) p in
   let stream = (List.hd phases).(0) in
@@ -204,7 +211,11 @@ let test_cond_interp () =
   Alcotest.(check int) "write B" 101 (Interp.addr_of_access stream.(3))
 
 let test_cond_codegen () =
-  let c = Lang.Codegen.emit (Parser.parse cond_src) in
+  let c =
+    match Lang.Codegen.emit_result (parse cond_src) with
+    | Ok c -> c
+    | Error _ -> Alcotest.fail "codegen failed"
+  in
   Alcotest.(check bool) "if rendered" true
     (Astring.String.is_infix ~affix:"if (i % 2 == 0) {" c);
   Alcotest.(check bool) "else rendered" true
@@ -214,7 +225,7 @@ let test_cond_codegen () =
 
 let test_interp_counts () =
   let p =
-    Parser.parse
+    parse
       {|
 param N = 16;
 array A[N];
@@ -232,7 +243,7 @@ parfor i = 0 to N-1 { A[i] = B[i] + B[i]; }
   Array.iter (fun s -> Alcotest.(check int) "even split" 12 (Array.length s)) streams
 
 let test_interp_write_flags () =
-  let p = Parser.parse {|
+  let p = parse {|
 array A[4];
 parfor i = 0 to 3 { A[i] = A[i] + 1; }
 |} in
@@ -247,7 +258,7 @@ parfor i = 0 to 3 { A[i] = A[i] + 1; }
 
 let test_interp_chunking () =
   (* 10 iterations over 4 threads: 3,3,2,2 — and addresses match chunks *)
-  let p = Parser.parse {|
+  let p = parse {|
 array A[10];
 parfor i = 0 to 9 { A[i] = 0; }
 |} in
@@ -259,7 +270,7 @@ parfor i = 0 to 9 { A[i] = 0; }
     (List.init 4 first_of)
 
 let test_interp_threads_per_core () =
-  let p = Parser.parse {|
+  let p = parse {|
 array A[16];
 parfor i = 0 to 15 { A[i] = 0; }
 |} in
@@ -273,7 +284,7 @@ parfor i = 0 to 15 { A[i] = 0; }
 
 let test_interp_index_arrays () =
   let p =
-    Parser.parse
+    parse
       {|
 param N = 8;
 array X[N];
@@ -296,7 +307,7 @@ parfor i = 0 to N-1 { X[IDX[i]] = 1; }
     (List.rev !seen)
 
 let test_interp_sequential_nest () =
-  let p = Parser.parse {|
+  let p = parse {|
 array A[6];
 for t = 0 to 1 { parfor i = 0 to 5 { A[i] = t; } }
 |} in

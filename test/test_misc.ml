@@ -9,6 +9,13 @@ module Matrix = Affine.Matrix
 
 let contains s sub = Astring.String.is_infix ~affix:sub s
 
+let ok = function Ok v -> v | Error e -> failwith e
+
+let parse src =
+  match Lang.Parser.parse_result src with
+  | Ok p -> p
+  | Error _ -> Alcotest.fail "parse failed"
+
 let test_pp_smoke () =
   let v = Vec.of_list [ 1; -2; 3 ] in
   Alcotest.(check string) "vec" "(1, -2, 3)" (Vec.to_string v);
@@ -23,7 +30,7 @@ let test_pp_smoke () =
     (contains (Format.asprintf "%a" Affine.Space.pp s) "(1, 2)")
 
 let test_cluster_pp () =
-  let c = Core.Cluster.m1 ~width:8 ~height:8 in
+  let c = ok (Core.Cluster.m1 ~width:8 ~height:8) in
   let s = Format.asprintf "%a" Core.Cluster.pp c in
   Alcotest.(check bool) "mentions geometry" true (contains s "2x2 clusters")
 
@@ -41,7 +48,7 @@ let test_report_pp () =
   let cfg = Sim.Config.customize_config (Sim.Config.scaled ()) in
   let analysis =
     Lang.Analysis.analyze
-      (Lang.Parser.parse
+      (parse
          {|
 array A[64][64];
 index I[8];
@@ -88,19 +95,29 @@ let test_parse_file () =
   let oc = open_out path in
   output_string oc "array A[4];\nparfor i = 0 to 3 { A[i] = i; }\n";
   close_out oc;
-  let p = Lang.Parser.parse_file path in
+  let p =
+    match Lang.Parser.parse_file_result path with
+    | Ok p -> p
+    | Error _ -> Alcotest.fail "parse_file failed"
+  in
   Sys.remove path;
   Alcotest.(check int) "one nest" 1 (List.length p.Lang.Ast.nests)
 
-let test_codegen_to_file () =
-  let path = Filename.temp_file "offchip" ".c" in
-  Lang.Codegen.emit_to_file ~name:"t" path
-    (Lang.Parser.parse "array A[4];\nparfor i = 0 to 3 { A[i] = i; }");
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let c = really_input_string ic len in
-  close_in ic;
-  Sys.remove path;
+let test_parse_file_missing () =
+  match Lang.Parser.parse_file_result "/nonexistent/offchip.mc" with
+  | Ok _ -> Alcotest.fail "expected a P000 diagnostic"
+  | Error (d :: _) -> Alcotest.(check string) "code" "P000" d.Lang.Diag.code
+  | Error [] -> Alcotest.fail "expected a diagnostic"
+
+let test_codegen_emit () =
+  let c =
+    match
+      Lang.Codegen.emit_result ~name:"t"
+        (parse "array A[4];\nparfor i = 0 to 3 { A[i] = i; }")
+    with
+    | Ok c -> c
+    | Error _ -> Alcotest.fail "codegen failed"
+  in
   Alcotest.(check bool) "has run function" true (contains c "void run_t(void)")
 
 (* --- argument validation --- *)
@@ -121,7 +138,7 @@ let test_validation () =
       ignore
         (Lang.Interp.trace ~threads:3 ~threads_per_core:2
            ~addr_of:(fun _ _ -> 0)
-           (Lang.Parser.parse "array A[4];\nparfor i = 0 to 3 { A[i] = i; }")));
+           (parse "array A[4];\nparfor i = 0 to 3 { A[i] = i; }")));
   Alcotest.check_raises "complete_row non-primitive"
     (Invalid_argument "Unimodular.complete_row: not primitive") (fun () ->
       ignore (Affine.Unimodular.complete_row (Vec.of_list [ 2; 4 ]) ~v:0))
@@ -154,7 +171,8 @@ let suite =
         Alcotest.test_case "platform map" `Quick test_platform_map;
         Alcotest.test_case "platform heat" `Quick test_platform_heat;
         Alcotest.test_case "parse_file" `Quick test_parse_file;
-        Alcotest.test_case "codegen to file" `Quick test_codegen_to_file;
+        Alcotest.test_case "parse_file missing" `Quick test_parse_file_missing;
+        Alcotest.test_case "codegen emit" `Quick test_codegen_emit;
         Alcotest.test_case "argument validation" `Quick test_validation;
         Alcotest.test_case "access transform" `Quick test_access_transform;
       ] );

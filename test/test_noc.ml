@@ -8,6 +8,8 @@ module Network = Noc.Network
 
 let topo8 = Topology.make ~width:8 ~height:8
 
+let ok = function Ok v -> v | Error e -> failwith e
+
 let test_node_coord_roundtrip () =
   for n = 0 to Topology.nodes topo8 - 1 do
     Alcotest.(check int) "roundtrip" n
@@ -94,7 +96,7 @@ let test_nearest () =
     (Placement.mc_node p1 m)
 
 let test_ring () =
-  let r8 = Placement.ring topo8 ~count:8 in
+  let r8 = ok (Placement.ring_result topo8 ~count:8) in
   Alcotest.(check int) "8 MCs" 8 (Placement.count r8);
   (* all attachment nodes distinct and on the perimeter *)
   let nodes = Array.to_list r8.Placement.nodes in
@@ -104,14 +106,17 @@ let test_ring () =
       let c = Topology.coord_of_node topo8 n in
       Alcotest.(check bool) "on perimeter" true
         (c.Coord.x = 0 || c.Coord.x = 7 || c.Coord.y = 0 || c.Coord.y = 7))
-    nodes
+    nodes;
+  match Placement.ring_result topo8 ~count:100 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "more MCs than perimeter nodes must be a value error"
 
 let test_assign_alignment () =
   (* assign keeps MC index <-> centroid correspondence: MC j lands on the
      site closest to centroid j (greedy) *)
   let sites = [| Coord.make 0 0; Coord.make 7 0; Coord.make 0 7; Coord.make 7 7 |] in
   let centroids = [| Coord.make 6 6; Coord.make 1 1; Coord.make 6 1; Coord.make 1 6 |] in
-  let p = Placement.assign topo8 ~name:"t" ~sites ~centroids in
+  let p = ok (Placement.assign_result topo8 ~name:"t" ~sites ~centroids) in
   Alcotest.(check int) "MC0 at SE" (Topology.node_of_coord topo8 (Coord.make 7 7))
     (Placement.mc_node p 0);
   Alcotest.(check int) "MC1 at NW" (Topology.node_of_coord topo8 (Coord.make 0 0))

@@ -337,11 +337,21 @@ array B[N][N];
 parfor i = 0 to N-1 { for j = 0 to N-1 { A[i][j] = B[i][j] + B[j][i]; } }
 |}
 
+let parse src =
+  match Lang.Parser.parse_result src with
+  | Ok p -> p
+  | Error _ -> failwith "parse failed"
+
+let mesh2x2 () =
+  match Sim.Config.mesh ~width:2 ~height:2 (Sim.Config.scaled ()) with
+  | Ok c -> c
+  | Error e -> failwith e
+
 let golden_trace () =
-  let cfg = Sim.Config.mesh ~width:2 ~height:2 (Sim.Config.scaled ()) in
+  let cfg = mesh2x2 () in
   let trace = T.create ~capacity:256 ~sample:7 () in
   ignore
-    (Sim.Runner.run cfg ~optimized:false ~trace (Lang.Parser.parse golden_src));
+    (Sim.Runner.run cfg ~optimized:false ~trace (parse golden_src));
   trace
 
 let read_file path =
@@ -363,10 +373,10 @@ let test_golden_trace () =
 
 let test_trace_categories () =
   (* an end-to-end run must produce spans for every pipeline stage *)
-  let cfg = Sim.Config.mesh ~width:2 ~height:2 (Sim.Config.scaled ()) in
+  let cfg = mesh2x2 () in
   let trace = T.create ~capacity:65536 ~sample:1 () in
   ignore
-    (Sim.Runner.run cfg ~optimized:false ~trace (Lang.Parser.parse golden_src));
+    (Sim.Runner.run cfg ~optimized:false ~trace (parse golden_src));
   let cats =
     List.fold_left
       (fun acc -> function

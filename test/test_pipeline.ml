@@ -23,6 +23,11 @@ let read_file path =
 
 let jacobi_path = "../examples/jacobi.mc"
 
+let parse ?file src =
+  match Lang.Parser.parse_result ?file src with
+  | Ok p -> p
+  | Error _ -> Alcotest.fail "parse failed"
+
 let transformed_of (r : Pipeline.t) what =
   match r.Pipeline.artifacts.Pipeline.transformed with
   | Some t -> t
@@ -37,10 +42,11 @@ let transformed_of (r : Pipeline.t) what =
 
 let check_matches_legacy ~what ~legacy r =
   Alcotest.(check bool) (what ^ ": pipeline ok") true r.Pipeline.ok;
+  (* notes and warnings (C002/C003) are allowed; errors are not *)
   Alcotest.(check (list string))
     (what ^ ": verifier is silent")
     []
-    (List.map (fun d -> Diag.to_string d) r.Pipeline.diags);
+    (List.map Diag.to_string (List.filter Diag.is_error r.Pipeline.diags));
   Alcotest.(check string)
     (what ^ ": transformed code is byte-identical")
     legacy
@@ -64,7 +70,7 @@ let test_workloads_match_legacy () =
 let test_jacobi_matches_legacy () =
   let cfg = default_cfg () in
   let src = read_file jacobi_path in
-  let program = Lang.Parser.parse ~file:jacobi_path src in
+  let program = parse ~file:jacobi_path src in
   let legacy =
     Ast.program_to_string
       (Transform.rewrite_program
@@ -159,6 +165,118 @@ let test_verifier_catches_corrupted_mapping () =
         "diagnostic points into jacobi.mc" jacobi_path d.Diag.span.Span.file)
     diags
 
+(* --- platform-driven mapping selection (C002) ------------------------- *)
+
+let test_auto_mapping_selection () =
+  let platform =
+    match Core.Platform.of_spec "mesh8x8-mc8" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let cfg = default_cfg () in
+  let src = read_file jacobi_path in
+  let r =
+    Pipeline.compile ~platform ~bank_pressure:1.0 ~cfg
+      (Pipeline.Source { file = jacobi_path; src })
+  in
+  Alcotest.(check bool) "pipeline ok" true r.Pipeline.ok;
+  (match r.Pipeline.artifacts.Pipeline.mapping_scores with
+  | Some scored ->
+    Alcotest.(check int) "three candidates scored" 3 (List.length scored)
+  | None -> Alcotest.fail "no mapping scores recorded");
+  let c002 =
+    List.filter (fun (d : Diag.t) -> String.equal d.Diag.code "C002") r.Pipeline.diags
+  in
+  (match c002 with
+  | [ d ] ->
+    Alcotest.(check bool) "note severity" true (d.Diag.severity = Diag.Note);
+    Alcotest.(check bool) "mentions the winner" true
+      (Astring.String.is_infix ~affix:"selected among 3 candidates" d.Diag.message)
+  | _ -> Alcotest.fail "expected exactly one C002 selection note");
+  (* selection is calibration-sensitive: high pressure flips to 8 MCs *)
+  let winner pressure =
+    let r =
+      Pipeline.compile ~platform ~bank_pressure:pressure ~cfg
+        (Pipeline.Source { file = jacobi_path; src })
+    in
+    match r.Pipeline.artifacts.Pipeline.mapping_scores with
+    | Some (best :: _) -> best.Core.Mapping_select.cluster.Core.Cluster.name
+    | _ -> Alcotest.fail "no scores"
+  in
+  Alcotest.(check string) "light pressure keeps M1" "M1" (winner 0.25);
+  Alcotest.(check string) "heavy pressure picks 8 MCs" "M1x8" (winner 4.0)
+
+(* --- C003: fixable kept-array warnings -------------------------------- *)
+
+let test_keep_warning_no_profile () =
+  let cfg = default_cfg () in
+  let src =
+    {|
+param N = 256;
+array VALS[N];
+array X[N];
+index COLS[N];
+parfor i = 0 to N-1 { VALS[i] = VALS[i] + X[COLS[i]]; }
+|}
+  in
+  let r = Pipeline.compile ~cfg (Pipeline.Source { file = "t.mc"; src }) in
+  Alcotest.(check bool) "pipeline still ok" true r.Pipeline.ok;
+  let c003 =
+    List.filter (fun (d : Diag.t) -> String.equal d.Diag.code "C003") r.Pipeline.diags
+  in
+  match c003 with
+  | [ d ] ->
+    Alcotest.(check bool) "warning severity" true (d.Diag.severity = Diag.Warning);
+    Alcotest.(check bool) "names the array" true
+      (Astring.String.is_infix ~affix:"array X" d.Diag.message);
+    Alcotest.(check bool) "located at the declaration" false
+      (Span.is_dummy d.Diag.span);
+    Alcotest.(check bool) "suggests the fix" true
+      (Astring.String.is_infix ~affix:"--app" d.Diag.message)
+  | ds -> Alcotest.failf "expected exactly one C003 warning, got %d" (List.length ds)
+
+(* --- V007: emitted-C access replay ------------------------------------ *)
+
+let test_codegen_replay_clean () =
+  let cfg = default_cfg () in
+  let src = read_file jacobi_path in
+  let r =
+    Pipeline.compile ~codegen:"jacobi" ~cfg
+      (Pipeline.Source { file = jacobi_path; src })
+  in
+  Alcotest.(check bool) "pipeline ok" true r.Pipeline.ok;
+  Alcotest.(check (list string)) "replay is silent on a correct pipeline" []
+    (List.map Diag.to_string
+       (List.filter (fun (d : Diag.t) -> String.equal d.Diag.code "V007")
+          r.Pipeline.diags))
+
+let test_codegen_replay_catches_mismatch () =
+  let cfg = default_cfg () in
+  let src = read_file jacobi_path in
+  let r =
+    Pipeline.compile ~verify:false ~cfg
+      (Pipeline.Source { file = jacobi_path; src })
+  in
+  let get what = function
+    | Some x -> x
+    | None -> Alcotest.failf "pipeline did not produce %s" what
+  in
+  let art = r.Pipeline.artifacts in
+  let program = get "a program" art.Pipeline.program in
+  let report = get "a report" art.Pipeline.report in
+  (* feed the replay the UNtransformed program as if it were the emitted
+     one: the C side then touches row-major addresses while the report
+     promises customized layouts — the replay must flag the mismatch *)
+  let diags =
+    Core.Verify.check_codegen ~report ~original:program ~transformed:program
+  in
+  Alcotest.(check bool) "mismatch reported" true (diags <> []);
+  List.iter
+    (fun (d : Diag.t) ->
+      Alcotest.(check string) "code" "V007" d.Diag.code;
+      Alcotest.(check bool) "is error" true (Diag.is_error d))
+    diags
+
 (* --- golden --emit stage dumps ---------------------------------------- *)
 
 let check_golden name got =
@@ -195,7 +313,7 @@ let test_block_comments_are_whitespace () =
   in
   Alcotest.(check bool)
     "block comments lex as whitespace" true
-    (Ast.equal_program (Lang.Parser.parse plain) (Lang.Parser.parse commented))
+    (Ast.equal_program (parse plain) (parse commented))
 
 let test_unterminated_comment_located () =
   let src = "array A[4];\n/* oops" in
@@ -342,6 +460,14 @@ let suite =
           test_jacobi_matches_legacy;
         Alcotest.test_case "verifier catches a corrupted mapping" `Quick
           test_verifier_catches_corrupted_mapping;
+        Alcotest.test_case "auto mapping selection (C002)" `Quick
+          test_auto_mapping_selection;
+        Alcotest.test_case "kept-array warning (C003)" `Quick
+          test_keep_warning_no_profile;
+        Alcotest.test_case "codegen replay clean (V007)" `Quick
+          test_codegen_replay_clean;
+        Alcotest.test_case "codegen replay catches mismatch (V007)" `Quick
+          test_codegen_replay_catches_mismatch;
         Alcotest.test_case "golden --emit stage dumps" `Quick test_golden_emits;
         Alcotest.test_case "block comments are whitespace" `Quick
           test_block_comments_are_whitespace;

@@ -1,0 +1,207 @@
+(* Tests for Core.Platform — the shared platform description — and the
+   profile-calibration helpers that feed its candidate mappings. *)
+
+module Platform = Core.Platform
+module Cluster = Core.Cluster
+module Mapping_select = Core.Mapping_select
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+(* --- presets ---------------------------------------------------------- *)
+
+let test_default_preset () =
+  let p = Platform.default () in
+  Alcotest.(check string) "name" "mesh8x8-mc4" p.Platform.name;
+  Alcotest.(check int) "64 nodes" 64 (Noc.Topology.nodes p.Platform.topo);
+  Alcotest.(check string) "mapping M1" "M1" p.Platform.cluster.Cluster.name;
+  Alcotest.(check string) "corner placement" "P1-corners"
+    p.Platform.placement.Noc.Placement.name;
+  Alcotest.(check int) "4 MCs" 4 (Platform.num_mcs p);
+  Alcotest.(check int) "256 B lines" 256 p.Platform.line_bytes;
+  Alcotest.(check int) "granule = line (line-interleaved)" 256
+    (Platform.granule_bytes p)
+
+let test_of_spec_presets () =
+  List.iter
+    (fun (spec, mcs, cname) ->
+      let p = ok (Platform.of_spec spec) in
+      Alcotest.(check int) (spec ^ " MCs") mcs (Platform.num_mcs p);
+      Alcotest.(check string) (spec ^ " mapping") cname
+        p.Platform.cluster.Cluster.name)
+    [
+      ("mesh8x8-mc4", 4, "M1");
+      ("mesh8x8-m2", 4, "M2");
+      ("mesh8x8-mc8", 8, "M1x8");
+      ("mesh8x8-mc16", 16, "M1x16");
+    ]
+
+let test_of_spec_errors () =
+  List.iter
+    (fun spec ->
+      match Platform.of_spec spec with
+      | Ok _ -> Alcotest.failf "%s must be rejected" spec
+      | Error e ->
+        Alcotest.(check bool) (spec ^ " error is non-empty") true
+          (String.length e > 0))
+    [ "mesh8x8-mc3"; "nonsense"; "mesh0x0-mc4"; "/no/such/file.json" ]
+
+(* --- candidate enumeration -------------------------------------------- *)
+
+let candidate_names p =
+  List.map
+    (fun (q : Platform.t) -> q.Platform.cluster.Cluster.name)
+    (Platform.candidates p)
+
+let test_candidates_respect_budget () =
+  (* the default 4-MC platform only realizes M1/M2 — the candidate set
+     the pre-platform pipeline used, so default behavior is unchanged *)
+  Alcotest.(check (list string)) "mc4 candidates" [ "M1"; "M2" ]
+    (candidate_names (Platform.default ()));
+  Alcotest.(check (list string)) "mc8 adds the 8-MC mapping"
+    [ "M1x8"; "M1"; "M2" ]
+    (candidate_names (ok (Platform.of_spec "mesh8x8-mc8")));
+  Alcotest.(check (list string)) "mc16 realizes all four"
+    [ "M1x16"; "M1"; "M2"; "M1x8" ]
+    (candidate_names (ok (Platform.of_spec "mesh8x8-mc16")))
+
+let test_with_mapping () =
+  let p = Platform.default () in
+  let m2 = ok (Platform.with_mapping p "M2") in
+  Alcotest.(check string) "re-mapped to M2" "M2" m2.Platform.cluster.Cluster.name;
+  let same = ok (Platform.with_mapping p "") in
+  Alcotest.(check string) "empty spec keeps the mapping" "M1"
+    same.Platform.cluster.Cluster.name;
+  (match Platform.with_mapping p "16" with
+  | Ok q -> Alcotest.(check int) "MC-count spec" 16 (Platform.num_mcs q)
+  | Error e -> Alcotest.fail e);
+  (* the cluster name a C002 note reports is accepted verbatim *)
+  match Platform.with_mapping p "M1x8" with
+  | Ok q ->
+    Alcotest.(check int) "cluster-name spec" 8 (Platform.num_mcs q);
+    Alcotest.(check string) "named cluster" "M1x8"
+      q.Platform.cluster.Cluster.name
+  | Error e -> Alcotest.fail e
+
+(* --- JSON round-trip --------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  List.iter
+    (fun spec ->
+      let p = ok (Platform.of_spec spec) in
+      let q = ok (Platform.of_json (Platform.to_json p)) in
+      Alcotest.(check string) (spec ^ " name survives") p.Platform.name
+        q.Platform.name;
+      Alcotest.(check string) (spec ^ " cluster survives")
+        p.Platform.cluster.Cluster.name q.Platform.cluster.Cluster.name;
+      Alcotest.(check bool) (spec ^ " placement survives") true
+        (p.Platform.placement = q.Platform.placement);
+      Alcotest.(check bool) (spec ^ " scalars survive") true
+        (p.Platform.line_bytes = q.Platform.line_bytes
+        && p.Platform.page_bytes = q.Platform.page_bytes
+        && p.Platform.elem_bytes = q.Platform.elem_bytes
+        && p.Platform.banks_per_mc = q.Platform.banks_per_mc
+        && p.Platform.channels_per_mc = q.Platform.channels_per_mc
+        && p.Platform.interleaving = q.Platform.interleaving))
+    [ "mesh8x8-mc4"; "mesh8x8-m2"; "mesh8x8-mc8"; "mesh8x8-mc16" ]
+
+let test_of_file () =
+  let p = Platform.default () in
+  let path = Filename.temp_file "platform" ".json" in
+  let oc = open_out path in
+  Obs.Json.to_channel oc (Platform.to_json p);
+  close_out oc;
+  let q = ok (Platform.of_file path) in
+  (* of_spec also accepts a file path *)
+  let r = ok (Platform.of_spec path) in
+  Sys.remove path;
+  Alcotest.(check string) "of_file restores" p.Platform.name q.Platform.name;
+  Alcotest.(check string) "of_spec takes a path" p.Platform.name r.Platform.name
+
+let test_of_json_garbage () =
+  match Platform.of_json (Obs.Json.String "nope") with
+  | Ok _ -> Alcotest.fail "garbage JSON must be rejected"
+  | Error _ -> ()
+
+(* --- calibration ------------------------------------------------------- *)
+
+let stats_with ~queue_cycles ~finish =
+  (* the shape simulate --stats-json / sweep results use *)
+  Obs.Json.Obj
+    [
+      ( "stats",
+        Obs.Json.Obj
+          [
+            ( "metrics",
+              Obs.Json.Obj
+                [
+                  ( "counters",
+                    Obs.Json.Obj [ ("mem.queue_cycles", Obs.Json.Int queue_cycles) ] );
+                  ( "gauges",
+                    Obs.Json.Obj [ ("sim.finish_time", Obs.Json.Int finish) ] );
+                ] );
+          ] );
+    ]
+
+let test_bank_pressure_of_stats () =
+  match Mapping_select.bank_pressure_of_stats (stats_with ~queue_cycles:5000 ~finish:1000) with
+  | Ok p -> Alcotest.(check (float 1e-9)) "queue_cycles/finish" 5.0 p
+  | Error e -> Alcotest.fail e
+
+let test_bank_pressure_errors () =
+  (match Mapping_select.bank_pressure_of_stats (Obs.Json.Obj []) with
+  | Ok _ -> Alcotest.fail "missing metrics must be an error"
+  | Error _ -> ());
+  match Mapping_select.bank_pressure_of_stats (stats_with ~queue_cycles:1 ~finish:0) with
+  | Ok _ -> Alcotest.fail "zero finish time must be an error"
+  | Error _ -> ()
+
+(* --- permutation invariance of the choice (qcheck) --------------------- *)
+
+let prop_choice_permutation_invariant =
+  let topo = Noc.Topology.make ~width:8 ~height:8 in
+  let base = ok (Platform.of_spec "mesh8x8-mc16") in
+  let candidates =
+    List.map
+      (fun (q : Platform.t) -> (q.Platform.cluster, q.Platform.placement))
+      (Platform.candidates base)
+  in
+  let gen =
+    QCheck.Gen.(
+      let* pressure = float_range 0.0 25.0 in
+      let* order = shuffle_l candidates in
+      return (pressure, order))
+  in
+  let print (p, order) =
+    Printf.sprintf "pressure=%.3f order=%s" p
+      (String.concat ","
+         (List.map (fun (c, _) -> c.Cluster.name) order))
+  in
+  QCheck.Test.make
+    ~name:"choose_opt is invariant under candidate permutation" ~count:200
+    (QCheck.make ~print gen)
+    (fun (pressure, order) ->
+      let name cs =
+        match Mapping_select.choose_opt topo ~candidates:cs ~bank_pressure:pressure with
+        | Some (c, _) -> c.Cluster.name
+        | None -> "<none>"
+      in
+      String.equal (name candidates) (name order))
+
+let suite =
+  [
+    ( "core.platform",
+      [
+        Alcotest.test_case "default preset" `Quick test_default_preset;
+        Alcotest.test_case "of_spec presets" `Quick test_of_spec_presets;
+        Alcotest.test_case "of_spec errors" `Quick test_of_spec_errors;
+        Alcotest.test_case "candidate budget" `Quick test_candidates_respect_budget;
+        Alcotest.test_case "with_mapping" `Quick test_with_mapping;
+        Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "of_file / of_spec path" `Quick test_of_file;
+        Alcotest.test_case "garbage JSON rejected" `Quick test_of_json_garbage;
+        Alcotest.test_case "bank pressure from stats" `Quick
+          test_bank_pressure_of_stats;
+        Alcotest.test_case "bank pressure errors" `Quick test_bank_pressure_errors;
+        QCheck_alcotest.to_alcotest prop_choice_permutation_invariant;
+      ] );
+  ]

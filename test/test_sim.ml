@@ -33,26 +33,28 @@ let prop_heap_sorted =
 
 (* --- config --- *)
 
+let ok = function Ok v -> v | Error e -> failwith e
+
 let test_default_config () =
   let c = Config.default () in
-  Alcotest.(check int) "8x8 mesh" 64 (Noc.Topology.nodes c.Config.topo);
+  Alcotest.(check int) "8x8 mesh" 64 (Noc.Topology.nodes (Config.topo c));
   Alcotest.(check int) "L1 16KB" (16 * 1024) c.Config.l1_size;
-  Alcotest.(check int) "L2 line 256" 256 c.Config.l2_line;
-  Alcotest.(check int) "4 controllers" 4 (Core.Cluster.num_mcs c.Config.cluster);
+  Alcotest.(check int) "L2 line 256" 256 (Config.l2_line c);
+  Alcotest.(check int) "4 controllers" 4 (Core.Cluster.num_mcs (Config.cluster c));
   Alcotest.(check int) "L1 latency" 2 c.Config.l1_latency;
   Alcotest.(check int) "L2 latency" 10 c.Config.l2_latency;
   Alcotest.(check int) "hop latency" 4 c.Config.noc.Noc.Network.per_hop_latency
 
 let test_mesh_retarget () =
-  let c = Config.mesh ~width:4 ~height:4 (Config.scaled ()) in
-  Alcotest.(check int) "16 nodes" 16 (Noc.Topology.nodes c.Config.topo);
-  Alcotest.(check int) "still 4 controllers" 4 (Core.Cluster.num_mcs c.Config.cluster)
+  let c = ok (Config.mesh ~width:4 ~height:4 (Config.scaled ())) in
+  Alcotest.(check int) "16 nodes" 16 (Noc.Topology.nodes (Config.topo c));
+  Alcotest.(check int) "still 4 controllers" 4 (Core.Cluster.num_mcs (Config.cluster c))
 
 let test_customize_config_granularity () =
   let c = Config.scaled () in
   let cc = Config.customize_config c in
   Alcotest.(check int) "line granularity in elements" 32 cc.Core.Customize.p_elems;
-  let cpage = { c with Config.interleaving = Dram.Address_map.Page_interleaved } in
+  let cpage = Config.with_interleaving c Dram.Address_map.Page_interleaved in
   Alcotest.(check int) "page granularity in elements" 512
     (Config.customize_config cpage).Core.Customize.p_elems
 
@@ -78,7 +80,12 @@ array B[N][N];
 parfor i = 1 to N-2 { for j = 0 to N-1 { A[i][j] = B[i][j] + B[i-1][j] + B[i+1][j]; } }
 |}
 
-let small_program = Lang.Parser.parse small_src
+let parse src =
+  match Lang.Parser.parse_result src with
+  | Ok p -> p
+  | Error _ -> failwith "parse failed"
+
+let small_program = parse small_src
 
 let run ?(cfg = Config.scaled ()) ?(optimized = false) () =
   Runner.run cfg ~optimized small_program
@@ -116,8 +123,8 @@ let test_engine_optimal_nearest () =
   let s = r.Engine.stats in
   (* under the optimal scheme every off-chip request goes to the nearest
      controller: the request distribution must respect that *)
-  let topo = cfg.Config.topo in
-  let placement = cfg.Config.placement in
+  let topo = Config.topo cfg in
+  let placement = Config.placement cfg in
   Array.iteri
     (fun node row ->
       Array.iteri
@@ -164,9 +171,10 @@ let test_engine_page_policies () =
   let page cfg_policy =
     let cfg =
       {
-        (Config.scaled ()) with
-        Config.interleaving = Dram.Address_map.Page_interleaved;
-        page_policy = cfg_policy;
+        (Config.with_interleaving (Config.scaled ())
+           Dram.Address_map.Page_interleaved)
+        with
+        Config.page_policy = cfg_policy;
       }
     in
     run ~cfg ()
@@ -189,7 +197,7 @@ let test_engine_threads_per_core () =
 
 let test_engine_warmup_gating () =
   let p =
-    Lang.Parser.parse
+    parse
       {|
 param N = 64;
 array A[N][N];
@@ -214,18 +222,25 @@ let test_config_matrix () =
   let base = Config.scaled () in
   let variants =
     [
-      ("m2", Config.with_cluster base (Core.Cluster.m2 ~width:8 ~height:8));
-      ("mc8", Config.with_cluster base (Core.Cluster.with_mcs ~width:8 ~height:8 ~mcs:8));
-      ("mesh4x4", Config.mesh ~width:4 ~height:4 base);
+      ( "m2",
+        ok
+          (Result.bind
+             (Core.Cluster.m2 ~width:8 ~height:8)
+             (Config.with_cluster base)) );
+      ( "mc8",
+        ok
+          (Result.bind
+             (Core.Cluster.with_mcs_result ~width:8 ~height:8 ~mcs:8)
+             (Config.with_cluster base)) );
+      ("mesh4x4", ok (Config.mesh ~width:4 ~height:4 base));
       ("tpc4", { base with Config.threads_per_core = 4 });
       ("shared+optimal", { base with Config.l2_org = Config.Shared_l2; optimal = true });
       ("fcfs", { base with Config.mc_scheduler = Dram.Fr_fcfs.Fcfs });
       ("closed-page", { base with Config.mc_row_policy = Dram.Fr_fcfs.Closed_page });
       ( "page+first-touch",
         {
-          base with
-          Config.interleaving = Dram.Address_map.Page_interleaved;
-          page_policy = Config.First_touch;
+          (Config.with_interleaving base Dram.Address_map.Page_interleaved) with
+          Config.page_policy = Config.First_touch;
         } );
     ]
   in
@@ -280,7 +295,7 @@ let test_tracefile_malformed () =
 let test_runner_alignment () =
   let cfg = Config.scaled () in
   let prep = Runner.prepare cfg ~optimized:false small_program in
-  let alignment = 4 * cfg.Config.page_bytes in
+  let alignment = 4 * Config.page_bytes cfg in
   List.iter
     (fun (name, base) ->
       Alcotest.(check int) (name ^ " aligned") 0 (base mod alignment))
@@ -371,7 +386,7 @@ let test_engine_phase_advance_guard () =
   (* a multi-phase job runs each phase exactly once and stops at the
      boundary: the access count proves no phase replays or is skipped *)
   let p =
-    Lang.Parser.parse
+    parse
       {|
 param N = 64;
 array A[N][N];
