@@ -11,7 +11,7 @@ open Cmdliner
 
 let run name optimized platform l2 interleave policy mapping width height tpc
     optimal full_scale seed show_map dump_trace stats_json trace_out
-    trace_sample =
+    trace_sample attr_on =
   Cli.guard ~name:"simulate" @@ fun () ->
   if trace_sample < 1 then (
     Printf.eprintf "simulate: --trace-sample must be at least 1 (got %d)\n"
@@ -42,19 +42,26 @@ let run name optimized platform l2 interleave policy mapping width height tpc
         if optimized then
           Sim.Runner.prepare cfg ~optimized:true
             ~warmup_phases:app.Workloads.App.warmup_nests ~index_lookup
-            ~profile program
+            ~profile ~attr:attr_on program
         else
           Sim.Runner.prepare cfg ~optimized:false
             ~warmup_phases:app.Workloads.App.warmup_nests ~index_lookup
-            program
+            ~attr:attr_on program
       in
       (match dump_trace with
       | Some path -> (
         try
-          Sim.Tracefile.dump path prepared.Sim.Runner.job.Sim.Engine.phases;
-          Format.printf "trace (%d accesses) written to %s@."
+          let sites =
+            match prepared.Sim.Runner.job.Sim.Engine.site_streams with
+            | [] -> None
+            | s -> Some s
+          in
+          Sim.Tracefile.dump ?sites path
+            prepared.Sim.Runner.job.Sim.Engine.phases;
+          Format.printf "trace (%d accesses%s) written to %s@."
             (Sim.Tracefile.total_accesses
                prepared.Sim.Runner.job.Sim.Engine.phases)
+            (if sites = None then "" else ", site-tagged")
             path
         with Sys_error e ->
           Printf.eprintf "simulate: cannot write trace: %s\n" e;
@@ -65,7 +72,10 @@ let run name optimized platform l2 interleave policy mapping width height tpc
         | Some _ -> Obs.Trace.create ~sample:trace_sample ()
         | None -> Obs.Trace.disabled
       in
-      let r = Sim.Runner.run_many ~trace cfg ~jobs:[ prepared ] in
+      let attr =
+        if attr_on then Some (Sim.Runner.attr_for cfg prepared) else None
+      in
+      let r = Sim.Runner.run_many ~trace ?attr cfg ~jobs:[ prepared ] in
       (try
          (match trace_out with
          | Some path ->
@@ -78,7 +88,8 @@ let run name optimized platform l2 interleave policy mapping width height tpc
          match stats_json with
          | Some path ->
            let oc = open_out path in
-           Obs.Json.to_channel oc (Sweep.Exec.result_json ~app:name cfg r);
+           Obs.Json.to_channel oc
+             (Sweep.Exec.result_json ?attr ~app:name cfg r);
            output_char oc '\n';
            close_out oc;
            Format.printf "stats written to %s@." path
@@ -86,6 +97,11 @@ let run name optimized platform l2 interleave policy mapping width height tpc
        with Sys_error e ->
          Printf.eprintf "simulate: cannot write output: %s\n" e;
          exit 1);
+      (match attr with
+      | Some a ->
+        Format.printf "off-chip attribution:@.%a@."
+          Obs.Attr.pp_table (Obs.Attr.snapshot a)
+      | None -> ());
       Format.printf "%a@." Sim.Stats.pp_summary r.Sim.Engine.stats;
       Format.printf "steady-state execution time: %d cycles@."
         r.Sim.Engine.measured_time;
@@ -165,6 +181,17 @@ let trace_sample =
     & info [ "trace-sample" ] ~docv:"N"
         ~doc:"Trace every Nth L1 miss (with --trace-out; default every one).")
 
+let attr_arg =
+  Arg.(
+    value & flag
+    & info [ "attr" ]
+        ~doc:
+          "Attribute every off-chip access to its source reference: print \
+           the per-site table (array, R/W, source span, per-controller \
+           split, hops, queue delay) and add attribution plus ASCII \
+           heatmap sections to --stats-json and site tags to \
+           --dump-trace.")
+
 let cmd =
   let doc = "simulate an application on the NoC manycore platform" in
   Cmd.v
@@ -173,6 +200,6 @@ let cmd =
       const run $ name_arg $ optimized $ Cli.platform $ Cli.l2 $ Cli.interleave
       $ Cli.policy $ Cli.mapping $ Cli.width $ Cli.height $ tpc $ optimal
       $ full_scale $ seed $ show_map $ dump_trace $ stats_json $ trace_out
-      $ trace_sample)
+      $ trace_sample $ attr_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -3,6 +3,7 @@
      sweep run spec.json -j 4 --out results/       # execute (resumes)
      sweep run spec.json -j 0 --out results/       # sequential reference
      sweep status results/                         # live or post-mortem
+     sweep status results/ --follow                # tail live progress
      sweep merge results/                          # rebuild merged.json
 
    `run` shards the spec's (config × app × optimized) product across
@@ -31,10 +32,23 @@ let run_cmd spec_file out jobs timeout retries backoff force seq inject_fail
         (Array.length spec.Sweep.Spec.jobs)
         (if workers <= 0 then "sequential (in-process)"
          else Printf.sprintf "%d workers" workers);
+    (* live progress stream: one NDJSON event per line, tailed by
+       `sweep status DIR --follow` from another terminal *)
+    (try Unix.mkdir out 0o755 with Unix.Unix_error _ -> ());
+    let progress =
+      match
+        Sweep.Progress_file.sink_for out
+      with
+      | Ok s -> s
+      | Error e ->
+        Printf.eprintf "sweep: progress stream disabled: %s\n" e;
+        Obs.Progress.null
+    in
     let report =
       Sweep.Orchestrate.run_sweep ~workers ?timeout_s:timeout ?retries
-        ~backoff_s:backoff ~force ?inject_fail ~log ~out spec
+        ~backoff_s:backoff ~force ?inject_fail ~log ~progress ~out spec
     in
+    Obs.Progress.close progress;
     let ok, cached, failed, pending =
       Sweep.Manifest.summary report.Sweep.Orchestrate.manifest
     in
@@ -52,28 +66,77 @@ let run_cmd spec_file out jobs timeout retries backoff force seq inject_fail
     end;
     if failed > 0 || pending > 0 then 3 else 0
 
-let status_cmd out =
-  match Sweep.Manifest.load ~dir:out with
-  | Error e ->
-    Printf.eprintf "sweep: %s\n" e;
-    1
-  | Ok m ->
-    let ok, cached, failed, pending = Sweep.Manifest.summary m in
-    Printf.printf "%s: %d jobs | ok %d | cached %d | failed %d | pending %d\n"
-      m.Sweep.Manifest.sweep
-      (Array.length m.Sweep.Manifest.entries)
-      ok cached failed pending;
-    Array.iter
-      (fun (e : Sweep.Manifest.entry) ->
-        match e.Sweep.Manifest.status with
-        | Sweep.Manifest.Failed reason ->
-          Printf.printf "  failed %-30s attempts %d: %s\n" e.Sweep.Manifest.id
-            e.Sweep.Manifest.attempts reason
-        | Sweep.Manifest.Pending ->
-          Printf.printf "  pending %s\n" e.Sweep.Manifest.id
-        | _ -> ())
-      m.Sweep.Manifest.entries;
-    0
+(* one human line per progress event *)
+let print_event ev =
+  let str k = match Obs.Json.member k ev with
+    | Some (Obs.Json.String s) -> s
+    | _ -> "?"
+  in
+  let num k = match Obs.Json.member k ev with
+    | Some (Obs.Json.Int n) -> string_of_int n
+    | Some (Obs.Json.Float f) -> Printf.sprintf "%.1f" f
+    | _ -> "?"
+  in
+  (match str "event" with
+  | "sweep_start" ->
+    Printf.printf "sweep %s: %s jobs (%s to run, %s cached)\n" (str "sweep")
+      (num "jobs") (num "to_run") (num "cached")
+  | "job_start" ->
+    Printf.printf "start  %-30s attempt %s\n" (str "job") (num "attempt")
+  | "job_retry" ->
+    Printf.printf "retry  %-30s attempt %s failed: %s\n" (str "job")
+      (num "attempt") (str "reason")
+  | "job_finish" ->
+    Printf.printf "%-6s %-30s [%s done, %s left, eta %ss]%s\n" (str "status")
+      (str "job") (num "resolved") (num "remaining") (num "eta_s")
+      (match Obs.Json.member "measured_time" ev with
+      | Some (Obs.Json.Int t) -> Printf.sprintf " measured_time=%d" t
+      | _ -> "")
+  | "sweep_done" ->
+    Printf.printf "done   ok %s | cached %s | failed %s (%ss)\n" (num "ok")
+      (num "cached") (num "failed") (num "elapsed_s")
+  | e -> Printf.printf "%s\n" (if e = "?" then "unrecognized event" else e));
+  flush stdout
+
+let is_done ev =
+  match Obs.Json.member "event" ev with
+  | Some (Obs.Json.String "sweep_done") -> true
+  | _ -> false
+
+let status_cmd out follow timeout =
+  if follow then begin
+    match
+      Obs.Progress.follow ~timeout_s:timeout ~stop:is_done
+        ~on_event:print_event
+        (Sweep.Progress_file.path out)
+    with
+    | Ok () -> 0
+    | Error e ->
+      Printf.eprintf "sweep: %s\n" e;
+      1
+  end
+  else
+    match Sweep.Manifest.load ~dir:out with
+    | Error e ->
+      Printf.eprintf "sweep: %s\n" e;
+      1
+    | Ok m ->
+      let ok, cached, failed, pending = Sweep.Manifest.summary m in
+      Printf.printf "%s: %d jobs | ok %d | cached %d | failed %d | pending %d\n"
+        m.Sweep.Manifest.sweep
+        (Array.length m.Sweep.Manifest.entries)
+        ok cached failed pending;
+      Array.iter
+        (fun (e : Sweep.Manifest.entry) ->
+          match e.Sweep.Manifest.status with
+          | Sweep.Manifest.Failed reason ->
+            Printf.printf "  failed %-30s attempts %d: %s\n" e.Sweep.Manifest.id
+              e.Sweep.Manifest.attempts reason
+          | Sweep.Manifest.Pending ->
+            Printf.printf "  pending %s\n" e.Sweep.Manifest.id
+          | _ -> ())
+        m.Sweep.Manifest.entries;
+      0
 
 let merge_cmd out =
   match Sweep.Manifest.load ~dir:out with
@@ -166,10 +229,27 @@ let run_c =
       $ retries_arg $ backoff_arg $ force_arg $ seq_arg $ inject_fail_arg
       $ quiet_arg)
 
+let follow_arg =
+  Arg.(
+    value & flag
+    & info [ "follow"; "f" ]
+        ~doc:
+          "Tail the directory's live progress stream (progress.ndjson), \
+           printing each event as it lands, until the sweep finishes.")
+
+let follow_timeout_arg =
+  Arg.(
+    value & opt float 600.
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "With --follow: give up after this long without a sweep_done \
+           event (bounded, so a crashed sweep cannot hang a CI job).")
+
 let status_c =
   Cmd.v
-    (Cmd.info "status" ~doc:"summarize a sweep directory's manifest")
-    Term.(const status_cmd $ dir_pos)
+    (Cmd.info "status"
+       ~doc:"summarize a sweep directory's manifest, or tail its progress")
+    Term.(const status_cmd $ dir_pos $ follow_arg $ follow_timeout_arg)
 
 let merge_c =
   Cmd.v

@@ -17,6 +17,7 @@ type artifacts = {
   mutable mapping_scores : Mapping_select.scored list option;
   mutable report : Transform.report option;
   mutable transformed : Ast.program option;
+  mutable sites : Lang.Sites.t option;
   mutable c_code : string option;
 }
 
@@ -148,7 +149,14 @@ let rewrite_pass =
   pass "rewrite" (fun (report, program) ->
       Ok (Transform.rewrite_program report program))
 
-let codegen_pass ~name = pass "codegen" (Lang.Codegen.emit_result ~name)
+let codegen_pass ~name ?site_of () =
+  pass "codegen" (Lang.Codegen.emit_result ~name ?site_of)
+
+(* The access-site table is an artifact of the transformed program (the
+   one codegen emits and the simulator traces), so its ids line up with
+   tagged traces of the compiled kernel. *)
+let sites_pass =
+  pass "sites" (fun program -> Ok (Lang.Sites.of_program program))
 
 let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
     ?platform ?(candidates = []) ?codegen ~cfg source =
@@ -162,6 +170,7 @@ let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
       mapping_scores = None;
       report = None;
       transformed = None;
+      sites = None;
       c_code = None;
     }
   in
@@ -205,6 +214,8 @@ let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
       ctx.diags @ keep_warnings ~have_profile:(Option.is_some profile) report;
     let* transformed = run_pass ctx rewrite_pass (report, program) in
     art.transformed <- Some transformed;
+    let* sites = run_pass ctx sites_pass transformed in
+    art.sites <- Some sites;
     if verify then begin
       let ds =
         Obs.Phase_timer.time ctx.timer "verify" (fun () ->
@@ -215,7 +226,11 @@ let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
     match codegen with
     | None -> Some ()
     | Some name ->
-      let* c = run_pass ctx (codegen_pass ~name) transformed in
+      let* c =
+        run_pass ctx
+          (codegen_pass ~name ~site_of:(Lang.Sites.id_of_ref sites) ())
+          transformed
+      in
       art.c_code <- Some c;
       if verify then begin
         let ds =
@@ -235,7 +250,7 @@ let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
 
 (* --- stage dumps (--emit) --------------------------------------------- *)
 
-type stage = Ast_ | Analysis_ | Solve | Mapping | Report | Transformed | C
+type stage = Ast_ | Analysis_ | Solve | Mapping | Report | Transformed | Sites_ | C
 
 let stages =
   [
@@ -245,6 +260,7 @@ let stages =
     ("mapping", Mapping);
     ("report", Report);
     ("transformed", Transformed);
+    ("sites", Sites_);
     ("c", C);
   ]
 
@@ -300,4 +316,5 @@ let emit t stage =
       t.artifacts.cfg
   | Report -> Option.map (str Transform.pp_report) t.artifacts.report
   | Transformed -> Option.map (str Ast.pp_program) t.artifacts.transformed
+  | Sites_ -> Option.map (str (Lang.Sites.pp ?src:None)) t.artifacts.sites
   | C -> t.artifacts.c_code

@@ -5,7 +5,7 @@
 
     {v
     parse → check → analyze → solve → mapping → customize → rewrite
-          [→ verify] [→ codegen]
+          → sites [→ verify] [→ codegen]
     v}
 
     Every pass has the uniform shape
@@ -38,6 +38,10 @@ type artifacts = {
           had more than one candidate to choose from *)
   mutable report : Transform.report option;
   mutable transformed : Lang.Ast.program option;
+  mutable sites : Lang.Sites.t option;
+      (** access-site table of the transformed program — the legend for
+          tagged traces and the attribution aggregator; its ids are the
+          ones codegen embeds as [/*s<id>*/] reference tags *)
   mutable c_code : string option;
 }
 
@@ -73,11 +77,19 @@ val compile :
 
 (** {2 Stage dumps} *)
 
-type stage = Ast_ | Analysis_ | Solve | Mapping | Report | Transformed | C
+type stage =
+  | Ast_
+  | Analysis_
+  | Solve
+  | Mapping
+  | Report
+  | Transformed
+  | Sites_
+  | C
 
 val stages : (string * stage) list
 (** CLI name → stage: ast, analysis, solve, mapping, report,
-    transformed, c. *)
+    transformed, sites, c. *)
 
 val stage_names : string list
 

@@ -6,7 +6,13 @@
    [#pragma omp parallel for schedule(static)], matching the
    data-to-core mapping the pass assumed. *)
 
-type env = { extents : (string * int list) list; index_arrays : string list }
+type env = {
+  extents : (string * int list) list;
+  index_arrays : string list;
+  site_of : (Ast.ref_ -> int) option;
+      (* when present, every rendered reference gets a [/*s<id>*/] tag so
+         emitted C lines can be matched against the access-site table *)
+}
 
 (* All back-end failures are located diagnostics, raised as {!Diag.Fatal}
    and surfaced through {!emit_result}; {!emit} keeps the historical
@@ -53,7 +59,12 @@ let rec render_ref env buf (r : Ast.ref_) =
       if stride <> 1 then Buffer.add_string buf (Printf.sprintf " * %d" stride);
       ignore n)
     r.Ast.subs;
-  Buffer.add_char buf ']'
+  Buffer.add_char buf ']';
+  match env.site_of with
+  | Some f ->
+    let id = f r in
+    if id >= 0 then Buffer.add_string buf (Printf.sprintf "/*s%d*/" id)
+  | None -> ()
 
 and render_expr env buf = function
   | Ast.Int n ->
@@ -136,7 +147,7 @@ let rec render_stmt env buf depth = function
     indent buf depth;
     Buffer.add_string buf "}\n"
 
-let emit_exn ?(name = "kernel") (p : Ast.program) =
+let emit_exn ?(name = "kernel") ?site_of (p : Ast.program) =
   let param_env = p.Ast.params in
   let extents =
     List.map
@@ -152,7 +163,7 @@ let emit_exn ?(name = "kernel") (p : Ast.program) =
         if d.Ast.index_array then Some d.Ast.name else None)
       p.Ast.decls
   in
-  let env = { extents; index_arrays } in
+  let env = { extents; index_arrays; site_of } in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     "/* generated by occ: off-chip access localization (PLDI 2015) */\n";
@@ -182,8 +193,8 @@ let emit_exn ?(name = "kernel") (p : Ast.program) =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let emit_result ?name p =
-  match emit_exn ?name p with
+let emit_result ?name ?site_of p =
+  match emit_exn ?name ?site_of p with
   | s -> Ok s
   | exception Diag.Fatal d -> Error [ d ]
 

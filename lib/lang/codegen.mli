@@ -14,9 +14,17 @@
     shared-L2 customization) become [long] buffers with an
     initialization hook the caller fills in. *)
 
-val emit_result : ?name:string -> Ast.program -> (string, Diag.t list) result
+val emit_result :
+  ?name:string ->
+  ?site_of:(Ast.ref_ -> int) ->
+  Ast.program ->
+  (string, Diag.t list) result
 (** [emit_result p] is a complete C translation unit: array definitions,
     an [init_<name>_index_arrays] stub for index-array contents, and a
     [run_<name>] function containing the loop nests.  [name] defaults to
-    ["kernel"].  Failures ([G002] non-constant extent, [G003] unknown
-    array) come back as located diagnostics. *)
+    ["kernel"].  [site_of] (typically {!Sites.id_of_ref} on the emitted
+    program's site table) tags each rendered reference with a
+    [/*s<id>*/] comment, linking the C text to the attribution table;
+    unknown references (negative id) stay untagged.  Failures ([G002]
+    non-constant extent, [G003] unknown array) come back as located
+    diagnostics. *)

@@ -30,10 +30,14 @@ let chunk_bounds n chunks index =
   let len = base + if index < rem then 1 else 0 in
   (start, start + len - 1)
 
-let trace ~threads ?(threads_per_core = 1) ~addr_of
-    ?(index_lookup = fun _ _ -> 0) (p : Ast.program) =
+let trace_gen ~threads ?(threads_per_core = 1) ~addr_of
+    ?(index_lookup = fun _ _ -> 0) ?site_of (p : Ast.program) =
   if threads <= 0 || threads_per_core <= 0 || threads mod threads_per_core <> 0
   then invalid_arg "Interp.trace: bad thread configuration";
+  let tagging = site_of <> None in
+  let site_id =
+    match site_of with Some f -> f | None -> fun (_ : Ast.ref_) -> -1
+  in
   let index_arrays =
     List.filter_map
       (fun (d : Ast.decl) -> if d.index_array then Some d.name else None)
@@ -44,10 +48,17 @@ let trace ~threads ?(threads_per_core = 1) ~addr_of
   List.iter (fun (n, v) -> Hashtbl.replace env n v) p.params;
   let run_phase nest =
     let bufs = Array.init threads (fun _ -> buf_make ()) in
+    (* side-band site streams, index-parallel to the access streams: the
+       access encoding's high bits belong to synthetic replay addresses
+       (verify's V007), so ids cannot be packed into the access int *)
+    let sbufs =
+      if tagging then Array.init threads (fun _ -> buf_make ()) else [||]
+    in
     let emit t (r : Ast.ref_) write subs =
       let v = Array.of_list subs in
       let addr = addr_of r.array v in
-      buf_push bufs.(t) ((addr lsl 1) lor if write then 1 else 0)
+      buf_push bufs.(t) ((addr lsl 1) lor if write then 1 else 0);
+      if tagging then buf_push sbufs.(t) (site_id r)
     in
     let rec eval t e =
       match e with
@@ -121,6 +132,13 @@ let trace ~threads ?(threads_per_core = 1) ~addr_of
           Hashtbl.remove env l.index)
     in
     exec None nest;
-    Array.map buf_contents bufs
+    ( Array.map buf_contents bufs,
+      if tagging then Array.map buf_contents sbufs else [||] )
   in
   List.map run_phase p.nests
+
+let trace ~threads ?threads_per_core ~addr_of ?index_lookup p =
+  List.map fst (trace_gen ~threads ?threads_per_core ~addr_of ?index_lookup p)
+
+let trace_tagged ~threads ?threads_per_core ~addr_of ?index_lookup ~site_of p =
+  trace_gen ~threads ?threads_per_core ~addr_of ?index_lookup ~site_of p

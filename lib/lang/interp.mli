@@ -43,3 +43,18 @@ val trace :
     Loops whose bounds are not constant at entry (they may depend on outer
     iterators) are evaluated dynamically.  Statements outside any [parfor]
     run on thread 0. *)
+
+val trace_tagged :
+  threads:int ->
+  ?threads_per_core:int ->
+  addr_of:(string -> Affine.Vec.t -> int) ->
+  ?index_lookup:(string -> Affine.Vec.t -> int) ->
+  site_of:(Ast.ref_ -> int) ->
+  Ast.program ->
+  (phase * int array array) list
+(** Like {!trace}, but each phase additionally carries a {e site stream}
+    per thread, index-parallel to the access stream: element [i] is
+    [site_of r] for the reference that emitted access [i] (typically
+    {!Sites.id_of_ref}).  Site ids travel in this side band — not in the
+    access encoding — because the verifier's synthetic replay addresses
+    own the access int's high bits. *)

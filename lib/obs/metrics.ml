@@ -58,28 +58,31 @@ let num_buckets = function
     buckets
 
 let histogram reg ~buckets name =
-  (match buckets with
+  match buckets with
   | Linear { width; _ } when width <= 0 ->
-    invalid_arg "Metrics: Linear needs width > 0"
-  | _ -> ());
-  match Hashtbl.find_opt reg.tbl name with
-  | Some (Histogram h) ->
-    if h.h_kind <> buckets then
-      invalid_arg ("Metrics.histogram: " ^ name ^ " re-registered with different buckets");
-    h
-  | Some _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
-  | None ->
-    let h =
-      {
-        h_name = name;
-        h_kind = buckets;
-        h_counts = Array.make (num_buckets buckets) 0;
-        h_sum = 0;
-        h_total = 0;
-      }
-    in
-    Hashtbl.replace reg.tbl name (Histogram h);
-    h
+    Error "Metrics: Linear needs width > 0"
+  | Linear { buckets = b; _ } when b <= 0 ->
+    Error "Metrics: Linear needs buckets > 0"
+  | _ -> (
+    match Hashtbl.find_opt reg.tbl name with
+    | Some (Histogram h) ->
+      if h.h_kind <> buckets then
+        Error
+          ("Metrics.histogram: " ^ name ^ " re-registered with different buckets")
+      else Ok h
+    | Some _ -> Error ("Metrics.histogram: " ^ name ^ " is not a histogram")
+    | None ->
+      let h =
+        {
+          h_name = name;
+          h_kind = buckets;
+          h_counts = Array.make (num_buckets buckets) 0;
+          h_sum = 0;
+          h_total = 0;
+        }
+      in
+      Hashtbl.replace reg.tbl name (Histogram h);
+      Ok h)
 
 let incr c = c.c_value <- c.c_value + 1
 
@@ -183,11 +186,18 @@ let merge_into ~into src =
     (fun name -> function
       | Counter c -> add (counter into name) c.c_value
       | Gauge g -> set_max (gauge into name) g.g_value
-      | Histogram h ->
-        let dst = histogram into ~buckets:h.h_kind name in
-        Array.iteri (fun i v -> dst.h_counts.(i) <- dst.h_counts.(i) + v) h.h_counts;
-        dst.h_sum <- dst.h_sum + h.h_sum;
-        dst.h_total <- dst.h_total + h.h_total)
+      | Histogram h -> (
+        (* merge_into keeps its documented raise: a bucketing conflict
+           between two live registries is a programming error, not an
+           input error *)
+        match histogram into ~buckets:h.h_kind name with
+        | Error e -> invalid_arg e
+        | Ok dst ->
+          Array.iteri
+            (fun i v -> dst.h_counts.(i) <- dst.h_counts.(i) + v)
+            h.h_counts;
+          dst.h_sum <- dst.h_sum + h.h_sum;
+          dst.h_total <- dst.h_total + h.h_total))
     src.tbl
 
 let hist_to_json (h : hist_snapshot) =

@@ -45,9 +45,12 @@ val counter : registry -> string -> counter
 
 val gauge : registry -> string -> gauge
 
-val histogram : registry -> buckets:buckets -> string -> histogram
-(** Raises [Invalid_argument] when re-registering an existing name with a
-    different bucketing. *)
+val histogram :
+  registry -> buckets:buckets -> string -> (histogram, string) result
+(** [Error] when re-registering an existing name with a different
+    bucketing (or kind), or on a malformed [Linear] spec — registration
+    conflicts come from configuration, so they surface as values instead
+    of exceptions (repo policy: no raising APIs). *)
 
 val incr : counter -> unit
 

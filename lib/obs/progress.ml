@@ -1,0 +1,93 @@
+type sink = { mutable oc : out_channel option }
+
+let null = { oc = None }
+
+let file_sink path =
+  match open_out path with
+  | oc -> Ok { oc = Some oc }
+  | exception Sys_error e -> Error e
+
+let stamp j =
+  let ts = ("ts", Json.Float (Unix.gettimeofday ())) in
+  match j with Json.Obj fields -> Json.Obj (fields @ [ ts ]) | v -> v
+
+let emit t j =
+  match t.oc with
+  | None -> ()
+  | Some oc -> (
+    try
+      output_string oc (Json.to_string ~minify:true (stamp j));
+      output_char oc '\n';
+      flush oc
+    with Sys_error _ ->
+      (* advisory stream: a full disk or closed pipe must not kill the
+         sweep; drop the sink and keep going *)
+      (try close_out_noerr oc with _ -> ());
+      t.oc <- None)
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    close_out_noerr oc;
+    t.oc <- None
+
+(* Complete lines of [path] starting at byte [from]; returns the events
+   parsed and the offset of the first un-consumed byte.  Unparseable
+   complete lines are skipped (a reader must survive a torn writer). *)
+let read_from path from =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let len = in_channel_length ic in
+    seek_in ic from;
+    let events = ref [] in
+    let pos = ref from in
+    (try
+       while true do
+         let start = pos_in ic in
+         match input_line ic with
+         | line ->
+           (* a line is complete only if its newline is already on disk *)
+           if start + String.length line < len then begin
+             (match Json.of_string line with
+             | Ok j -> events := j :: !events
+             | Error _ -> ());
+             pos := pos_in ic
+           end
+           else raise Exit
+         | exception End_of_file -> raise Exit
+       done
+     with Exit -> ());
+    close_in_noerr ic;
+    Ok (List.rev !events, !pos)
+
+let read path = Result.map fst (read_from path 0)
+
+let follow ?(poll_s = 0.2) ?(timeout_s = 60.) ~stop ~on_event path =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec loop offset =
+    let now = Unix.gettimeofday () in
+    if now > deadline then
+      Error (Printf.sprintf "no terminating event within %.3gs" timeout_s)
+    else
+      match read_from path offset with
+      | Error _ ->
+        (* not created yet: keep waiting *)
+        Unix.sleepf poll_s;
+        loop offset
+      | Ok (events, offset') ->
+        let stopped =
+          List.fold_left
+            (fun stopped e ->
+              on_event e;
+              stopped || stop e)
+            false events
+        in
+        if stopped then Ok ()
+        else begin
+          Unix.sleepf poll_s;
+          loop offset'
+        end
+  in
+  loop 0

@@ -1,0 +1,40 @@
+(** NDJSON progress streams: one minified JSON object per line, flushed
+    per event, so a concurrently running reader (or a post-mortem one)
+    always sees a prefix of complete events.
+
+    The sweep orchestrator emits job lifecycle events through a {!sink};
+    [sweep status --follow] tails the file with {!follow}.  Event payloads
+    are plain {!Json.t} objects — this module fixes only the framing, plus
+    a wall-clock ["ts"] stamp added to every event. *)
+
+type sink
+
+val null : sink
+(** Swallows every event (the default when no progress file is wanted). *)
+
+val file_sink : string -> (sink, string) result
+(** Opens (truncating) a progress file.  Events append one line each. *)
+
+val emit : sink -> Json.t -> unit
+(** Writes one event line (adding a ["ts"] epoch-seconds field) and
+    flushes.  Emission never raises: a write failure silently disables the
+    sink — progress is advisory, never worth failing a sweep over. *)
+
+val close : sink -> unit
+
+val read : string -> (Json.t list, string) result
+(** All complete events currently in a progress file (a trailing partial
+    line, from a concurrent writer, is ignored). *)
+
+val follow :
+  ?poll_s:float ->
+  ?timeout_s:float ->
+  stop:(Json.t -> bool) ->
+  on_event:(Json.t -> unit) ->
+  string ->
+  (unit, string) result
+(** Tails a progress file: waits for it to appear, then delivers each
+    complete event line to [on_event] as it lands, polling every [poll_s]
+    (default 0.2 s).  Returns [Ok ()] once [stop] accepts an event, or
+    [Error _] after [timeout_s] (default 60 s) without one — bounded, so a
+    crashed writer cannot hang a CI job. *)

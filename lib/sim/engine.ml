@@ -12,6 +12,9 @@ type job = {
       (** leading phases (initialization nests) excluded from the
           statistics: the real applications amortize initialization over
           thousands of compute iterations, the models run only a few *)
+  site_streams : int array array list;
+      (** per-phase site-id streams, index-parallel to [phases]; [[]]
+          leaves every access unattributed (the untagged fast path) *)
 }
 
 type result = {
@@ -49,6 +52,7 @@ type req = {
   mutable rnode : int;  (** requester node (private) / L1 node (shared) *)
   mutable rpaddr : int;
   mutable rwrite : bool;
+  mutable rsite : int;  (** access site (attribution); -1 = unattributed *)
   mutable home : int;  (** shared L2: home bank node *)
   mutable pend_hops : int;
   mutable pend_net : int;
@@ -84,9 +88,12 @@ type jstate = {
   j : job;
   jid : int;
   jphases : Lang.Interp.phase array;  (** [j.phases] as an array *)
+  jsites : int array array array;  (** site streams per phase; [||] = none *)
   nphases : int;
   mutable phase : int;
   mutable streams : Lang.Interp.phase;
+  mutable cur_sites : int array array;
+      (** site streams of the current phase ([[||]] when untagged) *)
   pos : int array;
   mutable remaining : int;
   mutable barrier : int;
@@ -106,6 +113,7 @@ let new_req slot =
       rnode = 0;
       rpaddr = 0;
       rwrite = false;
+      rsite = -1;
       home = 0;
       pend_hops = 0;
       pend_net = 0;
@@ -127,7 +135,7 @@ let new_req slot =
   r
 
 let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
-    ~jobs () =
+    ?attr ~jobs () =
   (* platform values hoisted into locals: the hot closures below must not
      pay the accessor indirection per access *)
   let topo = Config.topo cfg in
@@ -149,17 +157,38 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
           ~line_bytes:l2_line ~ways:cfg.l2_ways ())
   in
   let dir = Directory.create ~nodes in
+  let stats = Stats.create ~nodes ~mcs:num_mcs in
+  (* queue-depth distribution exported through the registry, installed
+     only with attribution on: the extra metric must not perturb the
+     byte-stable stats golden of plain runs *)
+  let depth_hist =
+    match attr with
+    | None -> None
+    | Some _ -> (
+      match
+        Obs.Metrics.histogram (Stats.registry stats) ~buckets:Obs.Metrics.Log2
+          "mem.queue_depth"
+      with
+      | Ok h -> Some h
+      | Error _ -> None)
+  in
   let mcs =
     Array.init num_mcs (fun m ->
-        (* queue-depth counter series for the trace viewer; without a sink
-           the controllers run hook-free *)
+        (* queue-depth counter series for the trace viewer and (with
+           attribution) the registry histogram; without either sink the
+           controllers run hook-free *)
+        let trace_on = Obs.Trace.enabled trace in
         let depth_hook =
-          if Obs.Trace.enabled trace then
+          if trace_on || depth_hist <> None then
             Some
               (fun ~now ~depth ->
-                Obs.Trace.counter trace
-                  ~name:(Printf.sprintf "mc%d queue depth" m)
-                  ~pid:0 ~ts:now ~value:depth)
+                if trace_on then
+                  Obs.Trace.counter trace
+                    ~name:(Printf.sprintf "mc%d queue depth" m)
+                    ~pid:0 ~ts:now ~value:depth;
+                match depth_hist with
+                | Some h -> Obs.Metrics.observe h depth
+                | None -> ())
           else None
         in
         Fr_fcfs.create ~timing:cfg.timing ~channels:(Config.channels_per_mc cfg)
@@ -190,7 +219,6 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
   let pa =
     Page_alloc.create ~map:amap ~policy ~frames_per_mc:cfg.frames_per_mc ()
   in
-  let stats = Stats.create ~nodes ~mcs:num_mcs in
   let heap : action Event_heap.t = Event_heap.create () in
   let js =
     Array.of_list
@@ -201,9 +229,11 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
              j;
              jid;
              jphases;
+             jsites = Array.of_list j.site_streams;
              nphases = Array.length jphases;
              phase = -1;
              streams = [||];
+             cur_sites = [||];
              pos = Array.make (Array.length j.node_of_thread) 0;
              remaining = 0;
              barrier = 0;
@@ -378,17 +408,23 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
           if traced then
             Obs.Trace.span trace ~cat:"cache" ~name:"L1 miss" ~pid:jid
               ~tid:node ~ts:t ~dur:cfg.l1_latency ();
+          (* the side-band site stream is index-parallel to the access
+             stream; untagged jobs carry none and pay one length check *)
+          let site =
+            if Array.length s.cur_sites = 0 then -1 else s.cur_sites.(tid).(i)
+          in
           let blocking =
             (not wr) || outstanding_stores.(jid).(tid) >= store_buffer_depth
           in
           if blocking then
-            miss_path jid tid node paddr wr ~rid ~traced ~measured ~resume:true
+            miss_path jid tid node paddr wr ~rid ~site ~traced ~measured
+              ~resume:true
               (t + cfg.l1_latency)
           else begin
             (* store buffer absorbs the write miss; the fill proceeds in
                the background and the thread continues *)
             outstanding_stores.(jid).(tid) <- outstanding_stores.(jid).(tid) + 1;
-            miss_path jid tid node paddr wr ~rid ~traced ~measured
+            miss_path jid tid node paddr wr ~rid ~site ~traced ~measured
               ~resume:false
               (t + cfg.l1_latency);
             go (t + cfg.l1_latency)
@@ -404,6 +440,9 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
       s.phase <- s.phase + 1;
       if s.phase < s.nphases then begin
         s.streams <- s.jphases.(s.phase);
+        s.cur_sites <-
+          (if s.phase < Array.length s.jsites then s.jsites.(s.phase)
+           else [||]);
         Array.fill s.pos 0 (Array.length s.pos) 0;
         s.remaining <- Array.length s.j.node_of_thread;
         for tid = 0 to Array.length s.j.node_of_thread - 1 do
@@ -416,25 +455,26 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
         Stats.note_finish stats s.barrier
       end
     end
-  and miss_path jid tid node paddr wr ~rid ~traced ~measured ~resume t =
+  and miss_path jid tid node paddr wr ~rid ~site ~traced ~measured ~resume t =
     match cfg.l2_org with
     | Config.Private_l2 ->
-      miss_private jid tid node paddr wr ~rid ~traced ~measured ~resume t
+      miss_private jid tid node paddr wr ~rid ~site ~traced ~measured ~resume t
     | Config.Shared_l2 ->
-      miss_shared jid tid node paddr wr ~rid ~traced ~measured ~resume t
+      miss_shared jid tid node paddr wr ~rid ~site ~traced ~measured ~resume t
   and complete_request req t =
     let jid = req.rjob and tid = req.rthread and resume = req.resume in
     free_req req;
     if resume then continue_thread jid tid t
     else outstanding_stores.(jid).(tid) <- outstanding_stores.(jid).(tid) - 1
-  and init_req req ~rid ~jid ~tid ~node ~paddr ~wr ~home ~shared ~measured
-      ~traced ~resume =
+  and init_req req ~rid ~jid ~tid ~node ~paddr ~wr ~site ~home ~shared
+      ~measured ~traced ~resume =
     req.rid <- rid;
     req.rjob <- jid;
     req.rthread <- tid;
     req.rnode <- node;
     req.rpaddr <- paddr;
     req.rwrite <- wr;
+    req.rsite <- site;
     req.home <- home;
     req.pend_hops <- 0;
     req.pend_net <- 0;
@@ -445,7 +485,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
     req.measured <- measured;
     req.traced <- traced;
     req.resume <- resume
-  and miss_private jid tid node paddr wr ~rid ~traced ~measured ~resume t =
+  and miss_private jid tid node paddr wr ~rid ~site ~traced ~measured ~resume t
+      =
     if traced then
       Obs.Trace.span trace ~cat:"cache" ~name:"L2 lookup" ~pid:jid ~tid:node
         ~ts:t ~dur:cfg.l2_latency ();
@@ -469,8 +510,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
       in
       Directory.add_holder dir ~line ~node;
       let req = alloc_req () in
-      init_req req ~rid ~jid ~tid ~node ~paddr ~wr ~home:node ~shared:false
-        ~measured ~traced ~resume;
+      init_req req ~rid ~jid ~tid ~node ~paddr ~wr ~site ~home:node
+        ~shared:false ~measured ~traced ~resume;
       if cfg.optimal then begin
         (* oracle lookup at miss time: sharers keep the normal on-chip
            path; off-chip goes straight to the nearest controller *)
@@ -500,11 +541,12 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
         req.pend_net <- arr - t;
         Event_heap.push heap ~time:arr req.a_dir_decide
       end
-  and miss_shared jid tid node paddr wr ~rid ~traced ~measured ~resume t =
+  and miss_shared jid tid node paddr wr ~rid ~site ~traced ~measured ~resume t
+      =
     let home = paddr / l2_line mod nodes in
     let req = alloc_req () in
-    init_req req ~rid ~jid ~tid ~node ~paddr ~wr ~home ~shared:true ~measured
-      ~traced ~resume;
+    init_req req ~rid ~jid ~tid ~node ~paddr ~wr ~site ~home ~shared:true
+      ~measured ~traced ~resume;
     if home = node then home_decide req t
     else begin
       let arr = send_req req ~now:t ~src:node ~dst:home ~bytes:ctrl_bytes in
@@ -554,15 +596,27 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
   and mc_arrive req t =
     if req.measured then begin
       let origin = if req.rshared then req.home else req.rnode in
-      Stats.record_offchip stats ~origin ~mc:req.mc
+      Stats.record_offchip stats ~origin ~mc:req.mc;
+      (* attribution rides the same gate as record_offchip, so the cube
+         total always equals the off-chip counter *)
+      match attr with
+      | Some a ->
+        Obs.Attr.record a ~site:req.rsite ~mc:req.mc
+          ~bank:(Address_map.bank_of_paddr amap req.rpaddr)
+          ~hops:(hops_between origin (mc_node req.mc))
+      | None -> ()
     end;
     req.mc_arrival <- t;
     if cfg.optimal then begin
       (* idealized controller: uncontended row-empty access *)
       let service = cfg.timing.Dram.Timing.row_empty in
       let finish = t + service in
-      if req.measured then
+      if req.measured then begin
         Stats.record_memory stats ~latency:service ~queue:0 ~row_hit:false;
+        match attr with
+        | Some a -> Obs.Attr.record_queue a ~site:req.rsite ~queue:0
+        | None -> ()
+      end;
       span_req req ~cat:"dram" ~name:"bank" ~ts:t ~dur:service;
       mc_respond req finish
     end
@@ -654,6 +708,10 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
               Stats.record_memory stats
                 ~latency:(c.finish - req.mc_arrival)
                 ~queue:c.queue_delay ~row_hit:c.row_hit;
+              (match attr with
+              | Some a when req.measured ->
+                Obs.Attr.record_queue a ~site:req.rsite ~queue:c.queue_delay
+              | _ -> ());
               span_req req ~cat:"mc-queue" ~name:"queue" ~ts:req.mc_arrival
                 ~dur:c.queue_delay;
               span_req req ~cat:"dram" ~name:"bank" ~ts:c.start
@@ -678,6 +736,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
       else begin
         s.phase <- 0;
         s.streams <- s.jphases.(0);
+        s.cur_sites <- (if Array.length s.jsites > 0 then s.jsites.(0) else [||]);
         s.remaining <- nthreads;
         for tid = 0 to nthreads - 1 do
           Event_heap.push heap ~time:0 step_act.(s.jid).(tid)
@@ -709,6 +768,22 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
   in
   let measured_time = Array.fold_left max 0 job_measured in
   let horizon = max 1 (Stats.finish_time stats) in
+  let link_utilization = Noc.Network.utilization net ~at:horizon in
+  (* per-link utilization summarized into the registry — gated on
+     attribution like the queue-depth histogram, so --stats-json carries
+     the mesh-contention profile even with tracing off while plain runs
+     stay byte-identical *)
+  (match attr with
+  | Some _ ->
+    let reg = Stats.registry stats in
+    let n = Array.length link_utilization in
+    let mx = Array.fold_left Float.max 0. link_utilization in
+    let sum = Array.fold_left ( +. ) 0. link_utilization in
+    Obs.Metrics.set (Obs.Metrics.gauge reg "noc.max_link_utilization") mx;
+    Obs.Metrics.set
+      (Obs.Metrics.gauge reg "noc.avg_link_utilization")
+      (if n = 0 then 0. else sum /. float_of_int n)
+  | None -> ());
   {
     stats;
     measured_time;

@@ -24,6 +24,11 @@ type job = {
           the real applications amortize initialization over thousands of
           compute iterations while the models run only a few, so counting
           it would grossly overweight transients *)
+  site_streams : int array array list;
+      (** per-phase access-site id streams, index-parallel to [phases]
+          (element [i] of a thread's stream tags access [i]); [[]] runs
+          the job untagged — the miss path then skips the site lookup
+          entirely *)
 }
 
 type result = {
@@ -45,6 +50,7 @@ val run :
   Config.t ->
   ?desired_mc_of_vpage:(int -> int option) ->
   ?trace:Obs.Trace.t ->
+  ?attr:Obs.Attr.t ->
   jobs:job list ->
   unit ->
   result
@@ -56,4 +62,14 @@ val run :
     stage of every sampled L1 miss — categories [cache], [noc],
     [mc-queue], [dram] — plus controller queue-depth counter series; the
     sink's sampling knob picks which misses are traced.  With the default
-    sink every instrumentation point is a single branch. *)
+    sink every instrumentation point is a single branch.
+
+    [attr] receives every {e measured} off-chip access — the same gate as
+    [sim.offchip_accesses], so the aggregator's total always equals that
+    counter — attributed to the access site carried by the job's
+    [site_streams] (or the unknown row when untagged).  Supplying [attr]
+    also registers the [mem.queue_depth] histogram and the
+    [noc.*_link_utilization] gauges in the run's {!Stats} registry; with
+    [attr] absent the registry contents (and hence the stats JSON) are
+    bit-for-bit those of a plain run, and the record path costs one
+    branch per request. *)

@@ -35,6 +35,58 @@ let render (cfg : Config.t) =
 
 let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |]
 
+(* Per-link heat: nodes as [o], each mesh edge drawn with a shade picked
+   from the busier of its two directed links, normalized to the hottest
+   link (the interesting picture is the relative contention profile; the
+   legend records the absolute peak). *)
+let render_link_heat (cfg : Config.t) util =
+  let topo = Config.topo cfg in
+  if Array.length util <> Noc.Topology.num_link_ids topo then
+    invalid_arg "Platform_map.render_link_heat";
+  let w = topo.Noc.Topology.width and h = topo.Noc.Topology.height in
+  let node x y = Noc.Topology.node_of_coord topo (Noc.Coord.make x y) in
+  let link n dir =
+    util.(Noc.Topology.link_id topo { Noc.Topology.from_node = n; dir })
+  in
+  let horiz x y =
+    Float.max (link (node x y) Noc.Topology.East)
+      (link (node (x + 1) y) Noc.Topology.West)
+  in
+  let vert x y =
+    Float.max (link (node x y) Noc.Topology.South)
+      (link (node x (y + 1)) Noc.Topology.North)
+  in
+  let vmax = Array.fold_left Float.max 0. util in
+  let shade v =
+    if vmax <= 0. then shades.(0)
+    else shades.(int_of_float (v /. vmax *. float_of_int (Array.length shades - 1)))
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "  per-link utilization, peak %.4f (shades relative to peak)\n"
+       vmax);
+  for y = 0 to h - 1 do
+    Buffer.add_string buf "  ";
+    for x = 0 to w - 1 do
+      Buffer.add_char buf 'o';
+      if x < w - 1 then begin
+        let c = shade (horiz x y) in
+        Buffer.add_char buf c;
+        Buffer.add_char buf c
+      end
+    done;
+    Buffer.add_char buf '\n';
+    if y < h - 1 then begin
+      Buffer.add_string buf "  ";
+      for x = 0 to w - 1 do
+        Buffer.add_char buf (shade (vert x y));
+        if x < w - 1 then Buffer.add_string buf "  "
+      done;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.contents buf
+
 let render_heat (cfg : Config.t) values =
   let topo = (Config.topo cfg) in
   if Array.length values <> Noc.Topology.nodes topo then

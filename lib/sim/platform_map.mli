@@ -14,3 +14,10 @@ val render : Config.t -> string
 val render_heat : Config.t -> int array -> string
 (** [render_heat cfg values] draws a per-node heat map (8 shades) of the
     given per-node values — used for Fig. 13-style request maps. *)
+
+val render_link_heat : Config.t -> float array -> string
+(** [render_link_heat cfg util] draws the mesh with every edge shaded by
+    the busier of its two directed links ([util] indexed by dense link id,
+    as {!Engine.result}'s [link_utilization]), normalized to the hottest
+    link; the header records the absolute peak.  The mesh-contention
+    picture behind the paper's network-latency argument. *)

@@ -9,13 +9,16 @@ type prepared = {
   desired_mc : int -> int option;
       (** compiler page hints: the controller each virtual page of an
           optimized array should live on (page interleaving) *)
+  sites : Lang.Sites.t;
+      (** access-site table of [program]; the job's site streams (when
+          tagged) index into it *)
 }
 
 let align_up x a = (x + a - 1) / a * a
 
 let prepare (cfg : Config.t) ~optimized ?threads ?(core_offset = 0)
     ?(vaddr_base = 0) ?name ?(warmup_phases = 0)
-    ?(index_lookup = fun _ _ -> 0) ?profile program =
+    ?(index_lookup = fun _ _ -> 0) ?profile ?(attr = false) program =
   let analysis = Analysis.analyze program in
   let ccfg = Config.customize_config cfg in
   let report =
@@ -59,10 +62,25 @@ let prepare (cfg : Config.t) ~optimized ?threads ?(core_offset = 0)
   let threads =
     match threads with Some t -> t | None -> cores_total * tpc
   in
-  let phases =
-    Lang.Interp.trace ~threads ~threads_per_core:tpc ~addr_of
-      ~index_lookup:(fun a v -> index_lookup a v)
-      program
+  let sites = Lang.Sites.of_program program in
+  (* the interpreter traces the original program, so resolving sites by
+     physical ref identity is exact; site ids travel in a side band
+     (never in the access ints, whose high bits verify's replay owns) *)
+  let phases, site_streams =
+    if attr then begin
+      let tagged =
+        Lang.Interp.trace_tagged ~threads ~threads_per_core:tpc ~addr_of
+          ~index_lookup:(fun a v -> index_lookup a v)
+          ~site_of:(Lang.Sites.id_of_ref sites)
+          program
+      in
+      (List.map fst tagged, List.map snd tagged)
+    end
+    else
+      ( Lang.Interp.trace ~threads ~threads_per_core:tpc ~addr_of
+          ~index_lookup:(fun a v -> index_lookup a v)
+          program,
+        [] )
   in
   let node_of_thread =
     Array.init threads (fun t ->
@@ -75,6 +93,7 @@ let prepare (cfg : Config.t) ~optimized ?threads ?(core_offset = 0)
       phases;
       node_of_thread;
       warmup_phases;
+      site_streams;
     }
   in
   (* page hints: only pages belonging to layout-optimized arrays carry a
@@ -100,20 +119,36 @@ let prepare (cfg : Config.t) ~optimized ?threads ?(core_offset = 0)
       Some (vpage mod num_mcs)
     else None
   in
-  { program; analysis; report; job; bases; desired_mc }
+  { program; analysis; report; job; bases; desired_mc; sites }
 
 let combined_hints preps vpage =
   List.fold_left
     (fun acc p -> match acc with Some _ -> acc | None -> p.desired_mc vpage)
     None preps
 
+let attr_for (cfg : Config.t) p =
+  let num_mcs = Core.Cluster.num_mcs (Config.cluster cfg) in
+  let sites =
+    Array.map
+      (fun (s : Lang.Sites.site) ->
+        {
+          Obs.Attr.array = s.Lang.Sites.array;
+          write = s.Lang.Sites.write;
+          phase = s.Lang.Sites.phase;
+          loc = Lang.Span.to_string s.Lang.Sites.span;
+        })
+      (Lang.Sites.sites p.sites)
+  in
+  Obs.Attr.create ~sites ~mcs:num_mcs ~banks:(Config.banks_per_mc cfg)
+    ~max_hops:Stats.max_hops
+
 let run cfg ~optimized ?warmup_phases ?index_lookup ?profile ?trace program =
   let p = prepare cfg ~optimized ?warmup_phases ?index_lookup ?profile program in
   Engine.run cfg ~desired_mc_of_vpage:p.desired_mc ?trace ~jobs:[ p.job ] ()
 
-let run_many ?trace cfg ~jobs =
+let run_many ?trace ?attr cfg ~jobs =
   Engine.run cfg
     ~desired_mc_of_vpage:(combined_hints jobs)
-    ?trace
+    ?trace ?attr
     ~jobs:(List.map (fun p -> p.job) jobs)
     ()

@@ -12,6 +12,9 @@ type prepared = {
       (** compiler page hints for the MC-aware policy: [Some m] for pages
           of layout-optimized arrays, [None] (OS decides by first touch)
           for everything else *)
+  sites : Lang.Sites.t;
+      (** access-site table of the program; the job's site streams (when
+          prepared with [~attr:true]) index into it *)
 }
 
 val prepare :
@@ -24,13 +27,24 @@ val prepare :
   ?warmup_phases:int ->
   ?index_lookup:(string -> int array -> int) ->
   ?profile:(string -> (Affine.Vec.t * Affine.Vec.t) list) ->
+  ?attr:bool ->
   Lang.Ast.program ->
   prepared
 (** [threads] defaults to all cores × threads-per-core; [core_offset]
     shifts the thread→core binding (multiprogrammed runs).  Array bases
     are aligned to [num_mcs] interleaving units {e and} to [num_mcs]
     pages — the paper's base-address padding — starting at
-    [vaddr_base]. *)
+    [vaddr_base].
+
+    [attr] (default false) generates the trace with per-access site-id
+    side streams so the engine can attribute off-chip traffic (see
+    {!attr_for}); plain preparation leaves the job untagged. *)
+
+val attr_for : Config.t -> prepared -> Obs.Attr.t
+(** An attribution aggregator shaped for [cfg]'s platform (controllers ×
+    banks) and the prepared program's site table — pass it to {!run_many}
+    as [~attr].  Aggregators of separate runs compose with
+    {!Obs.Attr.merge} when their site tables match. *)
 
 val run :
   Config.t ->
@@ -44,7 +58,15 @@ val run :
 (** Prepare + simulate one program alone on the whole machine.  [trace]
     is handed to {!Engine.run} (request-path spans; default disabled). *)
 
-val run_many : ?trace:Obs.Trace.t -> Config.t -> jobs:prepared list -> Engine.result
+val run_many :
+  ?trace:Obs.Trace.t ->
+  ?attr:Obs.Attr.t ->
+  Config.t ->
+  jobs:prepared list ->
+  Engine.result
 (** Simulate several prepared programs concurrently (multiprogrammed
     workloads, Fig. 25).  Their virtual ranges must not overlap — use
-    distinct [vaddr_base]s. *)
+    distinct [vaddr_base]s.  [attr] collects off-chip attribution (jobs
+    prepared without [~attr:true] land in its unknown row); with several
+    tagged jobs, attribute runs separately and compose with
+    {!Obs.Attr.merge} instead, since site ids are per-program. *)

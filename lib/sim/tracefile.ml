@@ -1,23 +1,34 @@
-let dump path phases =
+let dump ?sites path phases =
   let oc = open_out path in
-  output_string oc "# offchip trace v1\n";
-  List.iter
-    (fun (phase : Lang.Interp.phase) ->
+  let tagged = sites <> None in
+  let site_streams =
+    match sites with Some s -> Array.of_list s | None -> [||]
+  in
+  output_string oc
+    (if tagged then "# offchip trace v2\n" else "# offchip trace v1\n");
+  List.iteri
+    (fun p (phase : Lang.Interp.phase) ->
       Printf.fprintf oc "phase %d\n" (Array.length phase);
       Array.iteri
         (fun t stream ->
           Printf.fprintf oc "t %d %d\n" t (Array.length stream);
-          Array.iter
-            (fun a ->
-              Printf.fprintf oc "%d %c\n"
+          Array.iteri
+            (fun i a ->
+              Printf.fprintf oc "%d %c"
                 (Lang.Interp.addr_of_access a)
-                (if Lang.Interp.is_write a then 'W' else 'R'))
+                (if Lang.Interp.is_write a then 'W' else 'R');
+              if tagged then
+                Printf.fprintf oc " %d" site_streams.(p).(t).(i);
+              output_char oc '\n')
             stream)
         phase)
     phases;
   close_out oc
 
-let load path =
+(* v1 and v2 share everything but the per-access site-id column, so one
+   reader parses both; [load] discards the tags, [load_tagged] keeps them
+   (synthesizing all -1 streams for a v1 file). *)
+let load_gen path =
   let ic = open_in path in
   let line () = try Some (input_line ic) with End_of_file -> None in
   let fail msg =
@@ -25,7 +36,7 @@ let load path =
     failwith ("Tracefile.load: " ^ msg)
   in
   (match line () with
-  | Some "# offchip trace v1" -> ()
+  | Some "# offchip trace v1" | Some "# offchip trace v2" -> ()
   | _ -> fail "bad header");
   let phases = ref [] in
   let rec read_phases () =
@@ -44,9 +55,14 @@ let load path =
                   Array.init (int_of_string count) (fun _ ->
                       match line () with
                       | Some al -> (
+                        let access addr w site =
+                          ((int_of_string addr lsl 1) lor w, site)
+                        in
                         match String.split_on_char ' ' al with
-                        | [ addr; "R" ] -> int_of_string addr lsl 1
-                        | [ addr; "W" ] -> (int_of_string addr lsl 1) lor 1
+                        | [ addr; "R" ] -> access addr 0 (-1)
+                        | [ addr; "W" ] -> access addr 1 (-1)
+                        | [ addr; "R"; s ] -> access addr 0 (int_of_string s)
+                        | [ addr; "W"; s ] -> access addr 1 (int_of_string s)
                         | _ -> fail "bad access line")
                       | None -> fail "truncated accesses")
                 | _ -> fail "bad thread header")
@@ -59,6 +75,14 @@ let load path =
   read_phases ();
   close_in ic;
   List.rev !phases
+
+let load path =
+  List.map (fun ph -> Array.map (Array.map fst) ph) (load_gen path)
+
+let load_tagged path =
+  List.map
+    (fun ph -> (Array.map (Array.map fst) ph, Array.map (Array.map snd) ph))
+    (load_gen path)
 
 let total_accesses phases =
   List.fold_left

@@ -12,13 +12,23 @@
     ...
     v}
 
-    [simulate --dump-trace FILE] writes one; {!load} reads it back into
-    the exact phases, so a round trip is the identity. *)
+    A v2 file carries the access-site id of each reference as a third
+    column ([<vaddr> R|W <site>]) — the side band that ties a dynamic
+    access back to its {!Lang.Sites} entry.  [simulate --dump-trace FILE]
+    writes one; {!load} reads either version back into the exact phases,
+    so a round trip is the identity. *)
 
-val dump : string -> Lang.Interp.phase list -> unit
-(** Writes the phases to a path.  Raises [Sys_error] on IO failure. *)
+val dump : ?sites:int array array list -> string -> Lang.Interp.phase list -> unit
+(** Writes the phases to a path; with [sites] (per-phase site-id streams,
+    index-parallel to the phases as in {!Engine.job}) writes a v2 file
+    tagging each access.  Raises [Sys_error] on IO failure. *)
 
 val load : string -> Lang.Interp.phase list
-(** Reads a trace file back.  Raises [Failure] on a malformed file. *)
+(** Reads a trace file (either version) back, discarding site tags.
+    Raises [Failure] on a malformed file. *)
+
+val load_tagged : string -> (Lang.Interp.phase * int array array) list
+(** Like {!load} but keeps the per-access site ids (all [-1] for a v1
+    file), shaped for {!Engine.job}'s [phases]/[site_streams]. *)
 
 val total_accesses : Lang.Interp.phase list -> int

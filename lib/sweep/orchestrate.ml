@@ -85,7 +85,8 @@ let write_merged ~out doc =
   final
 
 let run_sweep ?(workers = 4) ?timeout_s ?retries ?(backoff_s = 0.5)
-    ?(force = false) ?inject_fail ?(log = fun _ -> ()) ~out (spec : Spec.t) =
+    ?(force = false) ?inject_fail ?(log = fun _ -> ())
+    ?(progress = Obs.Progress.null) ~out (spec : Spec.t) =
   let timeout_s = Option.value timeout_s ~default:spec.Spec.timeout_s in
   let retries = Option.value retries ~default:spec.Spec.retries in
   Cache.ensure ~dir:out;
@@ -139,6 +140,17 @@ let run_sweep ?(workers = 4) ?timeout_s ?retries ?(backoff_s = 0.5)
       Ok (Json.to_string ~minify:true (Json.obj [ ("wall_ms", Json.Float wall_ms) ]))
     end
   in
+  let started_at = Unix.gettimeofday () in
+  Obs.Progress.emit progress
+    (Json.obj
+       [
+         ("event", Json.String "sweep_start");
+         ("sweep", Json.String spec.Spec.name);
+         ("jobs", Json.Int n);
+         ("to_run", Json.Int (Array.length to_run));
+         ("cached", Json.Int (n - Array.length to_run));
+         ("workers", Json.Int workers);
+       ]);
   let resolved = ref 0 in
   let on_outcome k outcome =
     let i = to_run.(k) in
@@ -157,6 +169,46 @@ let run_sweep ?(workers = 4) ?timeout_s ?retries ?(backoff_s = 0.5)
         { e with Manifest.status = Manifest.Failed reason; attempts });
     incr resolved;
     Manifest.store ~dir:out (manifest ());
+    (* ETA from elapsed wall time per resolved job — parallelism folds in
+       naturally since elapsed time is shared across workers *)
+    let remaining = Array.length to_run - !resolved in
+    let eta_s =
+      (Unix.gettimeofday () -. started_at)
+      /. float_of_int !resolved *. float_of_int remaining
+    in
+    (* per-job metric snapshot: the headline number of the stored result *)
+    let measured_time =
+      match entries.(i).Manifest.status with
+      | Manifest.Ok -> (
+        match
+          Option.bind (Cache.find ~dir:out keys.(i))
+            (Json.member "measured_time")
+        with
+        | Some (Json.Int t) -> [ ("measured_time", Json.Int t) ]
+        | _ -> [])
+      | _ -> []
+    in
+    Obs.Progress.emit progress
+      (Json.obj
+         ([
+            ("event", Json.String "job_finish");
+            ("job", Json.String jobs.(i).Spec.id);
+            ( "status",
+              Json.String
+                (match entries.(i).Manifest.status with
+                | Manifest.Failed _ -> "failed"
+                | s -> Manifest.status_string s) );
+            ("attempts", Json.Int entries.(i).Manifest.attempts);
+            ("wall_ms", Json.Float entries.(i).Manifest.wall_ms);
+            ("resolved", Json.Int !resolved);
+            ("remaining", Json.Int remaining);
+            ("eta_s", Json.Float eta_s);
+          ]
+         @ measured_time
+         @
+         match entries.(i).Manifest.status with
+         | Manifest.Failed r -> [ ("reason", Json.String r) ]
+         | _ -> []));
     log
       (Printf.sprintf "[%d/%d] %s: %s" !resolved (Array.length to_run)
          jobs.(i).Spec.id
@@ -164,9 +216,28 @@ let run_sweep ?(workers = 4) ?timeout_s ?retries ?(backoff_s = 0.5)
          | Manifest.Failed r -> "FAILED (" ^ r ^ ")"
          | s -> Manifest.status_string s))
   in
+  let on_event (ev : Pool.event) =
+    Obs.Progress.emit progress
+      (match ev with
+      | Pool.Started { job; attempt } ->
+        Json.obj
+          [
+            ("event", Json.String "job_start");
+            ("job", Json.String jobs.(to_run.(job)).Spec.id);
+            ("attempt", Json.Int attempt);
+          ]
+      | Pool.Retrying { job; attempt; reason } ->
+        Json.obj
+          [
+            ("event", Json.String "job_retry");
+            ("job", Json.String jobs.(to_run.(job)).Spec.id);
+            ("attempt", Json.Int attempt);
+            ("reason", Json.String reason);
+          ])
+  in
   if Array.length to_run > 0 then
     ignore
-      (Pool.run ~workers ~timeout_s ~retries ~backoff_s ~on_outcome
+      (Pool.run ~workers ~timeout_s ~retries ~backoff_s ~on_outcome ~on_event
          ~jobs:(Array.length to_run) f);
   let m = manifest () in
   Manifest.store ~dir:out m;
@@ -179,4 +250,22 @@ let run_sweep ?(workers = 4) ?timeout_s ?retries ?(backoff_s = 0.5)
       log ("merge: " ^ e);
       None
   in
+  let count st =
+    Array.fold_left
+      (fun acc (e : Manifest.entry) -> if st e.Manifest.status then acc + 1 else acc)
+      0 entries
+  in
+  Obs.Progress.emit progress
+    (Json.obj
+       [
+         ("event", Json.String "sweep_done");
+         ("sweep", Json.String spec.Spec.name);
+         ("ok", Json.Int (count (fun s -> s = Manifest.Ok)));
+         ("cached", Json.Int (count (fun s -> s = Manifest.Cached)));
+         ( "failed",
+           Json.Int
+             (count (function Manifest.Failed _ -> true | _ -> false)) );
+         ("merged", Json.Bool (merged <> None));
+         ("elapsed_s", Json.Float (Unix.gettimeofday () -. started_at));
+       ]);
   { manifest = m; ran = Array.length to_run; merged }

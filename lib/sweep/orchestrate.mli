@@ -23,6 +23,7 @@ val run_sweep :
   ?force:bool ->
   ?inject_fail:string ->
   ?log:(string -> unit) ->
+  ?progress:Obs.Progress.sink ->
   out:string ->
   Spec.t ->
   report
@@ -32,9 +33,13 @@ val run_sweep :
     [inject_fail] is a testing knob: any job whose id contains the
     substring crashes its worker ([exit 1]), exercising the retry and
     degradation paths end to end.  [log] receives one progress line per
-    job resolution.  The manifest is rewritten atomically after every
-    resolution, so a concurrent `sweep status` (or a post-mortem after
-    `kill -9`) sees a consistent ledger. *)
+    job resolution.  [progress] (default {!Obs.Progress.null}) receives
+    the live NDJSON event stream — [sweep_start], [job_start],
+    [job_retry], [job_finish] (with wall time, ETA and the job's
+    measured-time snapshot) and a final [sweep_done] — which
+    [sweep status --follow] tails.  The manifest is rewritten atomically
+    after every resolution, so a concurrent `sweep status` (or a
+    post-mortem after `kill -9`) sees a consistent ledger. *)
 
 val merge_results : out:string -> Manifest.t -> (Obs.Json.t, string) result
 (** Re-derives the aggregate document from a directory's manifest and

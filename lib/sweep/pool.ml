@@ -2,22 +2,29 @@ type outcome =
   | Completed of { attempts : int; payload : string }
   | Failed of { attempts : int; reason : string }
 
+type event =
+  | Started of { job : int; attempt : int }
+  | Retrying of { job : int; attempt : int; reason : string }
+
 let now () = Unix.gettimeofday ()
 
 (* ---- in-process fallback (workers <= 0): the sequential reference ---- *)
 
-let run_inline ~retries ~on_outcome ~jobs f =
+let run_inline ~retries ~on_outcome ~on_event ~jobs f =
   Array.init jobs (fun i ->
       let rec go attempt =
+        on_event (Started { job = i; attempt });
+        let failed reason =
+          if attempt > retries then Failed { attempts = attempt; reason }
+          else begin
+            on_event (Retrying { job = i; attempt; reason });
+            go (attempt + 1)
+          end
+        in
         match f i with
         | Ok payload -> Completed { attempts = attempt; payload }
-        | Error reason ->
-          if attempt > retries then Failed { attempts = attempt; reason }
-          else go (attempt + 1)
-        | exception e ->
-          let reason = Printexc.to_string e in
-          if attempt > retries then Failed { attempts = attempt; reason }
-          else go (attempt + 1)
+        | Error reason -> failed reason
+        | exception e -> failed (Printexc.to_string e)
       in
       let o = go 1 in
       on_outcome i o;
@@ -60,9 +67,9 @@ let worker_loop f req_r resp_w =
   (try loop () with _ -> exit 1)
 
 let run ?(workers = 4) ?(timeout_s = 300.) ?(retries = 2) ?(backoff_s = 0.5)
-    ?(on_outcome = fun _ _ -> ()) ~jobs f =
+    ?(on_outcome = fun _ _ -> ()) ?(on_event = fun _ -> ()) ~jobs f =
   if jobs = 0 then [||]
-  else if workers <= 0 then run_inline ~retries ~on_outcome ~jobs f
+  else if workers <= 0 then run_inline ~retries ~on_outcome ~on_event ~jobs f
   else begin
     let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
     let outcomes : outcome option array = Array.make jobs None in
@@ -80,9 +87,11 @@ let run ?(workers = 4) ?(timeout_s = 300.) ?(retries = 2) ?(backoff_s = 0.5)
     let attempt_failed i reason =
       if attempts.(i) > retries then
         finalize i (Failed { attempts = attempts.(i); reason })
-      else
+      else begin
+        on_event (Retrying { job = i; attempt = attempts.(i); reason });
         let delay = backoff_s *. (2. ** float_of_int (attempts.(i) - 1)) in
         pending := !pending @ [ (i, now () +. delay) ]
+      end
     in
     let spawn () =
       flush stdout;
@@ -145,7 +154,8 @@ let run ?(workers = 4) ?(timeout_s = 300.) ?(retries = 2) ?(backoff_s = 0.5)
           (match Protocol.write_request w.req (Protocol.Run i) with
           | () ->
             w.assigned <- Some i;
-            w.deadline <- t +. timeout_s
+            w.deadline <- t +. timeout_s;
+            on_event (Started { job = i; attempt = attempts.(i) })
           | exception _ ->
             (* the worker died before we could feed it *)
             attempts.(i) <- attempts.(i) - 1;

@@ -21,15 +21,25 @@ type outcome =
       (** the payload [f] returned in the worker *)
   | Failed of { attempts : int; reason : string }
 
+type event =
+  | Started of { job : int; attempt : int }
+      (** the job was handed to a worker (attempt numbers start at 1) *)
+  | Retrying of { job : int; attempt : int; reason : string }
+      (** attempt [attempt] failed and the job is queued for another try
+          (retry exhaustion surfaces through [on_outcome] instead) *)
+
 val run :
   ?workers:int ->
   ?timeout_s:float ->
   ?retries:int ->
   ?backoff_s:float ->
   ?on_outcome:(int -> outcome -> unit) ->
+  ?on_event:(event -> unit) ->
   jobs:int ->
   (int -> (string, string) result) ->
   outcome array
 (** Defaults: 4 workers, 300 s timeout, 2 retries, 0.5 s base backoff
     (doubling per attempt).  [on_outcome] fires in completion order as
-    jobs resolve; the returned array is indexed by job. *)
+    jobs resolve; [on_event] additionally reports assignments and retry
+    scheduling as they happen (both run in the parent, so they may do
+    IO).  The returned array is indexed by job. *)

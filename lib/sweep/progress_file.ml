@@ -1,0 +1,7 @@
+(* The conventional location of a sweep directory's live progress
+   stream, shared by `sweep run` (writer) and `sweep status --follow`
+   (reader). *)
+
+let path dir = Filename.concat dir "progress.ndjson"
+
+let sink_for dir = Obs.Progress.file_sink (path dir)

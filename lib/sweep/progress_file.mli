@@ -1,0 +1,7 @@
+(** Location of a sweep directory's NDJSON progress stream. *)
+
+val path : string -> string
+(** [path dir] is [dir/progress.ndjson]. *)
+
+val sink_for : string -> (Obs.Progress.sink, string) result
+(** Opens (truncating) the progress stream of a sweep directory. *)

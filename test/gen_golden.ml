@@ -2,6 +2,7 @@
    test/golden/.
 
      dune exec test/gen_golden.exe -- golden/seed0_stats.json
+     dune exec test/gen_golden.exe -- --attr golden/seed0_attr.txt
      dune exec test/gen_golden.exe -- --emits test/golden
 
    The seed-0 stats golden pins the simulator's observable behavior: the
@@ -39,6 +40,30 @@ let stats_golden path =
     close_out oc;
     Printf.printf "golden written to %s\n" path
   | None -> print_string (Obs.Json.to_string doc)
+
+(* The seed-0 attribution table: the same run as the stats golden but
+   with site tagging on, so the table pins site numbering, per-site
+   counts and the pp_table rendering all at once.  The stats golden
+   itself stays attribution-free — its byte-identity across the
+   attribution feature is part of what the suite checks. *)
+let attr_golden path =
+  let cfg = Sim.Config.scaled () in
+  let program = parse small_src in
+  let p = Sim.Runner.prepare cfg ~optimized:false ~attr:true program in
+  let attr = Sim.Runner.attr_for cfg p in
+  let (_ : Sim.Engine.result) =
+    Sim.Runner.run_many ~attr cfg ~jobs:[ p ]
+  in
+  let table =
+    Format.asprintf "%a" Obs.Attr.pp_table (Obs.Attr.snapshot attr)
+  in
+  match path with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc table;
+    close_out oc;
+    Printf.printf "golden written to %s\n" path
+  | None -> print_string table
 
 (* The pipeline stage dumps the test suite compares against
    (test_pipeline.ml): default platform, same stages as occ --emit. *)
@@ -83,5 +108,6 @@ let emit_goldens dir =
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--emits" :: dir :: _ -> emit_goldens dir
+  | _ :: "--attr" :: rest -> attr_golden (List.nth_opt rest 0)
   | _ :: path :: _ -> stats_golden (Some path)
   | _ -> stats_golden None

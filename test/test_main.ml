@@ -6,4 +6,5 @@ let () =
    @ Test_dram.suite @ Test_os.suite @ Test_core.suite @ Test_sim.suite
    @ Test_workloads.suite @ Test_obs.suite @ Test_integration.suite
    @ Test_extensions.suite @ Test_fuzz.suite @ Test_misc.suite
-   @ Test_sweep.suite @ Test_pipeline.suite @ Test_platform.suite)
+   @ Test_sweep.suite @ Test_pipeline.suite @ Test_platform.suite
+   @ Test_attr.suite)

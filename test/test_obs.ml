@@ -135,6 +135,12 @@ let test_log2_boundaries () =
 
 (* --- metrics: registry --- *)
 
+(* tests know their registrations are fresh, so force the Result *)
+let hist reg ~buckets name =
+  match M.histogram reg ~buckets name with
+  | Ok h -> h
+  | Error e -> failwith e
+
 let test_registry_basics () =
   let reg = M.create () in
   let c = M.counter reg "c" in
@@ -149,7 +155,7 @@ let test_registry_basics () =
   M.set g 2.0;
   M.set_max g 1.0;
   Alcotest.(check (float 1e-9)) "set_max keeps max" 2.0 (M.gauge_value g);
-  let h = M.histogram reg ~buckets:M.Log2 "h" in
+  let h = hist reg ~buckets:M.Log2 "h" in
   M.observe h 0;
   M.observe h 5;
   M.observe h (-3);
@@ -157,7 +163,20 @@ let test_registry_basics () =
   Alcotest.(check int) "negatives clamp to 0" 5 (M.hist_sum h);
   Alcotest.check_raises "kind mismatch"
     (Invalid_argument "Metrics.gauge: c is not a gauge") (fun () ->
-      ignore (M.gauge reg "c"))
+      ignore (M.gauge reg "c"));
+  (* histogram conflicts surface as values, not exceptions *)
+  (match M.histogram reg ~buckets:(M.Linear { width = 2; buckets = 4 }) "h" with
+  | Ok _ -> Alcotest.fail "bucket mismatch accepted"
+  | Error _ -> ());
+  (match M.histogram reg ~buckets:M.Log2 "c" with
+  | Ok _ -> Alcotest.fail "counter re-registered as histogram"
+  | Error _ -> ());
+  (match M.histogram reg ~buckets:(M.Linear { width = 0; buckets = 4 }) "w" with
+  | Ok _ -> Alcotest.fail "zero-width buckets accepted"
+  | Error _ -> ());
+  (* same name, same bucketing: idempotent, same cells *)
+  M.observe (hist reg ~buckets:M.Log2 "h") 1;
+  Alcotest.(check int) "histogram registration idempotent" 4 (M.hist_count h)
 
 let test_snapshot_merge () =
   let mk records =
@@ -169,14 +188,14 @@ let test_snapshot_merge () =
     mk (fun reg ->
         M.add (M.counter reg "x") 2;
         M.set (M.gauge reg "g") 5.;
-        M.observe (M.histogram reg ~buckets:M.Log2 "h") 7)
+        M.observe (hist reg ~buckets:M.Log2 "h") 7)
   in
   let b =
     mk (fun reg ->
         M.add (M.counter reg "x") 3;
         M.add (M.counter reg "only_b") 1;
         M.set (M.gauge reg "g") 9.;
-        M.observe (M.histogram reg ~buckets:M.Log2 "h") 9)
+        M.observe (hist reg ~buckets:M.Log2 "h") 9)
   in
   let m = M.merge a b in
   Alcotest.(check int) "counters add" 5 (List.assoc "x" m.M.counters);
@@ -194,7 +213,7 @@ let test_snapshot_merge () =
 let test_metrics_json () =
   let reg = M.create () in
   M.add (M.counter reg "sim.accesses") 42;
-  M.observe (M.histogram reg ~buckets:M.Log2 "lat") 100;
+  M.observe (hist reg ~buckets:M.Log2 "lat") 100;
   let j = M.to_json (M.snapshot reg) in
   (* the export must itself be valid, parseable JSON *)
   match J.of_string (J.to_string j) with

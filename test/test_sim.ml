@@ -378,6 +378,7 @@ let test_engine_phase_advance_guard () =
       phases = [];
       node_of_thread = [| 0 |];
       warmup_phases = 0;
+      site_streams = [];
     }
   in
   let r = Engine.run cfg ~jobs:[ empty ] () in

@@ -140,10 +140,15 @@ let test_metrics_snapshot_roundtrip () =
   let c = Obs.Metrics.counter reg "requests" in
   Obs.Metrics.add c 17;
   Obs.Metrics.set (Obs.Metrics.gauge reg "queue.max") 5.5;
-  let h = Obs.Metrics.histogram reg ~buckets:Obs.Metrics.Log2 "latency" in
+  let hist reg ~buckets name =
+    match Obs.Metrics.histogram reg ~buckets name with
+    | Ok h -> h
+    | Error e -> failwith e
+  in
+  let h = hist reg ~buckets:Obs.Metrics.Log2 "latency" in
   List.iter (Obs.Metrics.observe h) [ 0; 1; 3; 100; 4096 ];
   let hl =
-    Obs.Metrics.histogram reg
+    hist reg
       ~buckets:(Obs.Metrics.Linear { width = 4; buckets = 8 })
       "occupancy"
   in
