@@ -1,0 +1,181 @@
+(* serve — run an open-system multi-tenant consolidation scenario on the
+   shared simulator and print per-tenant QoS.
+
+     serve examples/serve/smoke.json
+     serve examples/serve/smoke.json --policy interleaved
+     serve examples/serve/smoke.json --seed 7 --stats-json out.json
+     serve --smoke --attr --progress serve.ndjson *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_scenario path smoke =
+  match (path, smoke) with
+  | None, false ->
+    Error "serve: pass a scenario JSON file (or --smoke for the built-in one)"
+  | Some _, true -> Error "serve: --smoke conflicts with a scenario file"
+  | None, true -> Ok (Serve.Scenario.smoke ())
+  | Some path, false -> (
+    match read_file path with
+    | exception Sys_error e -> Error ("serve: " ^ e)
+    | text -> (
+      match Obs.Json.of_string text with
+      | Error e -> Error (Printf.sprintf "serve: %s: %s" path e)
+      | Ok doc -> (
+        match Serve.Scenario.of_json doc with
+        | Error e -> Error (Printf.sprintf "serve: %s: %s" path e)
+        | Ok sc -> Ok sc)))
+
+let override sc policy seed =
+  let sc =
+    match policy with
+    | None -> Ok sc
+    | Some p ->
+      Result.map
+        (fun policy -> { sc with Serve.Scenario.policy })
+        (Serve.Scenario.policy_of_string p)
+  in
+  Result.map
+    (fun sc ->
+      match seed with
+      | None -> sc
+      | Some seed -> { sc with Serve.Scenario.seed })
+    sc
+
+let print_tenants fmt (run : Serve.Server.t) =
+  Format.fprintf fmt "@[<v>%-3s %-12s %4s %9s %9s %9s %9s %8s %9s %9s@,"
+    "id" "app" "slot" "arrival" "start" "finish" "latency" "slowdown"
+    "offchip" "fallback";
+  List.iter
+    (fun (t : Serve.Server.tenant) ->
+      Format.fprintf fmt "%-3d %-12s %4d %9d %9d %9d %9d %8.3f %9d %9d@,"
+        t.Serve.Server.id t.app t.slot t.arrival t.start t.finish
+        (Serve.Server.completion_latency t)
+        t.slowdown t.offchip t.fallbacks)
+    run.Serve.Server.tenants;
+  Format.fprintf fmt "@]"
+
+let run_cmd path smoke policy seed attr progress stats_json =
+  Cli.guard ~name:"serve" @@ fun () ->
+  match Result.bind (load_scenario path smoke) (fun sc -> override sc policy seed)
+  with
+  | Error e ->
+    prerr_endline e;
+    Cli.user_error
+  | Ok sc -> (
+    let progress_sink =
+      match progress with
+      | None -> Ok Obs.Progress.null
+      | Some path -> Obs.Progress.file_sink path
+    in
+    match progress_sink with
+    | Error e ->
+      prerr_endline ("serve: " ^ e);
+      Cli.user_error
+    | Ok sink -> (
+      let result = Serve.Server.run ~attr ~progress:sink sc in
+      Obs.Progress.close sink;
+      match result with
+      | Error e ->
+        prerr_endline ("serve: " ^ e);
+        Cli.user_error
+      | Ok run ->
+        Format.printf "scenario %s: %d tenants, policy %s, seed %d on %a@."
+          sc.Serve.Scenario.name
+          (List.length run.Serve.Server.tenants)
+          (Serve.Scenario.policy_to_string sc.Serve.Scenario.policy)
+          sc.Serve.Scenario.seed Sim.Config.pp run.Serve.Server.cfg;
+        Format.printf "%a@." print_tenants run;
+        let q = run.Serve.Server.qos in
+        Format.printf
+          "weighted speedup %.3f | completion latency p50 %d p95 %d p99 %d | \
+           fallback allocations %d | avg queue wait %.1f@."
+          q.Serve.Server.weighted_speedup q.p50_latency q.p95_latency
+          q.p99_latency q.total_fallbacks q.avg_queue_wait;
+        (match run.Serve.Server.attr with
+        | Some a ->
+          Format.printf "off-chip attribution:@.%a@." Obs.Attr.pp_table
+            (Obs.Attr.snapshot a)
+        | None -> ());
+        (match stats_json with
+        | None -> Cli.ok
+        | Some out -> (
+          try
+            let oc = open_out out in
+            Obs.Json.to_channel oc (Serve.Server.result_json run);
+            close_out oc;
+            Format.printf "stats written to %s@." out;
+            Cli.ok
+          with Sys_error e ->
+            Printf.eprintf "serve: cannot write output: %s\n" e;
+            exit 1))))
+
+let scenario_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"SCENARIO" ~doc:"Scenario JSON file.")
+
+let smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ] ~doc:"Run the built-in golden smoke scenario.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Override the scenario's placement policy (interleaved, \
+           first-touch or mc-aware).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Override the scenario's seed (arrival process, app lottery and \
+           engine jitter).")
+
+let attr_arg =
+  Arg.(
+    value & flag
+    & info [ "attr" ]
+        ~doc:
+          "Attribute off-chip accesses to tenants' access sites (arrays \
+           prefixed t<id>:<app>/) and print the table.")
+
+let progress_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "progress" ] ~docv:"FILE"
+        ~doc:
+          "Write tenant lifecycle events (arrive/start/finish, NDJSON) to \
+           a progress file.")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the full result document (engine stats plus scenario, \
+           per-tenant and QoS sections) as JSON.")
+
+let cmd =
+  let doc = "serve a multi-tenant consolidation scenario" in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run_cmd $ scenario_arg $ smoke_arg $ policy_arg $ seed_arg
+      $ attr_arg $ progress_arg $ stats_json_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -118,6 +118,88 @@ let offchip_counter doc =
     | Error _ -> None)
   | None -> None
 
+(* Consolidation-server documents carry "tenants" and "qos" sections;
+   render the per-tenant QoS table and certify that the per-tenant
+   off-chip split covers the engine's counter exactly. *)
+let tenants_section doc =
+  match Json.member "tenants" doc with
+  | Some (Json.List (_ :: _ as tenants)) ->
+    let str name t =
+      match Json.member name t with
+      | Some (Json.String s) -> s
+      | Some v -> num_str v
+      | None -> "-"
+    in
+    let int_of name t =
+      match Json.member name t with Some (Json.Int n) -> n | _ -> 0
+    in
+    let rows =
+      List.map
+        (fun t ->
+          [
+            str "id" t;
+            str "app" t;
+            str "slot" t;
+            str "arrival" t;
+            str "queue_wait" t;
+            str "completion_latency" t;
+            str "slowdown" t;
+            str "offchip_accesses" t;
+            str "fallback_allocations" t;
+          ])
+        tenants
+    in
+    let total = List.fold_left (fun acc t -> acc + int_of "offchip_accesses" t) 0 tenants in
+    let agree =
+      match offchip_counter doc with
+      | Some n when n = total ->
+        Printf.sprintf
+          "Per-tenant off-chip totals sum to %d — exactly the engine's \
+           sim.offchip_accesses counter."
+          total
+      | Some n ->
+        Printf.sprintf
+          "Per-tenant off-chip totals sum to %d, but the engine counted %d \
+           — the per-tenant split lost or double-counted accesses."
+          total n
+      | None -> Printf.sprintf "Per-tenant off-chip totals sum to %d." total
+    in
+    let qos_items =
+      match Json.member "qos" doc with
+      | Some (Json.Obj kvs) ->
+        [
+          Text
+            (String.concat " | "
+               (List.map (fun (n, v) -> Printf.sprintf "%s %s" n (num_str v)) kvs));
+        ]
+      | _ -> []
+    in
+    [
+      {
+        title = "Tenants";
+        items =
+          (Table
+             {
+               header =
+                 [
+                   "id";
+                   "app";
+                   "slot";
+                   "arrival";
+                   "queue wait";
+                   "latency";
+                   "slowdown";
+                   "off-chip";
+                   "fallbacks";
+                 ];
+               rows;
+             }
+          :: qos_items)
+          @ [ Text agree ];
+      };
+    ]
+  | _ -> []
+
 let attribution_section doc =
   match Json.member "attribution" doc with
   | None -> []
@@ -197,8 +279,8 @@ let build ?diags doc =
   match doc with
   | Json.Obj _ ->
     Ok
-      ((run_section doc :: attribution_section doc)
-      @ heatmap_section doc @ mapping_section diags)
+      ((run_section doc :: tenants_section doc)
+      @ attribution_section doc @ heatmap_section doc @ mapping_section diags)
   | _ -> Error "Report.build: not a stats-JSON object"
 
 (* ---- rendering ---- *)

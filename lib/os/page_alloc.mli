@@ -15,7 +15,14 @@
       arrays, index arrays) by first touch — the compiler/OS combination
       the paper's Section 6.4 suggests.  When the hinted controller's
       memory is full an alternate is used, so no page faults are added
-      (Section 5.3). *)
+      (Section 5.3).
+
+    The allocator is shared across tenants in the consolidation server:
+    each controller's pool is bounded by [frames_per_mc] {e live} frames
+    (reclaimed frames are reused before the bump pointer advances, so a
+    departed tenant's memory really comes back), and every policy spills
+    to an alternate controller — counting a fallback — when the chosen
+    controller is full. *)
 
 type policy =
   | Hardware_interleaved
@@ -29,20 +36,37 @@ type t
 
 val create :
   map:Dram.Address_map.t -> policy:policy -> ?frames_per_mc:int -> unit -> t
-(** [frames_per_mc] bounds each controller's pool (default: unbounded in
-    practice, 1 GB per controller as in Table 1's 4 GB capacity). *)
+(** [frames_per_mc] bounds each controller's pool of live frames
+    (default: unbounded in practice, 1 GB per controller as in Table 1's
+    4 GB capacity). *)
 
 val translate : t -> node:int -> vaddr:int -> int
 (** Physical address; allocates the page on first touch.  [node] is the
     requesting mesh node (used by first-touch). *)
+
+val translate_owned : t -> owner:int -> node:int -> vaddr:int -> int
+(** Like {!translate}, but charges any fallback allocation this access
+    triggers to [owner] (a tenant/job id; see
+    {!fallback_allocations_of}).  [owner < 0] charges nobody —
+    [translate] is [translate_owned ~owner:(-1)]. *)
+
+val free_region : t -> first_vpage:int -> last_vpage:int -> int
+(** Unmaps every allocated page in the inclusive virtual-page range and
+    returns the frames to their controllers' free lists (tenant
+    departure).  Returns the number of pages actually freed; unallocated
+    pages in the range are skipped. *)
 
 val mc_of_vpage : t -> int -> int option
 (** Controller currently holding a virtual page, if allocated (page
     interleaving only — under line interleaving pages span all MCs). *)
 
 val pages_allocated : t -> int
+(** Pages currently mapped (freed pages no longer count). *)
 
 val fallback_allocations : t -> int
 (** Pages that could not be placed on their desired controller. *)
+
+val fallback_allocations_of : t -> owner:int -> int
+(** Fallbacks charged to one owner tag via {!translate_owned}. *)
 
 val reset : t -> unit

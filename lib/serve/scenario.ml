@@ -1,0 +1,204 @@
+module Json = Obs.Json
+
+type policy = Interleaved | First_touch | Mc_aware
+
+type t = {
+  name : string;
+  platform : string;
+  policy : policy;
+  mix : string list;
+  tenants : int;
+  arrival_mean : int;
+  duration : int option;
+  threads_per_tenant : int;
+  seed : int;
+  optimized : bool;
+  frames_per_mc : int option;
+}
+
+let policy_of_string = function
+  | "interleaved" | "hardware" -> Ok Interleaved
+  | "first-touch" -> Ok First_touch
+  | "mc-aware" -> Ok Mc_aware
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown policy %S (expected interleaved, first-touch or mc-aware)" s)
+
+let policy_to_string = function
+  | Interleaved -> "interleaved"
+  | First_touch -> "first-touch"
+  | Mc_aware -> "mc-aware"
+
+(* the Config.build spelling of each serving policy (all run under page
+   interleaving — the only granularity where placement policies exist) *)
+let config_policy = function
+  | Interleaved -> "hardware"
+  | First_touch -> "first-touch"
+  | Mc_aware -> "mc-aware"
+
+let smoke ?(policy = Mc_aware) ?(seed = 0) () =
+  {
+    name = "smoke";
+    platform = "";
+    policy;
+    mix = [ "minimd"; "gafort" ];
+    tenants = 4;
+    arrival_mean = 20000;
+    duration = None;
+    threads_per_tenant = 32;
+    seed;
+    optimized = true;
+    frames_per_mc = None;
+  }
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () = if t.mix = [] then Error "scenario: empty tenant mix" else Ok () in
+  let* () =
+    match
+      List.find_opt
+        (fun a -> not (List.mem a Workloads.Suite.names))
+        t.mix
+    with
+    | Some a ->
+      Error
+        (Printf.sprintf "scenario: unknown application %S in mix (known: %s)" a
+           (String.concat ", " Workloads.Suite.names))
+    | None -> Ok ()
+  in
+  let* () =
+    if t.tenants < 1 then
+      Error (Printf.sprintf "scenario: tenants must be >= 1 (got %d)" t.tenants)
+    else Ok ()
+  in
+  let* () =
+    if t.arrival_mean < 1 then
+      Error
+        (Printf.sprintf "scenario: arrival_mean must be >= 1 cycle (got %d)"
+           t.arrival_mean)
+    else Ok ()
+  in
+  let* () =
+    if t.threads_per_tenant < 1 then
+      Error
+        (Printf.sprintf "scenario: threads_per_tenant must be >= 1 (got %d)"
+           t.threads_per_tenant)
+    else Ok ()
+  in
+  let* () =
+    match t.duration with
+    | Some d when d < 0 ->
+      Error (Printf.sprintf "scenario: duration must be >= 0 (got %d)" d)
+    | _ -> Ok ()
+  in
+  let* () =
+    match t.frames_per_mc with
+    | Some f when f < 1 ->
+      Error (Printf.sprintf "scenario: frames_per_mc must be >= 1 (got %d)" f)
+    | _ -> Ok ()
+  in
+  Ok t
+
+let of_json doc =
+  let ( let* ) = Result.bind in
+  match doc with
+  | Json.Obj _ ->
+    let str_field name default =
+      match Json.member name doc with
+      | Some (Json.String s) -> Ok s
+      | None -> Ok default
+      | Some _ -> Error (Printf.sprintf "scenario: %S must be a string" name)
+    in
+    let int_field name default =
+      match Json.member name doc with
+      | Some (Json.Int n) -> Ok n
+      | None -> Ok default
+      | Some _ -> Error (Printf.sprintf "scenario: %S must be an integer" name)
+    in
+    let opt_int_field name =
+      match Json.member name doc with
+      | Some (Json.Int n) -> Ok (Some n)
+      | None | Some Json.Null -> Ok None
+      | Some _ -> Error (Printf.sprintf "scenario: %S must be an integer" name)
+    in
+    let bool_field name default =
+      match Json.member name doc with
+      | Some (Json.Bool b) -> Ok b
+      | None -> Ok default
+      | Some _ -> Error (Printf.sprintf "scenario: %S must be a boolean" name)
+    in
+    let* name = str_field "name" "scenario" in
+    let* platform = str_field "platform" "" in
+    let* policy_s = str_field "policy" "mc-aware" in
+    let* policy = policy_of_string policy_s in
+    let* mix =
+      match Json.member "mix" doc with
+      | Some (Json.List l) ->
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match v with
+            | Json.String s -> Ok (s :: acc)
+            | _ -> Error "scenario: \"mix\" must be a list of app names")
+          (Ok []) l
+        |> Result.map List.rev
+      | None -> Error "scenario: missing \"mix\" (list of app names)"
+      | Some _ -> Error "scenario: \"mix\" must be a list of app names"
+    in
+    let* tenants = int_field "tenants" 4 in
+    let* arrival_mean = int_field "arrival_mean" 20000 in
+    let* duration = opt_int_field "duration" in
+    let* threads_per_tenant = int_field "threads_per_tenant" 32 in
+    let* seed = int_field "seed" 0 in
+    let* optimized = bool_field "optimized" true in
+    let* frames_per_mc = opt_int_field "frames_per_mc" in
+    validate
+      {
+        name;
+        platform;
+        policy;
+        mix;
+        tenants;
+        arrival_mean;
+        duration;
+        threads_per_tenant;
+        seed;
+        optimized;
+        frames_per_mc;
+      }
+  | _ -> Error "scenario: not a JSON object"
+
+let to_json t =
+  Json.obj
+    ([
+       ("name", Json.String t.name);
+       ("platform", Json.String t.platform);
+       ("policy", Json.String (policy_to_string t.policy));
+       ("mix", Json.list (fun s -> Json.String s) t.mix);
+       ("tenants", Json.Int t.tenants);
+       ("arrival_mean", Json.Int t.arrival_mean);
+     ]
+    @ (match t.duration with
+      | Some d -> [ ("duration", Json.Int d) ]
+      | None -> [])
+    @ [
+        ("threads_per_tenant", Json.Int t.threads_per_tenant);
+        ("seed", Json.Int t.seed);
+        ("optimized", Json.Bool t.optimized);
+      ]
+    @
+    match t.frames_per_mc with
+    | Some f -> [ ("frames_per_mc", Json.Int f) ]
+    | None -> [])
+
+let config t =
+  let ( let* ) = Result.bind in
+  let* cfg =
+    Sim.Config.build ~scaled:true ~platform:t.platform ~interleave:"page"
+      ~policy:(config_policy t.policy) ~seed:t.seed ()
+  in
+  Ok
+    (match t.frames_per_mc with
+    | Some frames_per_mc -> { cfg with Sim.Config.frames_per_mc }
+    | None -> cfg)

@@ -15,6 +15,14 @@ type job = {
   site_streams : int array array list;
       (** per-phase site-id streams, index-parallel to [phases]; [[]]
           leaves every access unattributed (the untagged fast path) *)
+  start_time : int;
+      (** earliest cycle the job may start (tenant arrival; 0 = at boot) *)
+  start_after : int option;
+      (** index of a job in the same run that must finish first — the
+          consolidation server's per-slot FIFO admission chain *)
+  free_vpage_range : (int * int) option;
+      (** inclusive virtual-page range returned to the shared page
+          allocator when the job finishes (tenant departure) *)
 }
 
 type result = {
@@ -24,6 +32,13 @@ type result = {
       (** finish time minus the warmup barrier — the steady-state
           execution time used for the paper's comparisons *)
   job_finish : int array;
+  job_start : int array;
+  job_offchip : int array;
+      (** per-job measured off-chip accesses; sums to the engine's
+          [sim.offchip_accesses] counter by construction *)
+  job_fallbacks : int array;
+      (** per-job fallback page allocations (pages a job first-touched
+          that could not be placed on their desired controller) *)
   mc_occupancy : float array;
   mc_row_hit_rate : float array;
   mc_max_queue : int array;
@@ -243,6 +258,18 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
          jobs)
   in
   let job_finish = Array.make (Array.length js) 0 in
+  let job_start = Array.make (Array.length js) 0 in
+  let job_offchip = Array.make (Array.length js) 0 in
+  (* per-slot admission chains: jobs waiting on a predecessor start when
+     it finishes (and never before their own start_time) *)
+  let successors = Array.make (Array.length js) [] in
+  Array.iter
+    (fun s ->
+      match s.j.start_after with
+      | Some p when p >= 0 && p < Array.length js && p <> s.jid ->
+        successors.(p) <- successors.(p) @ [ s.jid ]
+      | _ -> ())
+    js;
   (* flat memo tables, built once from the topology and placement: the
      hot path never recomputes a controller site, a nearest-controller
      choice or a hop count (XY hop count = Manhattan distance) *)
@@ -378,6 +405,38 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
       Event_heap.push heap ~time:arr (Wb_arrive (m, paddr))
     end
   in
+  (* ---- job lifecycle ---- *)
+  (* A job starts when its start_time arrives and its admission-chain
+     predecessor (if any) has finished; completion reclaims its pages and
+     releases its successors.  An empty job completes at its start. *)
+  let rec start_job s at =
+    let at = max at 0 in
+    job_start.(s.jid) <- at;
+    if s.j.warmup_phases <= 0 then s.warmup_end <- at;
+    if s.nphases = 0 then complete_job s at
+    else begin
+      s.phase <- 0;
+      s.streams <- s.jphases.(0);
+      s.cur_sites <- (if Array.length s.jsites > 0 then s.jsites.(0) else [||]);
+      s.remaining <- Array.length s.j.node_of_thread;
+      for tid = 0 to Array.length s.j.node_of_thread - 1 do
+        Event_heap.push heap ~time:at step_act.(s.jid).(tid)
+      done
+    end
+  and complete_job s at =
+    s.finished <- true;
+    job_finish.(s.jid) <- at;
+    if s.nphases > 0 then Stats.note_finish stats at;
+    (match s.j.free_vpage_range with
+    | Some (first_vpage, last_vpage) ->
+      ignore (Page_alloc.free_region pa ~first_vpage ~last_vpage)
+    | None -> ());
+    List.iter
+      (fun sid ->
+        let succ = js.(sid) in
+        start_job succ (max succ.j.start_time at))
+      successors.(s.jid)
+  in
   (* ---- thread execution ---- *)
   let rec continue_thread jid tid t =
     let s = js.(jid) in
@@ -393,7 +452,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
         let vaddr = Lang.Interp.addr_of_access a
         and wr = Lang.Interp.is_write a in
         let node = s.j.node_of_thread.(tid) in
-        let paddr = Page_alloc.translate pa ~node ~vaddr in
+        let paddr = Page_alloc.translate_owned pa ~owner:jid ~node ~vaddr in
         if measured then Stats.record_access stats;
         let t = t + issue_cost + jitter jid tid in
         match Sacache.access l1.(node) ~addr:paddr ~write:wr with
@@ -449,11 +508,7 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
           Event_heap.push heap ~time:s.barrier step_act.(s.jid).(tid)
         done
       end
-      else begin
-        s.finished <- true;
-        job_finish.(s.jid) <- s.barrier;
-        Stats.note_finish stats s.barrier
-      end
+      else complete_job s s.barrier
     end
   and miss_path jid tid node paddr wr ~rid ~site ~traced ~measured ~resume t =
     match cfg.l2_org with
@@ -597,6 +652,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
     if req.measured then begin
       let origin = if req.rshared then req.home else req.rnode in
       Stats.record_offchip stats ~origin ~mc:req.mc;
+      (* per-job split of the same counter: sums to sim.offchip_accesses *)
+      job_offchip.(req.rjob) <- job_offchip.(req.rjob) + 1;
       (* attribution rides the same gate as record_offchip, so the cube
          total always equals the off-chip counter *)
       match attr with
@@ -725,24 +782,14 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
       end
     | Wb_arrive (m, paddr) -> enqueue_mc ~now:t ~m ~id:wb_id ~write:true paddr
   in
-  (* ---- start all jobs ---- *)
-  Array.iter
-    (fun s ->
-      let nthreads = Array.length s.j.node_of_thread in
-      if s.nphases = 0 then begin
-        s.finished <- true;
-        job_finish.(s.jid) <- 0
-      end
-      else begin
-        s.phase <- 0;
-        s.streams <- s.jphases.(0);
-        s.cur_sites <- (if Array.length s.jsites > 0 then s.jsites.(0) else [||]);
-        s.remaining <- nthreads;
-        for tid = 0 to nthreads - 1 do
-          Event_heap.push heap ~time:0 step_act.(s.jid).(tid)
-        done
-      end)
-    js;
+  (* ---- start all unchained jobs (chained ones start on completion of
+     their predecessor) ---- *)
+  let chained s =
+    match s.j.start_after with
+    | Some p -> p >= 0 && p < Array.length js && p <> s.jid
+    | None -> false
+  in
+  Array.iter (fun s -> if not (chained s) then start_job s s.j.start_time) js;
   let debug = Sys.getenv_opt "OFFCHIP_DEBUG" <> None in
   let ndisp = ref 0 in
   let rec loop () =
@@ -789,6 +836,11 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
     measured_time;
     job_measured;
     job_finish;
+    job_start;
+    job_offchip;
+    job_fallbacks =
+      Array.init (Array.length js) (fun j ->
+          Page_alloc.fallback_allocations_of pa ~owner:j);
     mc_occupancy = Array.map (fun m -> Fr_fcfs.occupancy m ~at:horizon) mcs;
     mc_row_hit_rate =
       Array.map

@@ -29,6 +29,20 @@ type job = {
           (element [i] of a thread's stream tags access [i]); [[]] runs
           the job untagged — the miss path then skips the site lookup
           entirely *)
+  start_time : int;
+      (** earliest cycle the job may start — a tenant's arrival time in
+          the consolidation server; 0 starts the job at boot (the
+          historical behavior) *)
+  start_after : int option;
+      (** index of a job in the same run that must finish before this
+          one starts (a per-slot FIFO admission chain); the job then
+          starts at [max start_time predecessor_finish].  [None] (or an
+          out-of-range/self index) starts the job at [start_time].
+          Chains must be acyclic — a cycle leaves its jobs unstarted. *)
+  free_vpage_range : (int * int) option;
+      (** inclusive virtual-page range handed back to the shared page
+          allocator when the job finishes (tenant departure) — later
+          jobs can then reuse the frames *)
 }
 
 type result = {
@@ -38,6 +52,16 @@ type result = {
           time compared across configurations (max over jobs) *)
   job_measured : int array;  (** per-job steady-state time *)
   job_finish : int array;  (** finish time of each job *)
+  job_start : int array;
+      (** actual start time of each job — [start_time], or its
+          admission-chain predecessor's finish, whichever is later *)
+  job_offchip : int array;
+      (** per-job measured off-chip accesses; the per-job split of the
+          [sim.offchip_accesses] counter, so the sum over jobs always
+          equals it *)
+  job_fallbacks : int array;
+      (** per-job fallback page allocations: pages the job first-touched
+          that the allocator could not place on the desired controller *)
   mc_occupancy : float array;  (** per-controller mean queue length *)
   mc_row_hit_rate : float array;
   mc_max_queue : int array;  (** per-controller queue-depth high-water mark *)

@@ -94,6 +94,9 @@ let prepare (cfg : Config.t) ~optimized ?threads ?(core_offset = 0)
       node_of_thread;
       warmup_phases;
       site_streams;
+      start_time = 0;
+      start_after = None;
+      free_vpage_range = None;
     }
   in
   (* page hints: only pages belonging to layout-optimized arrays carry a

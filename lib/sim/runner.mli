@@ -40,6 +40,12 @@ val prepare :
     side streams so the engine can attribute off-chip traffic (see
     {!attr_for}); plain preparation leaves the job untagged. *)
 
+val combined_hints : prepared list -> int -> int option
+(** Page hints of several prepared jobs, first match wins — sound because
+    their virtual ranges are disjoint.  This is what {!run_many} passes
+    to the engine; exposed for callers (the consolidation server) that
+    build their own job lists. *)
+
 val attr_for : Config.t -> prepared -> Obs.Attr.t
 (** An attribution aggregator shaped for [cfg]'s platform (controllers ×
     banks) and the prepared program's site table — pass it to {!run_many}

@@ -1,6 +1,6 @@
 module Json = Obs.Json
 
-let result_json ?attr ~app cfg (r : Sim.Engine.result) =
+let result_json ?attr ?(extra = []) ~app cfg (r : Sim.Engine.result) =
   (* the attribution and heatmap sections exist only when the run was
      attributed: a plain run's document must stay byte-identical to the
      pre-attribution format (the seed-0 golden pins this) *)
@@ -42,7 +42,7 @@ let result_json ?attr ~app cfg (r : Sim.Engine.result) =
        ("link_utilization", Json.float_array r.Sim.Engine.link_utilization);
        ("pages_allocated", Json.Int r.Sim.Engine.pages_allocated);
      ]
-    @ attr_fields)
+    @ attr_fields @ extra)
 
 let run_job (job : Spec.job) =
   let app = Workloads.Suite.by_name job.Spec.app in

@@ -105,9 +105,28 @@ let emit_goldens dir =
   let rh = Core.Pipeline.compile ~profile ~cfg (Core.Pipeline.Program program) in
   write "hpccg_solve.txt" (emit rh Core.Pipeline.Solve)
 
+(* The consolidation-server goldens: the smoke scenario at two seeds,
+   full result documents (engine stats + scenario + per-tenant + QoS).
+   They pin the arrival stream, the shared-pool placement, the admission
+   chains and the reclaim path all at once. *)
+let serve_goldens dir =
+  List.iter
+    (fun seed ->
+      let sc = Serve.Scenario.smoke ~seed () in
+      match Serve.Server.run sc with
+      | Error e -> failwith ("serve golden: " ^ e)
+      | Ok run ->
+        let path = Filename.concat dir (Printf.sprintf "serve_seed%d.json" seed) in
+        let oc = open_out path in
+        Obs.Json.to_channel oc (Serve.Server.result_json run);
+        close_out oc;
+        Printf.printf "golden written to %s\n" path)
+    [ 0; 1 ]
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--emits" :: dir :: _ -> emit_goldens dir
   | _ :: "--attr" :: rest -> attr_golden (List.nth_opt rest 0)
+  | _ :: "--serve" :: dir :: _ -> serve_goldens dir
   | _ :: path :: _ -> stats_golden (Some path)
   | _ -> stats_golden None

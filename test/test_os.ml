@@ -98,6 +98,89 @@ let test_mc_aware_fallback_policy () =
   Alcotest.(check int) "hinted page honored" 3 (mc 0 0);
   Alcotest.(check int) "unhinted page by first touch" 2 (mc 5 40)
 
+let test_free_region_reclaim () =
+  (* a departing tenant's frames refill its controller: with MC0's two
+     frames both taken, freeing one page lets the next allocation honor
+     the desired controller again instead of spilling *)
+  let pa =
+    Page_alloc.create ~map:page_map
+      ~policy:
+        (Page_alloc.Mc_aware
+           { desired = (fun _ -> Some 0); fallback = (fun _ -> 0) })
+      ~frames_per_mc:2 ()
+  in
+  let mc v = Address_map.mc_of_paddr page_map (Page_alloc.translate pa ~node:0 ~vaddr:(v * 4096)) in
+  Alcotest.(check int) "first page on MC0" 0 (mc 0);
+  Alcotest.(check int) "second page on MC0" 0 (mc 1);
+  Alcotest.(check int) "freed one page" 1
+    (Page_alloc.free_region pa ~first_vpage:0 ~last_vpage:0);
+  Alcotest.(check int) "one live page left" 1 (Page_alloc.pages_allocated pa);
+  Alcotest.(check int) "reclaimed frame honors the hint again" 0 (mc 7);
+  Alcotest.(check int) "no fallbacks along the way" 0
+    (Page_alloc.fallback_allocations pa);
+  Alcotest.(check int) "empty range frees nothing" 0
+    (Page_alloc.free_region pa ~first_vpage:100 ~last_vpage:120)
+
+let test_first_touch_full_falls_back () =
+  (* a full controller under first touch must spill to a neighbor, not
+     over-allocate past its frame budget *)
+  let pa =
+    Page_alloc.create ~map:page_map
+      ~policy:(Page_alloc.First_touch (fun _ -> 0))
+      ~frames_per_mc:2 ()
+  in
+  let mc v = Address_map.mc_of_paddr page_map (Page_alloc.translate pa ~node:0 ~vaddr:(v * 4096)) in
+  Alcotest.(check (list int)) "budget enforced: third page spills" [ 0; 0; 1 ]
+    (List.init 3 mc);
+  Alcotest.(check int) "the spill is a counted fallback" 1
+    (Page_alloc.fallback_allocations pa)
+
+let test_per_owner_fallbacks () =
+  (* fallbacks are charged to the owner tag that suffered them *)
+  let pa =
+    Page_alloc.create ~map:page_map
+      ~policy:
+        (Page_alloc.Mc_aware
+           { desired = (fun _ -> Some 0); fallback = (fun _ -> 0) })
+      ~frames_per_mc:2 ()
+  in
+  let alloc owner v =
+    ignore (Page_alloc.translate_owned pa ~owner ~node:0 ~vaddr:(v * 4096))
+  in
+  alloc 7 0;
+  alloc 7 1;
+  (* MC0 is now full: owner 9's pages spill *)
+  alloc 9 2;
+  alloc 9 3;
+  Alcotest.(check int) "owner 7 clean" 0
+    (Page_alloc.fallback_allocations_of pa ~owner:7);
+  Alcotest.(check int) "owner 9 charged twice" 2
+    (Page_alloc.fallback_allocations_of pa ~owner:9);
+  Alcotest.(check int) "global total agrees" 2
+    (Page_alloc.fallback_allocations pa)
+
+let test_line_mode_capacity_and_reuse () =
+  (* line-interleaved mode is bounded by the same total budget and reuses
+     reclaimed frames *)
+  let pa =
+    Page_alloc.create ~map:line_map ~policy:Page_alloc.Hardware_interleaved
+      ~frames_per_mc:1 ()
+  in
+  let frame v = Page_alloc.translate pa ~node:0 ~vaddr:(v * 4096) / 4096 in
+  let f0 = frame 0 in
+  let f1 = frame 1 in
+  ignore (frame 2);
+  ignore (frame 3);
+  Alcotest.(check bool) "capacity reached raises" true
+    (match frame 4 with
+    | _ -> false
+    | exception Failure _ -> true);
+  Alcotest.(check int) "freed two pages" 2
+    (Page_alloc.free_region pa ~first_vpage:0 ~last_vpage:1);
+  let reused = frame 9 in
+  Alcotest.(check bool) "reclaimed frame reused" true
+    (List.mem reused [ f0; f1 ])
+
 let test_reset () =
   let pa = Page_alloc.create ~map:page_map ~policy:Page_alloc.Hardware_interleaved () in
   ignore (Page_alloc.translate pa ~node:0 ~vaddr:0);
@@ -130,6 +213,14 @@ let suite =
         Alcotest.test_case "mc-aware fallback" `Quick test_mc_aware_fallback;
         Alcotest.test_case "mc-aware unhinted = first touch" `Quick
           test_mc_aware_fallback_policy;
+        Alcotest.test_case "free_region reclaims frames" `Quick
+          test_free_region_reclaim;
+        Alcotest.test_case "first-touch budget fallback" `Quick
+          test_first_touch_full_falls_back;
+        Alcotest.test_case "per-owner fallback counters" `Quick
+          test_per_owner_fallbacks;
+        Alcotest.test_case "line-mode capacity and reuse" `Quick
+          test_line_mode_capacity_and_reuse;
         Alcotest.test_case "reset" `Quick test_reset;
       ]
       @ qsuite [ prop_translation_injective ] );

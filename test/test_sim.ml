@@ -379,6 +379,9 @@ let test_engine_phase_advance_guard () =
       node_of_thread = [| 0 |];
       warmup_phases = 0;
       site_streams = [];
+      start_time = 0;
+      start_after = None;
+      free_vpage_range = None;
     }
   in
   let r = Engine.run cfg ~jobs:[ empty ] () in
