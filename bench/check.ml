@@ -21,7 +21,17 @@ module Stats = Sim.Stats
 module Heap = Sim.Event_heap
 module Json = Obs.Json
 
-type entry = { name : string; value : float; tolerance : float }
+type entry = {
+  name : string;
+  value : float;
+  tolerance : float;
+  min_floor : bool;
+      (* true: [value] is a required floor (measured >= value passes) —
+         used by the parallel-speedup entries, where bigger is better.
+         false (default): [measured <= value * tolerance] passes. *)
+}
+
+let min_floor_of name = String.length name >= 4 && String.sub name 0 4 = "par."
 
 (* --- measurements --- *)
 
@@ -111,7 +121,76 @@ let micro_entries () =
       (entry_name, est))
     tests
 
-let measure () = smoke_entries () @ micro_entries ()
+(* Parallel smoke: 4 cluster-confined apsi replicas on the page-interleaved
+   first-touch platform — the canonical decomposable workload the parallel
+   engine speeds up.  Two things are checked:
+
+   - byte-equality of the 4-domain and sequential result documents, on
+     EVERY host — the fallback backend still runs the partitioned merge
+     path (serialized), so the oracle is meaningful even on OCaml 4;
+   - the 4-domain wall-clock speedup against the committed floor, only
+     where it can be measured (an OCaml 5 build on a >= 4-core host);
+     elsewhere the entry is reported as skipped with the reason. *)
+let par_speedup_name = "par.smoke_speedup_x4"
+
+let par_entries () =
+  let cfg =
+    match
+      Config.build ~scaled:true ~platform:"" ~l2:"private" ~interleave:"page"
+        ~policy:"first-touch" ~mapping:"" ~width:8 ~height:8 ~tpc:1
+        ~optimal:false ~seed:0 ()
+    with
+    | Ok c -> c
+    | Error e -> failwith ("par smoke config: " ^ e)
+  in
+  let app = Workloads.Suite.by_name "apsi" in
+  let jobs =
+    Sim.Runner.prepare_replicas cfg ~optimized:false
+      ~warmup_phases:app.Workloads.App.warmup_nests
+      ~index_lookup:(Workloads.App.index_lookup app)
+      (Workloads.App.program app)
+  in
+  let plan = ref "" in
+  let run ~domains () =
+    Sim.Runner.run_many ~domains ~on_plan:(fun s -> plan := s) cfg ~jobs
+  in
+  let doc r = Json.to_string (Sweep.Exec.result_json ~app:"apsi" cfg r) in
+  let seq = run ~domains:1 () in
+  let par = run ~domains:4 () in
+  if String.length !plan < 9 || String.sub !plan 0 9 <> "parallel:" then
+    failwith ("par smoke did not plan parallel: " ^ !plan);
+  if doc seq <> doc par then
+    failwith "par smoke: 4-domain result differs from the sequential oracle";
+  if not Sim.Par_backend.available then
+    ([], [ (par_speedup_name, "no domain support in this build") ])
+  else
+    let cores = Sim.Par_backend.cpu_count () in
+    if cores < 4 then
+      ( [],
+        [
+          ( par_speedup_name,
+            Printf.sprintf "host has %d core%s (need 4)" cores
+              (if cores = 1 then "" else "s") );
+        ] )
+    else begin
+      let best f =
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let t0 = Unix.gettimeofday () in
+          ignore (f ());
+          let dt = Unix.gettimeofday () -. t0 in
+          if dt < !best then best := dt
+        done;
+        !best
+      in
+      let seq_s = best (run ~domains:1) in
+      let par_s = best (run ~domains:4) in
+      ([ (par_speedup_name, seq_s /. par_s) ], [])
+    end
+
+let measure () =
+  let par, skipped = par_entries () in
+  (smoke_entries () @ micro_entries () @ par, skipped)
 
 (* --- baseline I/O --- *)
 
@@ -119,15 +198,21 @@ let default_tolerance name =
   if String.length name >= 6 && String.sub name 0 6 = "micro." then 1.75
   else if name = "smoke.engine_wall_s" then 1.6
   else if name = "smoke.minor_words_per_access" then 1.15
+  else if min_floor_of name then 1.0
   else 1.5
+
+(* The committed speedup floor: never overwritten by --update (it is a
+   policy threshold, not a measurement). *)
+let default_floor _name = 1.5
 
 let entry_json e =
   Json.obj
-    [
-      ("name", Json.String e.name);
-      ("value", Json.Float e.value);
-      ("tolerance", Json.Float e.tolerance);
-    ]
+    ([
+       ("name", Json.String e.name);
+       ("value", Json.Float e.value);
+       ("tolerance", Json.Float e.tolerance);
+     ]
+    @ if e.min_floor then [ ("min", Json.Bool true) ] else [])
 
 let baseline_json entries = Json.obj [ ("entries", Json.list entry_json entries) ]
 
@@ -156,7 +241,12 @@ let parse_baseline path =
                    number (Json.member "tolerance" e) )
                with
                | Some (Json.String name), Some value, Some tolerance ->
-                 { name; value; tolerance }
+                 let min_floor =
+                   match Json.member "min" e with
+                   | Some (Json.Bool b) -> b
+                   | _ -> false
+                 in
+                 { name; value; tolerance; min_floor }
                | _ -> failwith "entry")
              es)
       with Failure _ -> Error (path ^ ": malformed entry"))
@@ -171,13 +261,31 @@ let write_json path doc =
 
 (* Returns the process exit code: 0 ok, 2 regression, 1 bad baseline. *)
 let run ~baseline_path ~update ~report_out () =
-  let measured = measure () in
+  let measured, skipped = measure () in
   if update then begin
+    (* min-floor ("par." prefixed) entries keep their committed policy value — and
+       stay in the baseline even when this host could not measure them —
+       so updating on a 1-core laptop never weakens the CI speedup gate *)
+    let old =
+      match parse_baseline baseline_path with Ok es -> es | Error _ -> []
+    in
+    let committed name =
+      match List.find_opt (fun e -> e.name = name) old with
+      | Some e -> e.value
+      | None -> default_floor name
+    in
+    let entry_of name value =
+      let min_floor = min_floor_of name in
+      {
+        name;
+        value = (if min_floor then committed name else value);
+        tolerance = default_tolerance name;
+        min_floor;
+      }
+    in
     let entries =
-      List.map
-        (fun (name, value) ->
-          { name; value; tolerance = default_tolerance name })
-        measured
+      List.map (fun (name, value) -> entry_of name value) measured
+      @ List.map (fun (name, _reason) -> entry_of name nan) skipped
     in
     write_json baseline_path (baseline_json entries);
     Printf.printf "baseline updated: %s\n" baseline_path;
@@ -197,17 +305,29 @@ let run ~baseline_path ~update ~report_out () =
         List.map
           (fun e ->
             match List.assoc_opt e.name measured with
-            | None -> (e, nan, false)
+            | None ->
+              (* an unmeasured entry passes only when the measurement
+                 explicitly skipped it (host cannot run it) *)
+              (e, nan, List.mem_assoc e.name skipped)
             | Some m ->
-              let ratio = m /. e.value in
-              (e, m, ratio <= e.tolerance))
+              let ok =
+                if e.min_floor then m >= e.value
+                else m /. e.value <= e.tolerance
+              in
+              (e, m, ok))
           entries
       in
       List.iter
         (fun (e, m, ok) ->
-          Printf.printf "  %-32s %14.2f %14.2f %6.2fx %6s\n" e.name e.value m
-            (m /. e.value)
-            (if ok then "ok" else "REGRESSED"))
+          match List.assoc_opt e.name skipped with
+          | Some reason ->
+            Printf.printf "  %-32s %14.2f %14s %7s skipped: %s\n" e.name
+              e.value "-" "-" reason
+          | None ->
+            Printf.printf "  %-32s %14.2f %14.2f %6.2fx %6s\n" e.name e.value
+              m (m /. e.value)
+              (if ok then if e.min_floor then "ok (floor)" else "ok"
+               else "REGRESSED"))
         rows;
       (match report_out with
       | None -> ()
@@ -220,14 +340,21 @@ let run ~baseline_path ~update ~report_out () =
                 Json.list
                   (fun (e, m, ok) ->
                     Json.obj
-                      [
-                        ("name", Json.String e.name);
-                        ("baseline", Json.Float e.value);
-                        ("measured", Json.Float m);
-                        ("tolerance", Json.Float e.tolerance);
-                        ("ratio", Json.Float (m /. e.value));
-                        ("ok", Json.Bool ok);
-                      ])
+                      ([ ("name", Json.String e.name);
+                         ("baseline", Json.Float e.value) ]
+                      @ (match List.assoc_opt e.name skipped with
+                        | Some reason ->
+                          [ ("skipped", Json.String reason) ]
+                        | None ->
+                          [
+                            ("measured", Json.Float m);
+                            ("ratio", Json.Float (m /. e.value));
+                          ])
+                      @ [
+                          ("tolerance", Json.Float e.tolerance);
+                          ("min", Json.Bool e.min_floor);
+                          ("ok", Json.Bool ok);
+                        ]))
                   rows );
             ]
         in

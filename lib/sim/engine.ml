@@ -42,7 +42,12 @@ type result = {
   mc_occupancy : float array;
   mc_row_hit_rate : float array;
   mc_max_queue : int array;
+  mc_occ_integral : float array;
+      (** raw per-controller queue-length integrals behind [mc_occupancy];
+          the parallel merger re-divides them by the global horizon *)
   link_utilization : float array;
+  link_busy : int array;
+      (** raw per-link busy cycles behind [link_utilization] *)
   pages_allocated : int;
 }
 
@@ -850,6 +855,8 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
           else float_of_int (Fr_fcfs.row_hits m) /. float_of_int s)
         mcs;
     mc_max_queue = Array.map Fr_fcfs.max_pending mcs;
+    mc_occ_integral = Array.map (fun m -> Fr_fcfs.occ_integral_at m ~at:horizon) mcs;
     link_utilization = Noc.Network.utilization net ~at:horizon;
+    link_busy = Noc.Network.link_busy net;
     pages_allocated = Page_alloc.pages_allocated pa;
   }

@@ -1,0 +1,27 @@
+(** Parallel execution substrate for {!Par_engine}.
+
+    The implementation is selected at build time by a pair of dune
+    [copy] rules gated on [%{ocaml_version}]: on OCaml >= 5.0
+    [par_backend_domains.ml] spawns one domain per worker; on older
+    compilers [par_backend_fallback.ml] degrades to a plain sequential
+    map with {!available} = [false].  Either way the partitioned
+    run/merge path of {!Par_engine} (and its oracle tests) compiles and
+    runs everywhere — the fallback just yields no wall-clock speedup,
+    and the CLIs refuse [--domains > 1] up front on pre-5 builds. *)
+
+val available : bool
+(** Whether {!map_workers} actually runs workers concurrently. *)
+
+val cpu_count : unit -> int
+(** Best-effort number of CPUs usable for domains ([1] on the
+    fallback backend) — the perf gate skips its speedup assertion when
+    the host cannot physically exhibit one. *)
+
+val map_workers : workers:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_workers ~workers f xs] computes [Array.map f xs] with up to
+    [workers] concurrent workers.  Element [i] is processed by worker
+    [i mod workers], each worker walks its indices in increasing order,
+    and results land at their input's index — the schedule is
+    deterministic, so any per-worker state (none today) could not leak
+    ordering into results.  An exception in any worker is re-raised in
+    the caller after every worker has been joined. *)

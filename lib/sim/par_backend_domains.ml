@@ -1,0 +1,43 @@
+(* OCaml >= 5 backend: one domain per worker (see par_backend.mli; this
+   file becomes par_backend.ml via a dune copy rule). *)
+
+let available = true
+
+let cpu_count () = Domain.recommended_domain_count ()
+
+let map_workers ~workers f xs =
+  let n = Array.length xs in
+  let w = max 1 (min workers n) in
+  if w <= 1 then Array.map f xs
+  else begin
+    (* worker k owns indices k, k+w, k+2w, ... ; the calling domain is
+       worker 0, so w workers cost w-1 spawns *)
+    let strip k =
+      let out = ref [] in
+      let i = ref k in
+      while !i < n do
+        out := (!i, f xs.(!i)) :: !out;
+        i := !i + w
+      done;
+      !out
+    in
+    let spawned =
+      Array.init (w - 1) (fun k -> Domain.spawn (fun () -> strip (k + 1)))
+    in
+    let own = try Ok (strip 0) with e -> Error e in
+    (* join every domain before propagating any failure *)
+    let joined =
+      Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned
+    in
+    let results = Array.make n None in
+    let place = function
+      | Ok pairs -> List.iter (fun (i, r) -> results.(i) <- Some r) pairs
+      | Error _ -> ()
+    in
+    place own;
+    Array.iter place joined;
+    let raise_first = function Error e -> raise e | Ok _ -> () in
+    raise_first own;
+    Array.iter raise_first joined;
+    Array.map (function Some r -> r | None -> assert false) results
+  end

@@ -1,0 +1,10 @@
+(* Pre-OCaml-5 backend: sequential map, no concurrency (see
+   par_backend.mli; this file becomes par_backend.ml via a dune copy
+   rule).  Keeps the partitioned run/merge path of Par_engine — and its
+   parallel==sequential oracle tests — compiling and running on 4.14. *)
+
+let available = false
+
+let cpu_count () = 1
+
+let map_workers ~workers:_ f xs = Array.map f xs

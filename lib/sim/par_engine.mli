@@ -1,0 +1,89 @@
+(** Conservative parallel discrete-event simulation over mesh partitions.
+
+    The mesh is partitioned by cluster: each cluster's cores, its memory
+    controllers and the mesh links their XY routes traverse form one
+    partition, simulated on its own OCaml 5 domain with its own
+    {!Event_heap}, request pool, caches, network and controllers (a
+    whole per-partition {!Engine.run}).  The sequential engine stays
+    untouched as the oracle: a parallel run must be byte-identical to
+    [--domains 1].
+
+    {b Synchronization.}  A conservative parallel DES lets a partition
+    advance to time [t] only once every peer has promised (via a null
+    message) not to send it an event before [t]; the promise horizon is
+    the {e lookahead} — here the minimum NoC link traversal latency, the
+    soonest a message leaving one partition could arrive in another.
+    This engine runs the degenerate — and fastest — case of that
+    protocol: {!plan} proves {e statically} that the workload can send
+    no cross-partition event at all (every job, page, controller and
+    route is confined to one partition), which makes every null message
+    carry lookahead +∞ and lets the domains run to completion without
+    blocking once.  Workloads where the proof fails (shared pages, line
+    interleaving, cross-cluster page hints, jobs spanning clusters,
+    shared L2, routes through foreign partitions…) fall back to the
+    sequential engine with a reason — correct for every workload,
+    parallel for decomposable ones.
+
+    {b Why merge order cannot affect results.}  With confinement proven,
+    a partition dispatches exactly the sequential run's event subsequence
+    for its own jobs (same times, same heap insertion order, same jitter
+    streams — foreign jobs keep their list positions but carry no
+    phases), so per-partition integer counters, hop histograms and
+    per-node/per-MC/per-job arrays are disjoint slices of the sequential
+    run's.  The merge adds counters and histograms, takes each per-MC and
+    per-job cell from its owning partition, sums disjoint per-link busy
+    cycles, and re-divides the raw occupancy integrals and link busy
+    cycles by the merged horizon [max 1 finish_time] — every operation
+    is either a sum over disjoint supports or a per-cell copy, so no
+    ordering of partitions can change a byte of the output. *)
+
+type partition = {
+  part_cluster : int;  (** cluster index this partition simulates *)
+  part_mcs : int list;  (** controllers owned (ascending) *)
+  part_nodes : int list;  (** mesh nodes of the cluster (ascending) *)
+  part_jobs : int list;  (** indices of the jobs it runs (ascending) *)
+}
+
+type plan =
+  | Parallel of partition array  (** in ascending cluster order *)
+  | Sequential of string  (** not decomposable — the reason why *)
+
+val plan :
+  Config.t ->
+  ?desired_mc_of_vpage:(int -> int option) ->
+  jobs:Engine.job list ->
+  unit ->
+  plan
+(** Static confinement proof over the jobs' precomputed access traces.
+    [Parallel] is returned only when all of the following hold: private
+    L2, page interleaving, at least two clusters with jobs, every job's
+    threads inside one cluster, admission chains intra-cluster, every
+    touched virtual page touched by one cluster only and placed (under
+    the run's page policy and [desired_mc_of_vpage] hints) on one of
+    that cluster's controllers within its frame budget, freed ranges not
+    overlapping foreign pages, and the partitions' XY route link sets
+    pairwise disjoint.  Anything else is [Sequential reason]. *)
+
+val describe : plan -> domains:int -> string
+(** One line for humans: the partition/worker layout, or the fallback
+    reason. *)
+
+val run :
+  Config.t ->
+  ?desired_mc_of_vpage:(int -> int option) ->
+  ?trace:Obs.Trace.t ->
+  ?attr:Obs.Attr.t ->
+  ?on_plan:(string -> unit) ->
+  domains:int ->
+  jobs:Engine.job list ->
+  unit ->
+  Engine.result
+(** Same contract as {!Engine.run} plus [domains]: with [domains <= 1],
+    an enabled [trace], or a [Sequential] plan it simply calls
+    {!Engine.run}; otherwise it runs one {!Engine.run} per partition on
+    [min domains partitions] worker domains and merges the results.
+    Either way the result is byte-identical to the sequential engine's
+    ([stats] JSON included) — the CI oracle holds this to account.
+    [on_plan] receives {!describe}'s line exactly once per call.
+    [attr] cubes are cloned per partition and the partitions' snapshots
+    absorbed back in ascending partition order. *)

@@ -13,6 +13,7 @@ type t = {
   jobs : job array;
   timeout_s : float;
   retries : int;
+  domains : int;
 }
 
 let ( let* ) = Result.bind
@@ -120,9 +121,11 @@ let of_json j =
     in
     let* timeout_s = opt_field float_of ~default:300. "timeout_s" j in
     let* retries = opt_field int_of ~default:2 "retries" j in
+    let* domains = opt_field int_of ~default:1 "domains" j in
     let* () =
       if timeout_s <= 0. then Error "\"timeout_s\" must be positive"
       else if retries < 0 then Error "\"retries\" must be >= 0"
+      else if domains < 1 then Error "\"domains\" must be >= 1"
       else Ok ()
     in
     let* configs =
@@ -159,7 +162,7 @@ let of_json j =
             apps)
         configs
     in
-    Ok { name; jobs = Array.of_list jobs; timeout_s; retries }
+    Ok { name; jobs = Array.of_list jobs; timeout_s; retries; domains }
   | _ -> Error "a sweep spec must be a JSON object"
 
 let load path =

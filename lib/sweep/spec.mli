@@ -42,6 +42,11 @@ type t = {
   jobs : job array;  (** in spec order — aggregation order is fixed *)
   timeout_s : float;  (** per-job wall-clock budget (default 300) *)
   retries : int;  (** extra attempts after the first (default 2) *)
+  domains : int;
+      (** worker domains for each job's engine pass (default 1).  Results
+          are byte-identical for every value, so [domains] is an execution
+          knob like [timeout_s] and deliberately {e not} part of
+          {!job_identity} — cached results stay valid across it. *)
 }
 
 val of_json : Obs.Json.t -> (t, string) result

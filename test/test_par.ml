@@ -1,0 +1,200 @@
+(* Tests for the partitioned parallel engine: plan acceptance and
+   rejection, the parallel == sequential byte oracle (plain, attributed,
+   consolidation serving, fallback), and a randomized identity property
+   over app × seed × mesh draws.  Every identity check compares full
+   result documents as strings, the same shape the CI oracle diffs. *)
+
+module Config = Sim.Config
+module Par = Sim.Par_engine
+module Runner = Sim.Runner
+module Json = Obs.Json
+
+let cfg_of ?(interleave = "page") ?(policy = "first-touch") ?(l2 = "private")
+    ?(width = 4) ?(height = 4) ?(seed = 0) () =
+  match
+    Config.build ~scaled:true ~platform:"" ~l2 ~interleave ~policy ~mapping:""
+      ~width ~height ~tpc:1 ~optimal:false ~seed ()
+  with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "config: %s" e
+
+let replicas ?(attr = false) cfg name =
+  let app = Workloads.Suite.by_name name in
+  Runner.prepare_replicas cfg ~optimized:false
+    ~warmup_phases:app.Workloads.App.warmup_nests
+    ~index_lookup:(Workloads.App.index_lookup app)
+    ~attr
+    (Workloads.App.program app)
+
+let whole_machine cfg name =
+  let app = Workloads.Suite.by_name name in
+  Runner.prepare cfg ~optimized:false
+    ~warmup_phases:app.Workloads.App.warmup_nests
+    ~index_lookup:(Workloads.App.index_lookup app)
+    (Workloads.App.program app)
+
+let plan_of cfg preps =
+  Par.plan cfg
+    ~desired_mc_of_vpage:(Runner.combined_hints preps)
+    ~jobs:(List.map (fun p -> p.Runner.job) preps)
+    ()
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* --- plan acceptance and rejection --- *)
+
+let test_plan_accepts_replicas () =
+  let cfg = cfg_of () in
+  match plan_of cfg (replicas cfg "minimd") with
+  | Par.Parallel parts ->
+    Alcotest.(check int) "one partition per cluster" 4 (Array.length parts);
+    Array.iteri
+      (fun i p ->
+        Alcotest.(check int) "ascending cluster order" i p.Par.part_cluster;
+        Alcotest.(check bool) "owns controllers" true (p.Par.part_mcs <> []);
+        Alcotest.(check bool) "owns a job" true (p.Par.part_jobs <> []))
+      parts
+  | Par.Sequential reason -> Alcotest.failf "expected parallel plan: %s" reason
+
+let reject ?interleave ?policy ?l2 name =
+  let cfg = cfg_of ?interleave ?policy ?l2 () in
+  match plan_of cfg (replicas cfg name) with
+  | Par.Sequential reason ->
+    Alcotest.(check bool) "has a reason" true (reason <> "")
+  | Par.Parallel _ -> Alcotest.fail "expected a sequential fallback"
+
+let test_plan_rejects_line () = reject ~interleave:"line" "minimd"
+let test_plan_rejects_shared_l2 () = reject ~l2:"shared" "minimd"
+let test_plan_rejects_hardware () = reject ~policy:"hardware" "minimd"
+
+let test_plan_rejects_whole_machine () =
+  (* one job bound across every cluster cannot be partitioned *)
+  let cfg = cfg_of () in
+  match plan_of cfg [ whole_machine cfg "minimd" ] with
+  | Par.Sequential _ -> ()
+  | Par.Parallel _ -> Alcotest.fail "whole-machine job must fall back"
+
+(* --- the byte oracle --- *)
+
+let attributed_doc cfg app preps domains =
+  let attr = Runner.attr_for cfg (List.hd preps) in
+  let r = Runner.run_many ~attr ~domains cfg ~jobs:preps in
+  Json.to_string (Sweep.Exec.result_json ~attr ~app cfg r)
+
+let plain_doc cfg app preps domains =
+  let r = Runner.run_many ~domains cfg ~jobs:preps in
+  Json.to_string (Sweep.Exec.result_json ~app cfg r)
+
+let test_identity_plain () =
+  let cfg = cfg_of () in
+  let preps = replicas cfg "minimd" in
+  let d1 = plain_doc cfg "minimd" preps 1 in
+  Alcotest.(check string) "domains 2 == domains 1" d1
+    (plain_doc cfg "minimd" preps 2);
+  Alcotest.(check string) "domains 4 == domains 1" d1
+    (plain_doc cfg "minimd" preps 4)
+
+let test_identity_attributed () =
+  (* the attributed document embeds the full attribution cube and its
+     totals, so string equality covers the Σ-per-site invariant too *)
+  let cfg = cfg_of () in
+  let preps = replicas ~attr:true cfg "gafort" in
+  let d1 = attributed_doc cfg "gafort" preps 1 in
+  Alcotest.(check string) "attributed domains 4 == domains 1" d1
+    (attributed_doc cfg "gafort" preps 4)
+
+let test_identity_fallback_dispatch () =
+  (* a non-decomposable workload asked for 4 domains must fall back to
+     the sequential engine — same bytes, reason on the plan line *)
+  let cfg = cfg_of () in
+  let preps = [ whole_machine cfg "gafort" ] in
+  let reason = ref "" in
+  let r1 = Runner.run_many ~domains:1 cfg ~jobs:preps in
+  let r4 =
+    Runner.run_many ~domains:4 ~on_plan:(fun s -> reason := s) cfg ~jobs:preps
+  in
+  Alcotest.(check bool)
+    "plan line reports the fallback" true
+    (starts_with "sequential engine" !reason);
+  Alcotest.(check string) "fallback is byte-identical"
+    (Json.to_string (Sweep.Exec.result_json ~app:"gafort" cfg r1))
+    (Json.to_string (Sweep.Exec.result_json ~app:"gafort" cfg r4))
+
+let test_identity_serve () =
+  (* cluster-confined consolidation scenario: first-touch placement,
+     4-thread tenants — the serving workload the planner accepts *)
+  let sc =
+    {
+      (Serve.Scenario.smoke ()) with
+      Serve.Scenario.name = "par-smoke-test";
+      policy = Serve.Scenario.First_touch;
+      threads_per_tenant = 4;
+      tenants = 4;
+      arrival_mean = 5000;
+      optimized = false;
+    }
+  in
+  let doc domains plan =
+    match Serve.Server.run ~domains ?on_plan:plan sc with
+    | Ok run -> Json.to_string (Serve.Server.result_json run)
+    | Error e -> Alcotest.failf "serve: %s" e
+  in
+  let plan = ref "" in
+  let d1 = doc 1 None in
+  let d2 = doc 2 (Some (fun s -> plan := s)) in
+  Alcotest.(check bool) "serve co-run planned parallel" true
+    (starts_with "parallel:" !plan);
+  Alcotest.(check string) "serve domains 2 == domains 1" d1 d2
+
+(* --- randomized identity property --- *)
+
+let arb_draw =
+  let gen =
+    let open QCheck.Gen in
+    let* app = oneofl [ "minimd"; "gafort"; "hpccg" ] in
+    let* seed = int_range 0 3 in
+    let* width = oneofl [ 4; 8 ] in
+    return (app, seed, width)
+  in
+  QCheck.make
+    ~print:(fun (a, s, w) -> Printf.sprintf "%s seed=%d mesh=%dx%d" a s w w)
+    gen
+
+let prop_identity =
+  QCheck.Test.make
+    ~name:"attributed stats JSON identical across domains 1/2/4" ~count:4
+    arb_draw
+    (fun (app, seed, width) ->
+      let cfg = cfg_of ~seed ~width ~height:width () in
+      let preps = replicas ~attr:true cfg app in
+      let d1 = attributed_doc cfg app preps 1 in
+      d1 = attributed_doc cfg app preps 2
+      && d1 = attributed_doc cfg app preps 4)
+
+let suite =
+  [
+    ( "par_engine",
+      [
+        Alcotest.test_case "plan accepts confined replicas" `Quick
+          test_plan_accepts_replicas;
+        Alcotest.test_case "plan rejects line interleaving" `Quick
+          test_plan_rejects_line;
+        Alcotest.test_case "plan rejects shared L2" `Quick
+          test_plan_rejects_shared_l2;
+        Alcotest.test_case "plan rejects hardware placement" `Quick
+          test_plan_rejects_hardware;
+        Alcotest.test_case "plan rejects a whole-machine job" `Quick
+          test_plan_rejects_whole_machine;
+        Alcotest.test_case "replica stats identical across domains" `Quick
+          test_identity_plain;
+        Alcotest.test_case "attributed stats identical across domains" `Quick
+          test_identity_attributed;
+        Alcotest.test_case "fallback dispatch is byte-identical" `Quick
+          test_identity_fallback_dispatch;
+        Alcotest.test_case "serve scenario identical across domains" `Quick
+          test_identity_serve;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest [ prop_identity ] );
+  ]
