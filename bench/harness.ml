@@ -104,7 +104,32 @@ let run cfg ~optimized (app : App.t) =
 
 let or_fail = function Ok v -> v | Error e -> failwith e
 
-let base () = Config.scaled ()
+(* --platform PRESET|FILE: every section regenerates on this machine
+   instead of the scaled default — a preset name or a platform JSON file
+   (e.g. one emitted by occ --mapping search --search-out).  The scaled
+   cache/latency parameters are kept; only the machine is swapped. *)
+let platform_override : Core.Platform.t option ref = ref None
+
+let set_platform spec =
+  match Core.Platform.of_spec spec with
+  | Ok p ->
+    platform_override := Some p;
+    Ok ()
+  | Error _ as e -> e
+
+let base () =
+  match !platform_override with
+  | None -> Config.scaled ()
+  | Some p -> Config.with_platform (Config.scaled ()) p
+
+let platform () = Config.platform (base ())
+
+(* Digest of the full platform description (not just its name), recorded
+   in --json output so downstream tooling can tell two same-named
+   machines apart. *)
+let platform_digest () =
+  Digest.to_hex
+    (Digest.string (Obs.Json.to_string (Core.Platform.to_json (platform ()))))
 
 let line_cfg () = base ()
 
@@ -117,9 +142,11 @@ let page_cfg ?(policy = Config.Hardware) () =
 let shared_cfg () = { (base ()) with Config.l2_org = Config.Shared_l2 }
 
 let m2_cfg () =
+  let topo = Config.topo (base ()) in
   or_fail
     (Result.bind
-       (Core.Cluster.m2 ~width:8 ~height:8)
+       (Core.Cluster.m2 ~width:topo.Noc.Topology.width
+          ~height:topo.Noc.Topology.height)
        (Config.with_cluster (base ())))
 
 (* --- metrics --- *)
@@ -194,6 +221,8 @@ let flush_json_section () =
       Obs.Json.Obj
         [
           ("section", Obs.Json.String !current_section);
+          ("platform", Obs.Json.String (platform ()).Core.Platform.name);
+          ("platform_digest", Obs.Json.String (platform_digest ()));
           ("rows", Obs.Json.List rows);
         ]
     in

@@ -12,6 +12,9 @@
      dune exec bench/main.exe -- --check bench/baseline.json
                                               # perf-regression gate (exit 2)
      dune exec bench/main.exe -- --check bench/baseline.json --update
+     dune exec bench/main.exe -- --platform mesh8x8-mc8
+                                              # or a platform JSON file,
+                                              # e.g. from occ --search-out
      OFFCHIP_APPS=apsi,swim dune exec ...     # restrict the app suite *)
 
 module H = Harness
@@ -199,8 +202,13 @@ let fig18 () =
     "(paper: fma3d and minighost have much higher utilization, which is\n\
      why the analysis favours M2 for them)";
   let cfg = H.line_cfg () in
-  let m2 = H.or_fail (Core.Cluster.m2 ~width:8 ~height:8) in
-  let m2p = H.or_fail (Core.Platform.placement_for (Config.topo cfg) m2) in
+  let topo = Config.topo cfg in
+  let m2 =
+    H.or_fail
+      (Core.Cluster.m2 ~width:topo.Noc.Topology.width
+         ~height:topo.Noc.Topology.height)
+  in
+  let m2p = H.or_fail (Core.Platform.placement_for topo m2) in
   Printf.printf "  %-10s %10s   %s\n" "" "occupancy" "selected mapping";
   List.iter
     (fun app ->
@@ -266,6 +274,7 @@ let fig20 () =
     "(paper: savings grow with more controllers — better memory\n\
      parallelism within each cluster)";
   Printf.printf "  %-8s %10s\n" "MCs" "exec gain";
+  let topo = Config.topo (H.line_cfg ()) in
   List.iter
     (fun mcs ->
       let cfg =
@@ -273,7 +282,8 @@ let fig20 () =
         else
           H.or_fail
             (Result.bind
-               (Core.Cluster.with_mcs_result ~width:8 ~height:8 ~mcs)
+               (Core.Cluster.with_mcs_result ~width:topo.Noc.Topology.width
+                  ~height:topo.Noc.Topology.height ~mcs)
                (Config.with_cluster (H.line_cfg ())))
       in
       let gains =
@@ -717,6 +727,13 @@ let () =
       in
       let names, rest = take [] rest in
       parse (Some names) json jobs check check_out rest
+    | "--platform" :: spec :: rest when not (is_flag spec) ->
+      (match H.set_platform spec with
+      | Ok () -> ()
+      | Error e ->
+        Printf.eprintf "bench: --platform %s: %s\n" spec e;
+        exit 1);
+      parse only json jobs check check_out rest
     | "--json" :: dir :: rest when not (is_flag dir) ->
       parse only (Some dir) jobs check check_out rest
     | "--jobs" :: n :: rest when not (is_flag n) ->

@@ -98,8 +98,9 @@ let write_diag_json ?src path diags =
   output_char oc '\n';
   if not (String.equal path "-") then close_out oc
 
-let run file app platform l2 interleave mapping width height calibrate report
-    layouts explain timings emit_c emit verify diag_json =
+let run file app platform l2 interleave mapping width height calibrate
+    search_out search_pool search_seed report layouts explain timings emit_c
+    emit verify diag_json =
   Cli.guard ~name:"occ" @@ fun () ->
   let emit_stage =
     match emit with
@@ -124,11 +125,14 @@ let run file app platform l2 interleave mapping width height calibrate report
   | Ok (source, src, app) -> (
     (* --mapping auto: let the pipeline's cost model choose among every
        mapping the platform can realize; the platform keeps its own
-       mapping while the candidates are enumerated from it. *)
+       mapping while the candidates are enumerated from it.
+       --mapping search: additionally run the placement search and let
+       the searched machine compete with the presets. *)
     let auto = String.equal mapping "auto" in
+    let searching = String.equal mapping "search" in
     let cfg_result =
       Sim.Config.build ~scaled:false ~platform ~l2 ~interleave
-        ~mapping:(if auto then "" else mapping)
+        ~mapping:(if auto || searching then "" else mapping)
         ~width ~height ()
     in
     let pressure_result =
@@ -139,11 +143,27 @@ let run file app platform l2 interleave mapping width height calibrate report
         | Ok _ as r -> r
         | Error e -> Error (Printf.sprintf "--calibrate %s: %s" path e))
     in
-    match (cfg_result, pressure_result) with
-    | Error e, _ | _, Error e ->
+    let search_result =
+      match Noc.Placement.pool_of_string search_pool with
+      | Error _ as e -> e
+      | Ok pool ->
+        if searching then
+          Ok
+            (Some
+               {
+                 Core.Place_search.default_params with
+                 Core.Place_search.pool;
+                 seed = search_seed;
+               })
+        else if search_out <> None then
+          Error "--search-out requires --mapping search"
+        else Ok None
+    in
+    match (cfg_result, pressure_result, search_result) with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e ->
       prerr_endline ("occ: " ^ e);
       Cli.user_error
-    | Ok cfg, Ok bank_pressure ->
+    | Ok cfg, Ok bank_pressure, Ok search ->
       let ccfg = Sim.Config.customize_config cfg in
       let profile =
         Option.map
@@ -154,10 +174,26 @@ let run file app platform l2 interleave mapping width height calibrate report
       in
       let result =
         Core.Pipeline.compile ~verify ?profile ~bank_pressure
-          ?platform:(if auto then Some (Sim.Config.platform cfg) else None)
+          ?platform:
+            (if auto || searching then Some (Sim.Config.platform cfg) else None)
+          ?search
           ?codegen:(if emit_c <> None then Some "kernel" else None)
           ~cfg:ccfg source
       in
+      (match (search_out, result.Core.Pipeline.artifacts.Core.Pipeline.search) with
+      | Some path, Some outcome -> (
+        try
+          let oc = open_out path in
+          Obs.Json.to_channel oc
+            (Core.Platform.to_json outcome.Core.Place_search.platform);
+          output_char oc '\n';
+          close_out oc;
+          Format.eprintf "// searched platform written to %s@." path
+        with Sys_error e ->
+          Printf.eprintf "occ: cannot write searched platform: %s\n" e)
+      | Some _, None ->
+        prerr_endline "occ: the placement search produced no platform"
+      | None, _ -> ());
       print_diags ?src result.Core.Pipeline.diags;
       (match diag_json with
       | Some path -> (
@@ -233,11 +269,15 @@ let mapping =
     value & opt string ""
     & info [ "mapping" ] ~docv:"MAP"
         ~doc:
-          "L2-to-MC mapping: M1, M2, a controller count (8, 16), or auto \
+          "L2-to-MC mapping: M1, M2, a controller count (8, 16), auto \
            to let the mapping-selection pass choose among every mapping \
            the platform can realize (M1, M2 and the 8/16-controller \
            configurations its controller budget admits) by estimated \
-           cost.  Default: the platform's own mapping.")
+           cost, or search to additionally run the placement search \
+           (deterministic seeded local search over MC sites, cluster \
+           shapes and controller counts) and let the searched machine \
+           compete with the presets.  Default: the platform's own \
+           mapping.")
 
 let calibrate =
   Arg.(
@@ -250,6 +290,34 @@ let calibrate =
            file, from which the bank pressure — time-averaged requests \
            waiting in bank queues, mem.queue_cycles / sim.finish_time — \
            is derived.  Default pressure: 1.0.")
+
+let search_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "search-out" ] ~docv:"PLATFORM.json"
+        ~doc:
+          "With --mapping search: write the searched platform as a JSON \
+           file that simulate --platform, sweep specs and bench \
+           --platform accept.  Byte-identical across runs with the same \
+           seed.")
+
+let search_pool =
+  Arg.(
+    value & opt string "perimeter"
+    & info [ "search-pool" ] ~docv:"POOL"
+        ~doc:
+          "Candidate MC sites for the placement search: perimeter (the \
+           paper's packaging assumption) or flip-chip (perimeter plus \
+           interior nodes).")
+
+let search_seed =
+  Arg.(
+    value & opt int 0
+    & info [ "search-seed" ] ~docv:"N"
+        ~doc:
+          "Seed for the placement search's random restarts; the same \
+           seed reproduces the search exactly.")
 
 let report =
   Arg.(value & flag & info [ "report" ] ~doc:"Print the per-array report.")
@@ -313,7 +381,8 @@ let cmd =
     (Cmd.info "occ" ~doc)
     Term.(
       const run $ file_arg $ app_arg $ Cli.platform $ Cli.l2 $ Cli.interleave
-      $ mapping $ Cli.width $ Cli.height $ calibrate $ report $ layouts
-      $ explain $ timings $ emit_c $ emit $ verify $ diag_json)
+      $ mapping $ Cli.width $ Cli.height $ calibrate $ search_out
+      $ search_pool $ search_seed $ report $ layouts $ explain $ timings
+      $ emit_c $ emit $ verify $ diag_json)
 
 let () = exit (Cmd.eval' cmd)

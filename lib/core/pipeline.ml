@@ -15,6 +15,7 @@ type artifacts = {
   mutable solved : Transform.solved list option;
   mutable cfg : Customize.config option;
   mutable mapping_scores : Mapping_select.scored list option;
+  mutable search : Place_search.outcome option;
   mutable report : Transform.report option;
   mutable transformed : Ast.program option;
   mutable sites : Lang.Sites.t option;
@@ -77,14 +78,36 @@ let mapping_pass ~bank_pressure ~art =
         in
         art.mapping_scores <- Some scored;
         let best = List.hd scored in
+        (* candidates can share a cluster name once searched placements
+           join the pool, so the placement nodes are part of the match *)
         let chosen =
           List.find
             (fun (c : Customize.config) ->
               String.equal c.Customize.cluster.Cluster.name
-                best.Mapping_select.cluster.Cluster.name)
+                best.Mapping_select.cluster.Cluster.name
+              && c.Customize.placement.Noc.Placement.nodes
+                 = best.Mapping_select.placement.Noc.Placement.nodes)
             cfgs
         in
         Ok chosen)
+
+(* Cost-table label: the cluster name, qualified by the placement name
+   only when another candidate shares the cluster name (a searched
+   placement alongside the preset with the same cluster shape). *)
+let candidate_label ~scored (s : Mapping_select.scored) =
+  let shared =
+    List.length
+      (List.filter
+         (fun (t : Mapping_select.scored) ->
+           String.equal t.Mapping_select.cluster.Cluster.name
+             s.Mapping_select.cluster.Cluster.name)
+         scored)
+    > 1
+  in
+  if shared then
+    s.Mapping_select.cluster.Cluster.name ^ "@"
+    ^ s.Mapping_select.placement.Noc.Placement.name
+  else s.Mapping_select.cluster.Cluster.name
 
 (* C002 (note): which mapping the cost model picked, against what field,
    under what calibrated pressure — so --diag-json records the selection. *)
@@ -97,15 +120,50 @@ let selection_note ~bank_pressure (scored : Mapping_select.scored list) =
         (Printf.sprintf
            "mapping %s selected among %d candidates at bank pressure %.3f \
             (estimated cost: %s)"
-           best.Mapping_select.cluster.Cluster.name (List.length scored)
-           bank_pressure
+           (candidate_label ~scored best)
+           (List.length scored) bank_pressure
            (String.concat ", "
               (List.map
                  (fun (s : Mapping_select.scored) ->
-                   Printf.sprintf "%s=%.1f" s.Mapping_select.cluster.Cluster.name
+                   Printf.sprintf "%s=%.1f" (candidate_label ~scored s)
                      s.Mapping_select.cost)
                  scored)));
     ]
+
+(* C004 (notes): what the placement search found — winning placement and
+   machine, cost against the best preset, and the descent trajectory.
+   The summary line's "estimated cost X vs best preset N=Y" shape is
+   relied on by scripts/dev-check. *)
+let search_notes ~bank_pressure (o : Place_search.outcome) =
+  let summary =
+    Diag.make ~severity:Diag.Note ~code:"C004" Span.dummy
+      (Printf.sprintf
+         "placement search selected %s (cluster %s, %d MCs): estimated cost \
+          %.1f vs best preset %s=%.1f at bank pressure %.3f (%d cost \
+          evaluations)"
+         o.Place_search.platform.Platform.placement.Noc.Placement.name
+         o.Place_search.platform.Platform.cluster.Cluster.name
+         (Platform.num_mcs o.Place_search.platform)
+         o.Place_search.cost
+         o.Place_search.preset_best.Mapping_select.cluster.Cluster.name
+         o.Place_search.preset_best.Mapping_select.cost bank_pressure
+         o.Place_search.evaluations)
+  in
+  let max_steps = 40 in
+  let steps = o.Place_search.trajectory in
+  let shown, elided =
+    if List.length steps <= max_steps then (steps, 0)
+    else (List.filteri (fun i _ -> i < max_steps) steps,
+          List.length steps - max_steps)
+  in
+  let trajectory =
+    Diag.make ~severity:Diag.Note ~code:"C004" Span.dummy
+      (Printf.sprintf "search trajectory: %s%s"
+         (String.concat " | " shown)
+         (if elided = 0 then ""
+          else Printf.sprintf " | ... (%d more steps)" elided))
+  in
+  [ summary; trajectory ]
 
 (* C003 (warning): an array kept its original layout for a reason the
    user can fix — a profile fit just over the threshold, or indexed
@@ -159,7 +217,7 @@ let sites_pass =
   pass "sites" (fun program -> Ok (Lang.Sites.of_program program))
 
 let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
-    ?platform ?(candidates = []) ?codegen ~cfg source =
+    ?platform ?search ?(candidates = []) ?codegen ~cfg source =
   let ctx = { timer = Obs.Phase_timer.create (); diags = [] } in
   let art =
     {
@@ -168,21 +226,53 @@ let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
       solved = None;
       cfg = None;
       mapping_scores = None;
+      search = None;
       report = None;
       transformed = None;
       sites = None;
       c_code = None;
     }
   in
+  (* Placement search (--mapping search): explore the site × cluster ×
+     MC-count space the platform can realize, record the outcome as an
+     artifact plus C004 notes, and let the winner compete with the
+     presets in the mapping pass below. *)
+  (match (search, platform) with
+  | Some params, Some p ->
+    (match
+       Obs.Phase_timer.time ctx.timer "search" (fun () ->
+           Place_search.search ~params ~bank_pressure p)
+     with
+    | Ok o ->
+      art.search <- Some o;
+      ctx.diags <- ctx.diags @ search_notes ~bank_pressure o
+    | Error e ->
+      ctx.diags <-
+        ctx.diags
+        @ [ Diag.error ~code:"C004" Span.dummy ("placement search failed: " ^ e) ])
+  | Some _, None ->
+    ctx.diags <-
+      ctx.diags
+      @ [
+          Diag.error ~code:"C004" Span.dummy
+            "placement search requires a platform";
+        ]
+  | None, _ -> ());
   (* Candidate mappings: explicit [candidates] win; otherwise the platform
-     enumerates every Section 4 / Fig. 27 configuration it can realize;
-     with neither, the single [cfg] passes through unchanged. *)
+     enumerates every Section 4 / Fig. 27 configuration it can realize
+     (plus the searched machine, when search ran); with neither, the
+     single [cfg] passes through unchanged. *)
   let candidates =
     if candidates <> [] then candidates
     else
       match platform with
       | None -> [ cfg ]
       | Some p ->
+        let extra =
+          match art.search with
+          | Some o -> [ o.Place_search.platform ]
+          | None -> []
+        in
         List.map
           (fun (q : Platform.t) ->
             {
@@ -191,7 +281,7 @@ let compile ?(verify = true) ?profile ?threshold ?(bank_pressure = 1.0)
               cluster = q.Platform.cluster;
               placement = q.Platform.placement;
             })
-          (Platform.candidates p)
+          (Platform.candidates ~extra p)
   in
   let ( let* ) x f = match x with Some v -> f v | None -> None in
   let (_ : unit option) =

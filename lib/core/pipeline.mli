@@ -36,6 +36,9 @@ type artifacts = {
   mutable mapping_scores : Mapping_select.scored list option;
       (** full candidate ranking, cheapest first, when the mapping pass
           had more than one candidate to choose from *)
+  mutable search : Place_search.outcome option;
+      (** placement-search outcome, when [compile] ran with [?search];
+          its platform also competes in [mapping_scores] *)
   mutable report : Transform.report option;
   mutable transformed : Lang.Ast.program option;
   mutable sites : Lang.Sites.t option;
@@ -58,6 +61,7 @@ val compile :
   ?threshold:float ->
   ?bank_pressure:float ->
   ?platform:Platform.t ->
+  ?search:Place_search.params ->
   ?candidates:Customize.config list ->
   ?codegen:string ->
   cfg:Customize.config ->
@@ -70,10 +74,16 @@ val compile :
     given, else everything [platform] can realize
     ({!Platform.candidates} — M1, M2 and the Fig. 27 8/16-MC
     configurations the controller budget admits), else the single [cfg].
-    The full ranking lands in [artifacts.mapping_scores] and as a C002
-    note; arrays kept unmapped for a user-fixable reason get C003
-    warnings.  [codegen] names the emitted C kernel, enables the codegen
-    pass, and (with [verify]) the V007 replay check. *)
+    With [search] (and a [platform]), {!Place_search.search} runs first
+    at the same [bank_pressure]; its outcome lands in [artifacts.search]
+    and as C004 notes (winning placement + trajectory), and the searched
+    machine competes with the presets in the mapping pass — duplicate
+    cluster names in the C002 cost table are disambiguated as
+    [cluster@placement].  The full ranking lands in
+    [artifacts.mapping_scores] and as a C002 note; arrays kept unmapped
+    for a user-fixable reason get C003 warnings.  [codegen] names the
+    emitted C kernel, enables the codegen pass, and (with [verify]) the
+    V007 replay check. *)
 
 (** {2 Stage dumps} *)
 

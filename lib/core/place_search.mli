@@ -1,0 +1,56 @@
+(** Placement search: deterministic, seeded local search over the joint
+    platform space — MC attachment sites (drawn from a {!Noc.Placement}
+    site pool) × cluster shapes × controller counts under the platform's
+    MC budget.
+
+    The paper fixes the machine and optimizes the program onto it; this
+    module treats the placement itself as the optimization variable
+    (Tootaghaj & Farhat, PAPERS.md).  The objective is
+    {!Mapping_select.estimated_cost} at a calibrated bank pressure; the
+    simulator remains the validation oracle.
+
+    Search shape: for every preset candidate ({!Platform.candidates}) the
+    descent starts from the preset's own placement — so the searched
+    minimum is never worse than the best preset, by construction — plus
+    [restarts] seeded random site subsets, and performs best-improvement
+    descent over the {!Noc.Placement.neighborhood} (relocate + swap)
+    moves.  Everything is deterministic for a given seed: the PRNG is a
+    fixed LCG (not [Random.State], whose algorithm differs across OCaml
+    versions), neighborhoods are enumerated in a fixed order, and
+    exact-cost ties break on cluster name then lexicographic sites.  The
+    same seed therefore emits a byte-identical platform JSON. *)
+
+type params = {
+  pool : Noc.Placement.pool;  (** candidate MC sites (default perimeter) *)
+  seed : int;
+  restarts : int;  (** random starts per cluster shape, beyond the preset *)
+}
+
+val default_params : params
+(** Perimeter pool, seed 0, 3 restarts. *)
+
+type outcome = {
+  platform : Platform.t;
+      (** the winning machine; its name and placement name embed a short
+          digest of the cluster geometry and site list, so caches keyed
+          by placement {e name} (sweep results, [Sim.Config.to_json])
+          distinguish searched placements *)
+  cost : float;  (** estimated cost of [platform] at the search pressure *)
+  preset_best : Mapping_select.scored;  (** cheapest preset candidate *)
+  scored_presets : Mapping_select.scored list;
+      (** all preset candidates, cheapest first *)
+  trajectory : string list;
+      (** human-readable descent log, in execution order: one line per
+          start and per improving move, each ending in [cost=...] *)
+  evaluations : int;  (** cost-model evaluations performed *)
+}
+
+val search :
+  ?params:params ->
+  bank_pressure:float ->
+  Platform.t ->
+  (outcome, string) result
+(** [search ~bank_pressure base] explores the space [base] can realize.
+    [outcome.cost <= (preset_best).cost] always holds.  Errors only on a
+    platform admitting no candidates (impossible for preset platforms) or
+    an internal constructor failure. *)

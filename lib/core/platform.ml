@@ -146,7 +146,16 @@ let same_geometry (a : Cluster.t) (b : Cluster.t) =
   a.Cluster.cx = b.Cluster.cx && a.Cluster.cy = b.Cluster.cy
   && a.Cluster.k = b.Cluster.k
 
-let candidates t =
+(* Two candidates describe the same machine when both the cluster grid and
+   the controller attachment sites coincide — the cluster *name* is
+   presentation (the platform's own mapping can equal a preset, and a
+   searched placement can converge back to the preset sites), so it is
+   deliberately not part of the identity. *)
+let same_machine a b =
+  same_geometry a.cluster b.cluster
+  && a.placement.Noc.Placement.nodes = b.placement.Noc.Placement.nodes
+
+let candidates ?(extra = []) t =
   let width = t.topo.Noc.Topology.width
   and height = t.topo.Noc.Topology.height in
   let budget = num_mcs t in
@@ -171,11 +180,26 @@ let candidates t =
         if List.exists (same_geometry c) acc then acc else acc @ [ c ])
       [ t.cluster ] viable
   in
-  List.filter_map
-    (fun c ->
-      if same_geometry c t.cluster then Some t
-      else match with_cluster t c with Ok p -> Some p | Error _ -> None)
-    clusters
+  let presets =
+    List.filter_map
+      (fun c ->
+        if same_geometry c t.cluster then Some t
+        else match with_cluster t c with Ok p -> Some p | Error _ -> None)
+      clusters
+  in
+  (* extras (e.g. searched placements) join the pool but never duplicate a
+     machine the preset enumeration already proposes; the C002 cost table
+     must not list the same machine twice *)
+  let viable_extra =
+    List.filter
+      (fun (p : t) ->
+        p.topo = t.topo && Cluster.num_mcs p.cluster <= budget)
+      extra
+  in
+  List.fold_left
+    (fun acc p ->
+      if List.exists (same_machine p) acc then acc else acc @ [ p ])
+    [] (presets @ viable_extra)
 
 (* --- presets ----------------------------------------------------------- *)
 

@@ -78,12 +78,21 @@ val with_mapping : t -> string -> (t, string) result
     the cluster name a selection note reports (["M1x8"]), or [""] to
     keep the platform's own mapping. *)
 
-val candidates : t -> t list
+val same_machine : t -> t -> bool
+(** Same cluster geometry (grid and MCs-per-cluster) and same controller
+    attachment nodes.  Names are presentation, not identity: the
+    platform's own mapping can equal a preset, and a searched placement
+    can converge back onto preset sites. *)
+
+val candidates : ?extra:t list -> t -> t list
 (** The Section 4 candidate set this platform can realize: the platform's
     own mapping plus M1, M2 and the Fig. 27 8/16-MC [with_mcs]
-    configurations — deduplicated, and restricted to mappings that tile
-    the mesh and need no more controllers than the platform has.  The
-    platform's own mapping comes first. *)
+    configurations — deduplicated by {!same_machine}, and restricted to
+    mappings that tile the mesh and need no more controllers than the
+    platform has.  The platform's own mapping comes first.  [extra]
+    platforms (e.g. searched placements) join the pool after the presets
+    when they share the topology, fit the MC budget and are not already
+    proposed. *)
 
 val preset_names : string list
 (** The documented presets, for [--help] and error messages. *)

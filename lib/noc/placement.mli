@@ -36,6 +36,31 @@ val ring_result : Topology.t -> count:int -> (t, string) result
     the 8- and 16-MC configurations of Fig. 27.  More MCs than perimeter
     nodes is a value error. *)
 
+(** {2 Candidate site pools}
+
+    The placement search picks MC attachment sites from a pool.
+    [Perimeter] is the paper's packaging assumption (controllers reach
+    pins through edge routers); [Flip_chip] additionally admits interior
+    nodes, the relaxation that makes the Fig. 26 P2/P3-style layouts one
+    corner of a larger space rather than hand-picked alternatives. *)
+
+type pool = Perimeter | Flip_chip
+
+val pool_to_string : pool -> string
+
+val pool_of_string : string -> (pool, string) result
+(** ["perimeter"] or ["flip-chip"]; anything else is a value error. *)
+
+val perimeter_sites : Topology.t -> Coord.t array
+(** All perimeter nodes, clockwise from the NW corner. *)
+
+val interior_sites : Topology.t -> Coord.t array
+(** All non-perimeter nodes, row-major. *)
+
+val pool_sites : Topology.t -> pool -> Coord.t array
+(** The candidate sites of a pool, in a deterministic order (perimeter
+    clockwise, then — for [Flip_chip] — interior row-major). *)
+
 val assign_result :
   Topology.t ->
   name:string ->
@@ -48,12 +73,55 @@ val assign_result :
     set — corners, edge centers, rings — which the interleaved layout
     requires.  Fewer sites than centroids is a value error. *)
 
+val greedy_assign_result :
+  Topology.t ->
+  name:string ->
+  sites:Coord.t array ->
+  centroids:Coord.t array ->
+  (t, string) result
+(** The greedy seed of {!assign_result} without the 2-opt refinement:
+    MC [j] takes the unused site nearest [centroids.(j)], in MC-index
+    order.  Exposed so the refinement's improvement is testable —
+    {!assign_result} never ends with a larger total centroid distance. *)
+
 val for_centroids_result :
   Topology.t -> name:string -> centroids:Coord.t array -> (t, string) result
 (** [for_centroids_result t ~name ~centroids] places one MC per centroid at
     the free perimeter node closest to it (greedy, in MC-index order).  Used
     to attach MC [j] near cluster [j] for arbitrary cluster grids,
     preserving the index correspondence the interleaved layout relies on. *)
+
+val centroid_distance : sites:Coord.t array -> centroids:Coord.t array -> int
+(** Total Manhattan distance from each centroid [j] to its assigned site
+    [sites.(j)] — the quantity greedy assignment and 2-opt minimize. *)
+
+(** {2 Neighborhood moves}
+
+    A search state is an ordered site array — MC [m] attached at
+    [sites.(m)], so the MC-index ↔ cluster-index correspondence the
+    interleaved layout relies on is explicit in the state.  [Swap]
+    generalizes the internal 2-opt refinement to an operator; [Relocate]
+    extends the neighborhood to unused candidate sites of a pool.  All
+    constructors are Result-first: an illegal move is a value error,
+    never a silent repair. *)
+
+type move =
+  | Relocate of { mc : int; site : Coord.t }
+      (** move MC [mc] to the unoccupied [site] *)
+  | Swap of { a : int; b : int }  (** exchange the sites of MCs [a], [b] *)
+
+val pp_move : Format.formatter -> move -> unit
+
+val apply_move_result :
+  Topology.t -> sites:Coord.t array -> move -> (Coord.t array, string) result
+(** The successor state.  Errors: MC index out of range, a relocation
+    target off the mesh or already occupied, or a self-swap. *)
+
+val neighborhood : pool:Coord.t array -> sites:Coord.t array -> move list
+(** Every legal move from [sites]: relocations of each MC to each
+    unoccupied pool site (MC-index major, pool order minor), then all
+    pairwise swaps ([a < b]).  Deterministic order, so a first- or
+    best-improvement descent is reproducible. *)
 
 val nearest : t -> Topology.t -> int -> int
 (** [nearest p topo node] is the MC whose attachment node is closest to

@@ -275,12 +275,53 @@ let mapping_section diags =
     else [ { title = "Mapping selection"; items } ])
   | _ -> []
 
+(* The C004 notes: the placement-search summary as text, the trajectory
+   (steps joined by " | ") as a preformatted block, one step per line. *)
+let search_section diags =
+  match diags with
+  | Some (Json.List ds) ->
+    let msg_of code d =
+      match (Json.member "code" d, Json.member "message" d) with
+      | Some (Json.String c), Some (Json.String m) when c = code -> Some m
+      | _ -> None
+    in
+    let split_steps s =
+      let sep = " | " in
+      let rec go acc s =
+        match find_sub s sep with
+        | None -> List.rev (s :: acc)
+        | Some i ->
+          go
+            (String.sub s 0 i :: acc)
+            (String.sub s (i + String.length sep)
+               (String.length s - i - String.length sep))
+      in
+      go [] s
+    in
+    let items =
+      List.concat_map
+        (fun m ->
+          let prefix = "search trajectory: " in
+          match find_sub m prefix with
+          | Some 0 ->
+            let body =
+              String.sub m (String.length prefix)
+                (String.length m - String.length prefix)
+            in
+            [ Text "Trajectory:"; Pre (String.concat "\n" (split_steps body)) ]
+          | _ -> [ Text m ])
+        (List.filter_map (msg_of "C004") ds)
+    in
+    if items = [] then [] else [ { title = "Placement search"; items } ]
+  | _ -> []
+
 let build ?diags doc =
   match doc with
   | Json.Obj _ ->
     Ok
       ((run_section doc :: tenants_section doc)
-      @ attribution_section doc @ heatmap_section doc @ mapping_section diags)
+      @ attribution_section doc @ heatmap_section doc @ mapping_section diags
+      @ search_section diags)
   | _ -> Error "Report.build: not a stats-JSON object"
 
 (* ---- rendering ---- *)

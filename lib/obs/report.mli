@@ -26,7 +26,9 @@ val build : ?diags:Json.t -> Json.t -> (section list, string) result
     appear only when the document carries their data: attribution and
     heatmaps require a run recorded with attribution on; the mapping
     cost table requires [diags] (the [--diag-json] array) with a C002
-    note.  [Error] when the document is not a stats-JSON object. *)
+    note, and the placement-search section ([occ --mapping search])
+    its C004 notes — summary plus per-step trajectory.  [Error] when
+    the document is not a stats-JSON object. *)
 
 val to_markdown : title:string -> section list -> string
 

@@ -54,12 +54,38 @@ let list_of decode ctx = function
   | Json.List l -> map_result (decode ctx) l
   | _ -> Error (ctx ^ " must be a list")
 
+(* "search": run the deterministic placement search and substitute the
+   searched machine for the config's platform.  [true] uses the default
+   parameters; an object can pin {"seed", "pool", "restarts", "pressure"}
+   (pressure = the cost model's bank pressure, default 1.0).  The cache
+   identity stays sound: the searched placement's *name* embeds a digest
+   of its sites, so jobs on different searched machines never collide. *)
+let search_of ctx = function
+  | Json.Bool false -> Ok None
+  | Json.Bool true -> Ok (Some (Core.Place_search.default_params, 1.0))
+  | Json.Obj _ as j ->
+    let* seed = opt_field int_of ~default:0 "seed" j in
+    let* restarts =
+      opt_field int_of
+        ~default:Core.Place_search.default_params.Core.Place_search.restarts
+        "restarts" j
+    in
+    let* pool_name = opt_field string_of ~default:"perimeter" "pool" j in
+    let* pool =
+      Result.map_error
+        (fun e -> ctx ^ ": " ^ e)
+        (Noc.Placement.pool_of_string pool_name)
+    in
+    let* pressure = opt_field float_of ~default:1.0 "pressure" j in
+    Ok (Some ({ Core.Place_search.pool; seed; restarts }, pressure))
+  | _ -> Error (ctx ^ " must be a boolean or an object")
+
 let config_of_json ~default_seed ~index j =
   match j with
   | Json.Obj fields ->
     let known =
       [ "name"; "platform"; "scaled"; "l2"; "interleave"; "policy"; "mapping";
-        "width"; "height"; "tpc"; "optimal"; "seed" ]
+        "width"; "height"; "tpc"; "optimal"; "seed"; "search" ]
     in
     let* () =
       match List.find_opt (fun (k, _) -> not (List.mem k known)) fields with
@@ -83,11 +109,24 @@ let config_of_json ~default_seed ~index j =
     let* tpc = opt_field int_of ~default:1 "tpc" j in
     let* optimal = opt_field bool_of ~default:false "optimal" j in
     let* seed = opt_field int_of ~default:default_seed "seed" j in
+    let* search = opt_field (fun ctx j -> search_of ctx j) ~default:None "search" j in
     let* config =
       Result.map_error
         (fun e -> ctx ^ ": " ^ e)
         (Sim.Config.build ~scaled ~platform ~l2 ~interleave ~policy ~mapping
            ~width ~height ~tpc ~optimal ~seed ())
+    in
+    let* config =
+      match search with
+      | None -> Ok config
+      | Some (params, bank_pressure) -> (
+        match
+          Core.Place_search.search ~params ~bank_pressure
+            (Sim.Config.platform config)
+        with
+        | Error e -> Error (ctx ^ ": search: " ^ e)
+        | Ok o ->
+          Ok (Sim.Config.with_platform config o.Core.Place_search.platform))
     in
     Ok (name, config)
   | _ -> Error "each entry of \"configs\" must be an object"

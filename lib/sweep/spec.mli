@@ -25,9 +25,14 @@
     platform ({!Sim.Config.scaled} semantics); [platform] is a
     {!Core.Platform} preset name or JSON file and takes precedence over
     [width]/[height] ([mapping] still re-maps it; [""] keeps the
-    platform's own mapping); [seed] at the top level is the default for
-    configs that do not set their own.  [expand] flattens the product
-    into one job per (config, app, optimized) triple. *)
+    platform's own mapping); [search] ([true] or
+    [{"seed", "pool", "restarts", "pressure"}]) runs the deterministic
+    {!Core.Place_search} and substitutes the searched machine for the
+    config's platform — the searched placement name embeds a site digest,
+    so cached results on different searched machines never collide;
+    [seed] at the top level is the default for configs that do not set
+    their own.  [expand] flattens the product into one job per
+    (config, app, optimized) triple. *)
 
 type job = {
   id : string;  (** ["<config>/<app>/<orig|opt>"], unique within a spec *)

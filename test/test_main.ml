@@ -7,4 +7,5 @@ let () =
    @ Test_workloads.suite @ Test_obs.suite @ Test_integration.suite
    @ Test_extensions.suite @ Test_fuzz.suite @ Test_misc.suite
    @ Test_sweep.suite @ Test_pipeline.suite @ Test_platform.suite
-   @ Test_attr.suite @ Test_serve.suite @ Test_par.suite)
+   @ Test_attr.suite @ Test_serve.suite @ Test_par.suite
+   @ Test_place_search.suite)

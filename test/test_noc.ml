@@ -122,6 +122,142 @@ let test_assign_alignment () =
   Alcotest.(check int) "MC1 at NW" (Topology.node_of_coord topo8 (Coord.make 0 0))
     (Placement.mc_node p 1)
 
+(* --- assignment properties (qcheck) --- *)
+
+(* Random assignment instances: n centroids anywhere in the mesh, and a
+   shuffled subset of the perimeter (at least n sites) to place on. *)
+let assign_arb =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 8 in
+      let* extra = int_range 0 8 in
+      let* perm =
+        shuffle_l (Array.to_list (Placement.perimeter_sites topo8))
+      in
+      let* centroids =
+        list_repeat n (map (fun (x, y) -> Coord.make x y)
+                         (pair (int_range 0 7) (int_range 0 7)))
+      in
+      let sites = List.filteri (fun i _ -> i < n + extra) perm in
+      return (Array.of_list sites, Array.of_list centroids))
+  in
+  QCheck.make
+    ~print:(fun (sites, centroids) ->
+      let s a =
+        String.concat ";"
+          (Array.to_list
+             (Array.map (fun c -> Printf.sprintf "(%d,%d)" c.Coord.x c.Coord.y) a))
+      in
+      Printf.sprintf "sites=%s centroids=%s" (s sites) (s centroids))
+    gen
+
+let placement_sites p =
+  Array.map (Topology.coord_of_node topo8) p.Placement.nodes
+
+(* The 2-opt refinement never produces a costlier assignment than the
+   plain greedy seed it starts from. *)
+let prop_twoopt_not_worse =
+  QCheck.Test.make ~name:"assign: 2-opt <= greedy (centroid distance)"
+    ~count:300 assign_arb (fun (sites, centroids) ->
+      let refined =
+        ok (Placement.assign_result topo8 ~name:"r" ~sites ~centroids)
+      in
+      let greedy =
+        ok (Placement.greedy_assign_result topo8 ~name:"g" ~sites ~centroids)
+      in
+      Placement.centroid_distance ~sites:(placement_sites refined) ~centroids
+      <= Placement.centroid_distance ~sites:(placement_sites greedy) ~centroids)
+
+(* The refinement permutes site assignments but never forgets the
+   MC-index <-> cluster-index correspondence the interleaved layout needs:
+   one distinct site per centroid, every site drawn from the given set. *)
+let prop_assign_correspondence =
+  QCheck.Test.make ~name:"assign: one distinct in-set site per MC" ~count:300
+    assign_arb (fun (sites, centroids) ->
+      let p = ok (Placement.assign_result topo8 ~name:"c" ~sites ~centroids) in
+      let chosen = placement_sites p in
+      Placement.count p = Array.length centroids
+      && Array.for_all
+           (fun c -> Array.exists (Coord.equal c) sites)
+           chosen
+      &&
+      let distinct = ref true in
+      Array.iteri
+        (fun i a ->
+          Array.iteri
+            (fun j b -> if i < j && Coord.equal a b then distinct := false)
+            chosen)
+        chosen;
+      !distinct)
+
+(* Every neighborhood move is legal, and the enumeration is deterministic. *)
+let prop_neighborhood_legal =
+  QCheck.Test.make ~name:"neighborhood: all moves legal, order stable"
+    ~count:100 assign_arb (fun (sites, centroids) ->
+      let p = ok (Placement.assign_result topo8 ~name:"n" ~sites ~centroids) in
+      let state = placement_sites p in
+      let pool = Placement.pool_sites topo8 Placement.Perimeter in
+      let moves = Placement.neighborhood ~pool ~sites:state in
+      moves = Placement.neighborhood ~pool ~sites:state
+      && List.for_all
+           (fun m ->
+             match Placement.apply_move_result topo8 ~sites:state m with
+             | Ok next ->
+               (* a move changes the state but never its size *)
+               Array.length next = Array.length state && next <> state
+             | Error _ -> false)
+           moves)
+
+(* --- move operators and site pools --- *)
+
+let test_site_pools () =
+  Alcotest.(check int) "perimeter 8x8" 28
+    (Array.length (Placement.pool_sites topo8 Placement.Perimeter));
+  Alcotest.(check int) "flip-chip 8x8 = all nodes" 64
+    (Array.length (Placement.pool_sites topo8 Placement.Flip_chip));
+  Alcotest.(check string) "to_string" "flip-chip"
+    (Placement.pool_to_string Placement.Flip_chip);
+  (match Placement.pool_of_string "perimeter" with
+  | Ok Placement.Perimeter -> ()
+  | _ -> Alcotest.fail "perimeter should parse");
+  match Placement.pool_of_string "nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown pool should be an error"
+
+let test_moves () =
+  let sites = [| Coord.make 0 0; Coord.make 7 0 |] in
+  (* swap exchanges, leaving the input untouched *)
+  (match
+     Placement.apply_move_result topo8 ~sites (Placement.Swap { a = 0; b = 1 })
+   with
+  | Ok next ->
+    Alcotest.(check bool) "swapped" true
+      (Coord.equal next.(0) (Coord.make 7 0) && Coord.equal next.(1) (Coord.make 0 0));
+    Alcotest.(check bool) "input intact" true (Coord.equal sites.(0) (Coord.make 0 0))
+  | Error e -> Alcotest.fail e);
+  (* relocate moves one MC to a free site *)
+  (match
+     Placement.apply_move_result topo8 ~sites
+       (Placement.Relocate { mc = 1; site = Coord.make 3 7 })
+   with
+  | Ok next -> Alcotest.(check bool) "relocated" true (Coord.equal next.(1) (Coord.make 3 7))
+  | Error e -> Alcotest.fail e);
+  (* the error cases are values, not exceptions *)
+  let expect_error name = function
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s should be an error" name
+  in
+  expect_error "self-swap"
+    (Placement.apply_move_result topo8 ~sites (Placement.Swap { a = 1; b = 1 }));
+  expect_error "swap out of range"
+    (Placement.apply_move_result topo8 ~sites (Placement.Swap { a = 0; b = 9 }));
+  expect_error "occupied target"
+    (Placement.apply_move_result topo8 ~sites
+       (Placement.Relocate { mc = 0; site = Coord.make 7 0 }));
+  expect_error "off-mesh target"
+    (Placement.apply_move_result topo8 ~sites
+       (Placement.Relocate { mc = 0; site = Coord.make 9 9 }))
+
 (* --- network contention --- *)
 
 let test_network_unloaded () =
@@ -182,7 +318,15 @@ let suite =
         Alcotest.test_case "nearest" `Quick test_nearest;
         Alcotest.test_case "ring" `Quick test_ring;
         Alcotest.test_case "assign alignment" `Quick test_assign_alignment;
-      ] );
+        Alcotest.test_case "site pools" `Quick test_site_pools;
+        Alcotest.test_case "move operators" `Quick test_moves;
+      ]
+      @ qsuite
+          [
+            prop_twoopt_not_worse;
+            prop_assign_correspondence;
+            prop_neighborhood_legal;
+          ] );
     ( "noc.network",
       [
         Alcotest.test_case "unloaded latency" `Quick test_network_unloaded;

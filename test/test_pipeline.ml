@@ -206,6 +206,69 @@ let test_auto_mapping_selection () =
   Alcotest.(check string) "light pressure keeps M1" "M1" (winner 0.25);
   Alcotest.(check string) "heavy pressure picks 8 MCs" "M1x8" (winner 4.0)
 
+(* --- placement search through the pipeline (C004) --------------------- *)
+
+let test_search_mapping_selection () =
+  let platform =
+    match Core.Platform.of_spec "mesh8x8-mc8" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let cfg = default_cfg () in
+  let src = read_file jacobi_path in
+  let r =
+    Pipeline.compile ~platform ~search:Core.Place_search.default_params
+      ~bank_pressure:1.0 ~cfg
+      (Pipeline.Source { file = jacobi_path; src })
+  in
+  Alcotest.(check bool) "pipeline ok" true r.Pipeline.ok;
+  let outcome =
+    match r.Pipeline.artifacts.Pipeline.search with
+    | Some o -> o
+    | None -> Alcotest.fail "no search outcome recorded"
+  in
+  Alcotest.(check bool) "searched cost <= best preset" true
+    (outcome.Core.Place_search.cost
+    <= outcome.Core.Place_search.preset_best.Core.Mapping_select.cost +. 1e-9);
+  (* the searched machine competes: presets plus one searched candidate *)
+  (match r.Pipeline.artifacts.Pipeline.mapping_scores with
+  | Some scored -> Alcotest.(check int) "four candidates scored" 4 (List.length scored)
+  | None -> Alcotest.fail "no mapping scores recorded");
+  let c004 =
+    List.filter (fun (d : Diag.t) -> String.equal d.Diag.code "C004") r.Pipeline.diags
+  in
+  Alcotest.(check int) "summary + trajectory notes" 2 (List.length c004);
+  Alcotest.(check bool) "summary mentions the preset comparison" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         Astring.String.is_infix ~affix:"vs best preset" d.Diag.message)
+       c004);
+  Alcotest.(check bool) "trajectory note present" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         Astring.String.is_infix ~affix:"search trajectory:" d.Diag.message)
+       c004);
+  (* duplicate cluster names in the C002 table are disambiguated by
+     placement, so the selection note still identifies one machine *)
+  (match
+     List.find_opt
+       (fun (d : Diag.t) -> String.equal d.Diag.code "C002")
+       r.Pipeline.diags
+   with
+  | Some d ->
+    Alcotest.(check bool) "C002 disambiguates by placement" true
+      (Astring.String.is_infix ~affix:"@" d.Diag.message)
+  | None -> Alcotest.fail "expected a C002 selection note");
+  (* on this platform the searched placement strictly beats every preset,
+     so the chosen config must carry it *)
+  match r.Pipeline.artifacts.Pipeline.cfg with
+  | Some c ->
+    Alcotest.(check string) "chosen placement is the searched one"
+      outcome.Core.Place_search.platform.Core.Platform.placement
+        .Noc.Placement.name
+      c.Core.Customize.placement.Noc.Placement.name
+  | None -> Alcotest.fail "no chosen config"
+
 (* --- C003: fixable kept-array warnings -------------------------------- *)
 
 let test_keep_warning_no_profile () =
@@ -462,6 +525,8 @@ let suite =
           test_verifier_catches_corrupted_mapping;
         Alcotest.test_case "auto mapping selection (C002)" `Quick
           test_auto_mapping_selection;
+        Alcotest.test_case "placement search selection (C004)" `Quick
+          test_search_mapping_selection;
         Alcotest.test_case "kept-array warning (C003)" `Quick
           test_keep_warning_no_profile;
         Alcotest.test_case "codegen replay clean (V007)" `Quick

@@ -1,0 +1,73 @@
+(* Core.Place_search: determinism, searched-vs-preset dominance, and the
+   pipeline's `search` mapping mode. *)
+
+open Core
+
+let json_of_platform p = Obs.Json.to_string (Platform.to_json p)
+
+(* Same seed => byte-identical emitted platform JSON (the dev-check /CI
+   invariant); a different seed still never beats determinism — it may
+   find the same optimum, but each seed reproduces itself exactly. *)
+let test_deterministic () =
+  let base = Platform.default () in
+  let run () =
+    match Place_search.search ~bank_pressure:1.0 base with
+    | Error e -> Alcotest.fail e
+    | Ok o -> o
+  in
+  let a = run () and b = run () in
+  Alcotest.(check string) "same JSON" (json_of_platform a.platform)
+    (json_of_platform b.platform);
+  Alcotest.(check (float 1e-9)) "same cost" a.cost b.cost;
+  Alcotest.(check int) "same evaluations" a.evaluations b.evaluations;
+  Alcotest.(check (list string)) "same trajectory" a.trajectory b.trajectory
+
+(* The descent starts from every preset candidate, so the searched cost
+   can never exceed the best preset's — at any pressure, on any preset
+   platform. *)
+let test_dominates_presets () =
+  List.iter
+    (fun (spec, pressure) ->
+      match Platform.of_spec spec with
+      | Error e -> Alcotest.fail e
+      | Ok base ->
+        (match Place_search.search ~bank_pressure:pressure base with
+         | Error e -> Alcotest.fail e
+         | Ok o ->
+           if o.cost > o.preset_best.Mapping_select.cost +. 1e-9 then
+             Alcotest.failf "%s @ %.2f: searched %.3f > preset %.3f" spec
+               pressure o.cost o.preset_best.Mapping_select.cost))
+    [
+      ("mesh8x8-mc4", 0.25);
+      ("mesh8x8-mc4", 1.0);
+      ("mesh8x8-mc4", 4.0);
+      ("mesh8x8-mc8", 1.0);
+      ("mesh8x8-mc16", 2.0);
+      ("mesh4x4-m1", 1.0);
+    ]
+
+(* The searched platform is a valid machine: it round-trips through JSON
+   and its placement keeps one site per controller. *)
+let test_roundtrip () =
+  let base = Platform.default () in
+  match Place_search.search ~bank_pressure:2.0 base with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    (match Platform.of_json (Platform.to_json o.platform) with
+     | Error e -> Alcotest.fail e
+     | Ok p ->
+       Alcotest.(check bool) "same machine" true
+         (Platform.same_machine p o.platform);
+       Alcotest.(check int) "one site per MC"
+         (Platform.num_mcs o.platform)
+         (Noc.Placement.count o.platform.Platform.placement))
+
+let suite =
+  [
+    ( "place_search",
+      [
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "dominates presets" `Quick test_dominates_presets;
+        Alcotest.test_case "json roundtrip" `Quick test_roundtrip;
+      ] );
+  ]

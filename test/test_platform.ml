@@ -64,6 +64,42 @@ let test_candidates_respect_budget () =
     [ "M1x16"; "M1"; "M2"; "M1x8" ]
     (candidate_names (ok (Platform.of_spec "mesh8x8-mc16")))
 
+let test_candidate_dedupe () =
+  let p = Platform.default () in
+  (* an extra that collapses to a machine the presets already propose
+     (same cluster x placement) is dropped — the C002 table never lists
+     the same machine twice *)
+  Alcotest.(check (list string)) "duplicate extra dropped" [ "M1"; "M2" ]
+    (List.map
+       (fun (q : Platform.t) -> q.Platform.cluster.Cluster.name)
+       (Platform.candidates ~extra:[ p ] p));
+  (* an extra with the same cluster but a different placement is a new
+     machine and joins the pool after the presets *)
+  let moved =
+    let topo = p.Platform.topo in
+    let placement =
+      ok
+        (Noc.Placement.of_coords_result topo "moved"
+           [|
+             Noc.Coord.make 1 0; Noc.Coord.make 6 0;
+             Noc.Coord.make 1 7; Noc.Coord.make 6 7;
+           |])
+    in
+    ok
+      (Platform.make_result ~placement ~name:"moved" ~topo
+         ~cluster:p.Platform.cluster ())
+  in
+  Alcotest.(check bool) "distinct machine" false (Platform.same_machine p moved);
+  let cs = Platform.candidates ~extra:[ moved ] p in
+  Alcotest.(check int) "extra joins the pool" 3 (List.length cs);
+  Alcotest.(check string) "after the presets" "moved"
+    (let last = List.nth cs 2 in
+     last.Platform.placement.Noc.Placement.name);
+  (* an extra beyond the MC budget is not realizable and is dropped *)
+  let mc16 = ok (Platform.of_spec "mesh8x8-mc16") in
+  Alcotest.(check int) "over-budget extra dropped" 2
+    (List.length (Platform.candidates ~extra:[ mc16 ] p))
+
 let test_with_mapping () =
   let p = Platform.default () in
   let m2 = ok (Platform.with_mapping p "M2") in
@@ -195,6 +231,8 @@ let suite =
         Alcotest.test_case "of_spec presets" `Quick test_of_spec_presets;
         Alcotest.test_case "of_spec errors" `Quick test_of_spec_errors;
         Alcotest.test_case "candidate budget" `Quick test_candidates_respect_budget;
+        Alcotest.test_case "candidate dedupe (extras)" `Quick
+          test_candidate_dedupe;
         Alcotest.test_case "with_mapping" `Quick test_with_mapping;
         Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
         Alcotest.test_case "of_file / of_spec path" `Quick test_of_file;

@@ -48,6 +48,39 @@ let tiny_spec ?(name = "tiny") ?(apps = [ "apsi" ]) ?(optimized = [ false ])
        (String.concat "," (List.map string_of_bool optimized))
        seed)
 
+(* A config with "search": true runs the placement search at spec-load
+   time and substitutes the searched machine: the job's platform carries
+   a digest-bearing placement name (distinct cache identity), and two
+   loads of the same spec agree byte-for-byte. *)
+let test_spec_search_knob () =
+  let load () =
+    spec_of_string
+      {|{"name":"searched","apps":["apsi"],"optimized":[false],
+         "configs":[{"name":"s","platform":"mesh8x8-mc8","search":true}]}|}
+  in
+  let spec = load () in
+  Alcotest.(check int) "one job" 1 (Array.length spec.Sweep.Spec.jobs);
+  let job = spec.Sweep.Spec.jobs.(0) in
+  let placement =
+    (Sim.Config.placement job.Sweep.Spec.config).Noc.Placement.name
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "digest-bearing placement name (%s)" placement)
+    true
+    (String.length placement > String.length "searched-"
+    && String.sub placement 0 9 = "searched-");
+  let identity j = Json.to_string (Sweep.Spec.job_identity j) in
+  Alcotest.(check string) "deterministic across loads" (identity job)
+    (identity (load ()).Sweep.Spec.jobs.(0));
+  (* the searched machine's identity differs from the preset's *)
+  let preset =
+    spec_of_string
+      {|{"name":"preset","apps":["apsi"],"optimized":[false],
+         "configs":[{"name":"s","platform":"mesh8x8-mc8"}]}|}
+  in
+  Alcotest.(check bool) "distinct cache identity from the preset" false
+    (String.equal (identity job) (identity preset.Sweep.Spec.jobs.(0)))
+
 (* ---- pool ---- *)
 
 let test_pool_payloads () =
@@ -264,6 +297,8 @@ let suite =
   [
     ( "sweep",
       [
+        Alcotest.test_case "spec search knob substitutes searched machine"
+          `Quick test_spec_search_knob;
         Alcotest.test_case "pool transports payloads" `Quick
           test_pool_payloads;
         Alcotest.test_case "pool kills a job on timeout" `Quick
