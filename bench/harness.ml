@@ -74,6 +74,15 @@ let sig_of_cfg (cfg : Config.t) =
       | Dram.Fr_fcfs.Open_page -> 0
       | Dram.Fr_fcfs.Closed_page -> 2000)
     cfg.Config.seed
+  (* hierarchical platforms get a suffix so memoized runs never collide
+     with a flat mesh of the same geometry; flat keys are unchanged *)
+  ^
+  match (Config.topo cfg).Noc.Topology.chiplets with
+  | None -> ""
+  | Some g ->
+    Printf.sprintf "/chip%dx%d:%d:%d" g.Noc.Topology.grid_x
+      g.Noc.Topology.grid_y g.Noc.Topology.link_latency
+      g.Noc.Topology.link_bytes
 
 let run_table : (string, Engine.result) Hashtbl.t = Hashtbl.create 64
 

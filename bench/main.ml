@@ -564,7 +564,7 @@ let micro () =
     Core.Customize.customize ccfg ~array:"A" ~extents:[| 128; 128 |]
       ~u:(Affine.Matrix.identity 2) ~v:0
   in
-  let topo = Noc.Topology.make ~width:8 ~height:8 in
+  let topo = Noc.Topology.make ~width:8 ~height:8 () in
   let idx = [| 37; 91 |] in
   let tests =
     Test.make_grouped ~name:"offchip"

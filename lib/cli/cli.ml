@@ -44,9 +44,11 @@ let platform =
     & info [ "platform" ] ~docv:"PRESET|FILE"
         ~doc:
           "Platform description: a named preset (mesh8x8-mc4, mesh8x8-mc8, \
-           mesh8x8-mc16, mesh8x8-m2) or a platform JSON file.  Default: \
-           mesh8x8-mc4, the Table 1 machine.  Overrides --width/--height; \
-           --mapping still re-maps it.")
+           mesh8x8-mc16, mesh8x8-m2, or the hierarchical chiplet2x2-mc4 \
+           and chiplet2x2-mc8 — a 2x2 grid of 4x4-core chiplets joined by \
+           12-cycle 8-byte inter-chiplet links) or a platform JSON file.  \
+           Default: mesh8x8-mc4, the Table 1 machine.  Overrides \
+           --width/--height; --mapping still re-maps it.")
 
 let width =
   Arg.(value & opt int 8 & info [ "width" ] ~docv:"W" ~doc:"Mesh width.")

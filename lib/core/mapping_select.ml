@@ -1,20 +1,26 @@
-type metrics = { avg_distance : float; mcs_per_cluster : int }
+type metrics = {
+  avg_distance : float;
+  avg_chiplet_hops : float;
+  mcs_per_cluster : int;
+}
 
 let evaluate topo (c : Cluster.t) placement =
   let cores = Cluster.num_cores c in
-  let total = ref 0 and count = ref 0 in
+  let total = ref 0 and cross = ref 0 and count = ref 0 in
   for t = 0 to cores - 1 do
     let node = Cluster.node_of_thread c topo t in
     let cluster = Cluster.cluster_of_node c topo node in
     List.iter
       (fun m ->
-        total :=
-          !total + Noc.Topology.distance topo node (Noc.Placement.mc_node placement m);
+        let mc = Noc.Placement.mc_node placement m in
+        total := !total + Noc.Topology.distance topo node mc;
+        cross := !cross + Noc.Topology.chiplet_hops topo node mc;
         incr count)
       (Cluster.mcs_of_cluster c cluster)
   done;
   {
     avg_distance = float_of_int !total /. float_of_int !count;
+    avg_chiplet_hops = float_of_int !cross /. float_of_int !count;
     mcs_per_cluster = c.k;
   }
 
@@ -43,7 +49,18 @@ let xfer_per_mc = 3.0
 let estimated_cost topo c placement ~bank_pressure =
   let m = evaluate topo c placement in
   let mcs = Cluster.num_mcs c in
-  let network = 2. *. m.avg_distance *. per_hop in
+  (* every hop is priced at the on-die latency; a hop that crosses a
+     chiplet boundary additionally pays the link class's extra latency.
+     The term is exactly zero on a flat mesh, so flat costs (and the
+     selection notes pinned by dev-check) are unchanged. *)
+  let cross_extra =
+    match topo.Noc.Topology.chiplets with
+    | None -> 0.
+    | Some g -> float_of_int g.Noc.Topology.link_latency -. per_hop
+  in
+  let network =
+    2. *. ((m.avg_distance *. per_hop) +. (m.avg_chiplet_hops *. cross_extra))
+  in
   (* queue wait grows with pressure; every controller splits the load *)
   let queue =
     bank_pressure *. queue_weight /. float_of_int (mcs * m.mcs_per_cluster)

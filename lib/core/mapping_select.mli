@@ -11,6 +11,9 @@
 type metrics = {
   avg_distance : float;
       (** mean hops from a core to the controllers of its cluster *)
+  avg_chiplet_hops : float;
+      (** mean chiplet-boundary crossings on those paths; [0.] on a flat
+          mesh *)
   mcs_per_cluster : int;  (** [k] — the MLP a cluster enjoys *)
 }
 
@@ -23,7 +26,9 @@ val estimated_cost :
   bank_pressure:float ->
   float
 (** Expected off-chip round-trip cost under the mapping:
-    [2·avg_distance·per_hop + queue + transfer], where the queueing term
+    [2·(avg_distance·per_hop + avg_chiplet_hops·(link_latency − per_hop))
+    + queue + transfer] — on a flat mesh the chiplet term vanishes and
+    the historical formula is unchanged.  The queueing term
     scales with the profiled [bank_pressure] (time-averaged waiting
     requests across the bank queues under the default mapping) divided
     over all [num_mcs·k] controllers a request can queue at, and the

@@ -116,7 +116,7 @@ let descend topo cluster ~pool_sites ~bank_pressure ~evaluations ~trajectory
             match !best with None -> c < !current -. 1e-9 | Some (bc, _, _) -> c < bc -. 1e-9
           in
           if better then best := Some (c, next, move))
-      (Noc.Placement.neighborhood ~pool:pool_sites ~sites:!sites);
+      (Noc.Placement.neighborhood_on topo ~pool:pool_sites ~sites:!sites);
     match !best with
     | Some (c, next, move) ->
       sites := next;

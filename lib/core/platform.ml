@@ -204,55 +204,98 @@ let candidates ?(extra = []) t =
 (* --- presets ----------------------------------------------------------- *)
 
 let preset_names =
-  [ "mesh8x8-mc4"; "mesh8x8-mc8"; "mesh8x8-mc16"; "mesh8x8-m2" ]
+  [
+    "mesh8x8-mc4";
+    "mesh8x8-mc8";
+    "mesh8x8-mc16";
+    "mesh8x8-m2";
+    "chiplet2x2-mc4";
+    "chiplet2x2-mc8";
+  ]
+
+(* Each chiplet of a chiplet<CX>x<CY> preset is a 4x4 tile of cores, so
+   chiplet2x2 is the familiar 8x8 mesh partitioned into four NUMA
+   domains.  Crossing a die boundary costs 3x the on-die hop latency
+   over links half as wide — the asymmetry the chiplet-GPU literature
+   models. *)
+let chiplet_tile = 4
+
+let chiplet_link_latency = 12
+
+let chiplet_link_bytes = 8
 
 let preset_result name =
   let fail () =
     Error
       (Printf.sprintf
-         "unknown platform %S (expected mesh<W>x<H>-{m1|m2|mc<N>}, e.g. %s, \
-          or a platform JSON file)"
+         "unknown platform %S (expected mesh<W>x<H>-{m1|m2|mc<N>} or \
+          chiplet<CX>x<CY>-{m1|m2|mc<N>}, e.g. %s, or a platform JSON file)"
          name
          (String.concat ", " preset_names))
+  in
+  let mapping_of = function
+    (* "mc4" is the paper's default M1 mapping (Fig. 8a): four
+       controllers, one per quadrant *)
+    | "m1" | "mc4" -> Some `M1
+    | "m2" -> Some `M2
+    | s when String.length s > 2 && String.sub s 0 2 = "mc" -> (
+      match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+      | Some mcs when mcs > 0 -> Some (`Mcs mcs)
+      | _ -> None)
+    | _ -> None
+  in
+  let build ~name ~topo mapping =
+    let width = topo.Noc.Topology.width
+    and height = topo.Noc.Topology.height in
+    let cluster =
+      match mapping with
+      | `M1 -> Cluster.m1 ~width ~height
+      | `M2 -> Cluster.m2 ~width ~height
+      | `Mcs mcs -> Cluster.with_mcs_result ~width ~height ~mcs
+    in
+    match cluster with
+    | Error e -> Error (Printf.sprintf "platform %s: %s" name e)
+    | Ok cluster -> make_result ~name ~topo ~cluster ()
   in
   match String.index_opt name '-' with
   | None -> fail ()
   | Some dash ->
     let mesh = String.sub name 0 dash
     and map = String.sub name (dash + 1) (String.length name - dash - 1) in
-    if String.length mesh < 7 || String.sub mesh 0 4 <> "mesh" then fail ()
-    else (
-      match String.index_from_opt mesh 4 'x' with
-      | None -> fail ()
-      | Some cross -> (
-        let w = String.sub mesh 4 (cross - 4)
-        and h = String.sub mesh (cross + 1) (String.length mesh - cross - 1) in
-        let mapping =
-          match map with
-          (* "mc4" is the paper's default M1 mapping (Fig. 8a): four
-             controllers, one per quadrant *)
-          | "m1" | "mc4" -> Some `M1
-          | "m2" -> Some `M2
-          | s when String.length s > 2 && String.sub s 0 2 = "mc" -> (
-            match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
-            | Some mcs when mcs > 0 -> Some (`Mcs mcs)
-            | _ -> None)
-          | _ -> None
-        in
-        match (int_of_string_opt w, int_of_string_opt h, mapping) with
-        | Some width, Some height, Some mapping when width >= 1 && height >= 1
-          -> (
-          let topo = Noc.Topology.make ~width ~height in
-          let cluster =
-            match mapping with
-            | `M1 -> Cluster.m1 ~width ~height
-            | `M2 -> Cluster.m2 ~width ~height
-            | `Mcs mcs -> Cluster.with_mcs_result ~width ~height ~mcs
+    let dims prefix =
+      let pl = String.length prefix in
+      if String.length mesh < pl + 3 || String.sub mesh 0 pl <> prefix then
+        None
+      else
+        match String.index_from_opt mesh pl 'x' with
+        | None -> None
+        | Some cross -> (
+          let w = String.sub mesh pl (cross - pl)
+          and h =
+            String.sub mesh (cross + 1) (String.length mesh - cross - 1)
           in
-          match cluster with
-          | Error e -> Error (Printf.sprintf "platform %s: %s" name e)
-          | Ok cluster -> make_result ~name ~topo ~cluster ())
-        | _ -> fail ()))
+          match (int_of_string_opt w, int_of_string_opt h) with
+          | Some w, Some h when w >= 1 && h >= 1 -> Some (w, h)
+          | _ -> None)
+    in
+    (match (dims "mesh", dims "chiplet", mapping_of map) with
+    | Some (width, height), _, Some mapping ->
+      build ~name ~topo:(Noc.Topology.make ~width ~height ()) mapping
+    | None, Some (gx, gy), Some mapping ->
+      let chiplets =
+        {
+          Noc.Topology.grid_x = gx;
+          grid_y = gy;
+          link_latency = chiplet_link_latency;
+          link_bytes = chiplet_link_bytes;
+        }
+      in
+      let topo =
+        Noc.Topology.make ~chiplets ~width:(gx * chiplet_tile)
+          ~height:(gy * chiplet_tile) ()
+      in
+      build ~name ~topo mapping
+    | _ -> fail ())
 
 let default () =
   match preset_result "mesh8x8-mc4" with
@@ -278,11 +321,32 @@ let to_json t =
     let c = Noc.Topology.coord_of_node t.topo n in
     List [ Int c.Noc.Coord.x; Int c.Noc.Coord.y ]
   in
+  (* the "hierarchy" member exists only on hierarchical platforms: a flat
+     platform's document stays byte-identical to what it was before the
+     chiplet level existed *)
+  let hierarchy =
+    match t.topo.Noc.Topology.chiplets with
+    | None -> []
+    | Some g ->
+      [
+        ( "hierarchy",
+          obj
+            [
+              ("chiplets_x", Int g.Noc.Topology.grid_x);
+              ("chiplets_y", Int g.Noc.Topology.grid_y);
+              ("link_latency", Int g.Noc.Topology.link_latency);
+              ("link_bytes", Int g.Noc.Topology.link_bytes);
+            ] );
+      ]
+  in
   obj
-    [
+    ([
       ("name", String t.name);
       ("mesh_width", Int t.topo.Noc.Topology.width);
       ("mesh_height", Int t.topo.Noc.Topology.height);
+    ]
+    @ hierarchy
+    @ [
       ( "cluster",
         obj
           [
@@ -306,7 +370,7 @@ let to_json t =
       ("elem_bytes", Int t.elem_bytes);
       ("banks_per_mc", Int t.banks_per_mc);
       ("channels_per_mc", Int t.channels_per_mc);
-    ]
+    ])
 
 let int_field ?default j name =
   match Obs.Json.member name j with
@@ -334,7 +398,24 @@ let of_json j =
     if width >= 1 && height >= 1 then Ok ()
     else Error (Printf.sprintf "bad mesh %dx%d" width height)
   in
-  let topo = Noc.Topology.make ~width ~height in
+  let topo = Noc.Topology.make ~width ~height () in
+  let* topo =
+    match Obs.Json.member "hierarchy" j with
+    | None -> Ok topo
+    | Some hj ->
+      Result.map_error
+        (fun e -> "hierarchy: " ^ e)
+        (let* grid_x = int_field hj "chiplets_x" in
+         let* grid_y = int_field hj "chiplets_y" in
+         let* link_latency =
+           int_field ~default:chiplet_link_latency hj "link_latency"
+         in
+         let* link_bytes =
+           int_field ~default:chiplet_link_bytes hj "link_bytes"
+         in
+         Noc.Topology.chiplets_result topo ~grid_x ~grid_y ~link_latency
+           ~link_bytes)
+  in
   let* cluster =
     match Obs.Json.member "cluster" j with
     | None -> Cluster.m1 ~width ~height
@@ -398,10 +479,18 @@ let of_spec spec =
   if Sys.file_exists spec then of_file spec else preset_result spec
 
 let pp ppf t =
+  let hierarchy =
+    match t.topo.Noc.Topology.chiplets with
+    | None -> ""
+    | Some g ->
+      Printf.sprintf " (%dx%d chiplets, cross-links %d cycles/%d B)"
+        g.Noc.Topology.grid_x g.Noc.Topology.grid_y g.Noc.Topology.link_latency
+        g.Noc.Topology.link_bytes
+  in
   Format.fprintf ppf
-    "@[<v>platform %s: %dx%d mesh, %a, placement %s, %s interleaving (%d B \
+    "@[<v>platform %s: %dx%d mesh%s, %a, placement %s, %s interleaving (%d B \
      lines, %d B pages), %d banks/MC, %d channels/MC@]"
-    t.name t.topo.Noc.Topology.width t.topo.Noc.Topology.height Cluster.pp
-    t.cluster t.placement.Noc.Placement.name
+    t.name t.topo.Noc.Topology.width t.topo.Noc.Topology.height hierarchy
+    Cluster.pp t.cluster t.placement.Noc.Placement.name
     (interleaving_to_string t.interleaving)
     t.line_bytes t.page_bytes t.banks_per_mc t.channels_per_mc

@@ -100,15 +100,23 @@ val preset_names : string list
 val of_spec : string -> (t, string) result
 (** [of_spec s] loads a platform from [s]: an existing file path is parsed
     as a platform JSON file ({!of_json}); otherwise [s] must name a preset
-    of the form [mesh<W>x<H>-{m1|m2|mc<N>}] (e.g. [mesh8x8-mc8]).
+    of the form [mesh<W>x<H>-{m1|m2|mc<N>}] (e.g. [mesh8x8-mc8]) or
+    [chiplet<CX>x<CY>-{m1|m2|mc<N>}] (e.g. [chiplet2x2-mc4]: a CX×CY grid
+    of 4×4-core chiplets whose boundary links cost 12 cycles over 8 B).
     [mc4] is mapping M1, the paper's default. *)
 
 val to_json : t -> Obs.Json.t
+(** Hierarchical platforms carry a ["hierarchy"] member
+    ([chiplets_x]/[chiplets_y]/[link_latency]/[link_bytes]); flat
+    platforms' documents are byte-identical to the pre-chiplet format. *)
 
 val of_json : Obs.Json.t -> (t, string) result
-(** Inverse of {!to_json}; [cluster], [placement] and the scalar
-    parameters are optional and default to the preset values
-    ([of_json (to_json p)] restores [p] exactly). *)
+(** Inverse of {!to_json}; [cluster], [placement], [hierarchy] and the
+    scalar parameters are optional and default to the preset values
+    ([of_json (to_json p)] restores [p] exactly).  A 1×1 ["hierarchy"]
+    grid is normalized to the flat mesh, so the degenerate hierarchical
+    machine is structurally — and behaviorally — identical to the flat
+    preset. *)
 
 val of_file : string -> (t, string) result
 

@@ -11,7 +11,13 @@
     quantity the paper's localization attacks — without per-flit
     simulation, and it makes off-chip and on-chip traffic contend for the
     same links, which is the paper's second effect (off-chip traffic slows
-    on-chip accesses). *)
+    on-chip accesses).
+
+    On a hierarchical topology ([Topology.chiplets]), links whose
+    endpoints lie in different chiplets form a second link class: they
+    charge the chiplet grid's [link_latency] per hop and serialize the
+    message over its [link_bytes] width.  Flat topologies are charged
+    exactly as before. *)
 
 type config = {
   per_hop_latency : int;  (** cycles per link traversal, default 4 *)

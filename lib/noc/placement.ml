@@ -251,6 +251,40 @@ let neighborhood ~pool ~sites =
   in
   relocations @ swaps
 
+(* --- chiplet-aware pools and move ordering ----------------------------- *)
+
+let sites_in_chiplet topo pool ~chiplet =
+  Array.of_list
+    (List.filter
+       (fun c -> Topology.chiplet_of_coord topo c = chiplet)
+       (Array.to_list (pool_sites topo pool)))
+
+let move_crosses_chiplet topo ~sites = function
+  | Relocate { mc; site } ->
+    Topology.chiplet_of_coord topo site
+    <> Topology.chiplet_of_coord topo sites.(mc)
+  | Swap { a; b } ->
+    Topology.chiplet_of_coord topo sites.(a)
+    <> Topology.chiplet_of_coord topo sites.(b)
+
+(* On a hierarchical topology the confined moves (relocations within the
+   MC's own chiplet, swaps between same-chiplet MCs) come first, each
+   group keeping the flat enumeration order; moves that explicitly cross
+   a chiplet boundary follow.  A best- or first-improvement descent
+   therefore prefers staying inside a chiplet's site pool on ties, and a
+   flat topology gets exactly the historical order. *)
+let neighborhood_on topo ~pool ~sites =
+  let moves = neighborhood ~pool ~sites in
+  match topo.Topology.chiplets with
+  | None -> moves
+  | Some _ ->
+    let confined, crossing =
+      List.partition
+        (fun m -> not (move_crosses_chiplet topo ~sites m))
+        moves
+    in
+    confined @ crossing
+
 let mc_node p m = p.nodes.(m)
 
 let nearest p topo node =

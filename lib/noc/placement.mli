@@ -123,6 +123,24 @@ val neighborhood : pool:Coord.t array -> sites:Coord.t array -> move list
     pairwise swaps ([a < b]).  Deterministic order, so a first- or
     best-improvement descent is reproducible. *)
 
+val sites_in_chiplet : Topology.t -> pool -> chiplet:int -> Coord.t array
+(** The pool sites lying in one chiplet, in pool order — a chiplet's
+    local site pool.  On a flat mesh, chiplet [0] holds the whole pool. *)
+
+val move_crosses_chiplet :
+  Topology.t -> sites:Coord.t array -> move -> bool
+(** Whether the move takes an MC across a chiplet boundary: a relocation
+    to a site in another chiplet, or a swap of MCs sitting in different
+    chiplets.  Always [false] on a flat mesh. *)
+
+val neighborhood_on :
+  Topology.t -> pool:Coord.t array -> sites:Coord.t array -> move list
+(** {!neighborhood}, reordered for the topology: moves confined to a
+    chiplet's site pool first (relocations within the MC's own chiplet,
+    swaps of same-chiplet MCs — each group in flat enumeration order),
+    then the moves that explicitly cross a boundary.  On a flat mesh this
+    is exactly {!neighborhood}. *)
+
 val nearest : t -> Topology.t -> int -> int
 (** [nearest p topo node] is the MC whose attachment node is closest to
     [node] (ties broken towards the lower MC index) — what the paper's

@@ -65,6 +65,71 @@ let cost_rows msg =
            | [ name; cost ] -> Some [ name; cost ]
            | _ -> None)
 
+(* Platform header: the machine the document came from — mesh geometry,
+   hierarchy, mapping and placement, plus a short geometry digest so two
+   reports can be compared at a glance.  Reads the embedded "config"
+   object; documents without one (or without mesh dims) get no header. *)
+let platform_section doc =
+  match Json.member "config" doc with
+  | Some (Json.Obj _ as cfg) -> (
+    let int_of name =
+      match Json.member name cfg with Some (Json.Int n) -> Some n | _ -> None
+    in
+    let str_of name =
+      match Json.member name cfg with
+      | Some (Json.String s) -> Some s
+      | _ -> None
+    in
+    match (int_of "mesh_width", int_of "mesh_height") with
+    | Some w, Some h ->
+      let hier = Json.member "hierarchy" cfg in
+      let hier_int j name =
+        match Json.member name j with Some (Json.Int n) -> n | _ -> 0
+      in
+      let hier_text =
+        match hier with
+        | Some hj ->
+          Printf.sprintf "%dx%d chiplets, inter-chiplet links %d cycles / %d B"
+            (hier_int hj "chiplets_x") (hier_int hj "chiplets_y")
+            (hier_int hj "link_latency") (hier_int hj "link_bytes")
+        | None -> "flat (single die)"
+      in
+      let cluster = Option.value ~default:"?" (str_of "cluster") in
+      let placement = Option.value ~default:"?" (str_of "placement") in
+      let mcs = Option.value ~default:0 (int_of "num_mcs") in
+      (* djb2 over the geometry fields, in the spirit of the placement
+         search's site digest *)
+      let dg = ref 5381 in
+      let addi v = dg := ((!dg * 33) + v) land 0xFFFFFF in
+      let adds s = String.iter (fun c -> addi (Char.code c)) s in
+      addi w;
+      addi h;
+      addi mcs;
+      adds cluster;
+      adds placement;
+      (match hier with
+      | Some hj ->
+        List.iter
+          (fun n -> addi (hier_int hj n))
+          [ "chiplets_x"; "chiplets_y"; "link_latency"; "link_bytes" ]
+      | None -> ());
+      [
+        {
+          title = "Platform";
+          items =
+            [
+              Text
+                (Printf.sprintf
+                   "Machine: %dx%d mesh, mapping %s, placement %s, %d MCs" w h
+                   cluster placement mcs);
+              Text (Printf.sprintf "Hierarchy: %s" hier_text);
+              Text (Printf.sprintf "Geometry digest: %06x" !dg);
+            ];
+        };
+      ]
+    | _ -> [])
+  | _ -> []
+
 let run_section doc =
   let items = ref [] in
   let add i = items := i :: !items in
@@ -319,7 +384,8 @@ let build ?diags doc =
   match doc with
   | Json.Obj _ ->
     Ok
-      ((run_section doc :: tenants_section doc)
+      (platform_section doc
+      @ (run_section doc :: tenants_section doc)
       @ attribution_section doc @ heatmap_section doc @ mapping_section diags
       @ search_section diags)
   | _ -> Error "Report.build: not a stats-JSON object"

@@ -22,9 +22,12 @@ val bank_heat : int array array -> string
     rendering of {!Attr.bank_load}. *)
 
 val build : ?diags:Json.t -> Json.t -> (section list, string) result
-(** Structures one stats-JSON document into report sections.  Sections
-    appear only when the document carries their data: attribution and
-    heatmaps require a run recorded with attribution on; the mapping
+(** Structures one stats-JSON document into report sections.  A platform
+    header (mesh geometry, hierarchy or "flat", mapping, placement and a
+    short geometry digest) leads when the document embeds its config.
+    Other sections appear only when the document carries their data:
+    attribution and heatmaps require a run recorded with attribution on;
+    the mapping
     cost table requires [diags] (the [--diag-json] array) with a C002
     note, and the placement-search section ([occ --mapping search])
     its C004 notes — summary plus per-step trajectory.  [Error] when

@@ -133,7 +133,7 @@ let customize_config t =
 
 let mesh ~width ~height t =
   let ( let* ) = Result.bind in
-  let topo = Noc.Topology.make ~width ~height in
+  let topo = Noc.Topology.make ~width ~height () in
   let* cluster = Core.Cluster.m1 ~width ~height in
   let* platform =
     Core.Platform.make_result
@@ -205,10 +205,30 @@ let build ?(scaled = true) ?(platform = "") ?(l2 = "private")
 
 let to_json t =
   let open Obs.Json in
+  (* emitted only on hierarchical platforms: flat configs keep the
+     pre-chiplet document bytes (the seed-0 golden pins them) *)
+  let hierarchy =
+    match (topo t).Noc.Topology.chiplets with
+    | None -> []
+    | Some g ->
+      [
+        ( "hierarchy",
+          obj
+            [
+              ("chiplets_x", Int g.Noc.Topology.grid_x);
+              ("chiplets_y", Int g.Noc.Topology.grid_y);
+              ("link_latency", Int g.Noc.Topology.link_latency);
+              ("link_bytes", Int g.Noc.Topology.link_bytes);
+            ] );
+      ]
+  in
   obj
-    [
+    ([
       ("mesh_width", Int (topo t).Noc.Topology.width);
       ("mesh_height", Int (topo t).Noc.Topology.height);
+    ]
+    @ hierarchy
+    @ [
       ( "l2_org",
         String
           (match t.l2_org with Private_l2 -> "private" | Shared_l2 -> "shared")
@@ -256,14 +276,20 @@ let to_json t =
       ("optimal", Bool t.optimal);
       ("frames_per_mc", Int t.frames_per_mc);
       ("seed", Int t.seed);
-    ]
+    ])
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>mesh %dx%d, %a, %s L2 (%d B/node, %d B lines), L1 %d B, %s, %d \
+    "@[<v>mesh %dx%d%t, %a, %s L2 (%d B/node, %d B lines), L1 %d B, %s, %d \
      MCs, %d banks/MC@]"
-    (topo t).Noc.Topology.width (topo t).Noc.Topology.height Core.Cluster.pp
-    (cluster t)
+    (topo t).Noc.Topology.width (topo t).Noc.Topology.height
+    (fun ppf ->
+      match (topo t).Noc.Topology.chiplets with
+      | None -> ()
+      | Some g ->
+        Format.fprintf ppf " (%dx%d chiplets)" g.Noc.Topology.grid_x
+          g.Noc.Topology.grid_y)
+    Core.Cluster.pp (cluster t)
     (match t.l2_org with Private_l2 -> "private" | Shared_l2 -> "shared")
     t.l2_size (l2_line t) t.l1_size
     (match interleaving t with

@@ -139,6 +139,9 @@ val build :
 val to_json : t -> Obs.Json.t
 (** Scalar platform parameters (mesh, caches, controllers, policies) —
     embedded in the machine-readable stats so a results file records the
-    configuration that produced it. *)
+    configuration that produced it.  Hierarchical platforms additionally
+    carry a ["hierarchy"] member (chiplet grid and inter-chiplet link
+    class); flat platforms' documents are byte-identical to the
+    pre-chiplet format. *)
 
 val pp : Format.formatter -> t -> unit

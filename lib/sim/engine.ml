@@ -291,6 +291,24 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
         Noc.Topology.distance topo (i / nodes) (i mod nodes))
   in
   let hops_between src dst = hop_tbl.((src * nodes) + dst) in
+  (* inter-chiplet off-chip traffic: the counter is registered only on
+     hierarchical platforms, so flat runs' stats documents stay
+     byte-identical; the origin-node × MC crossing table makes the hot
+     path one array load *)
+  let cross_chiplet =
+    if Noc.Topology.num_chiplets topo > 1 then
+      Some
+        (Obs.Metrics.counter (Stats.registry stats) "sim.offchip_cross_chiplet")
+    else None
+  in
+  let cross_tbl =
+    match cross_chiplet with
+    | None -> [||]
+    | Some _ ->
+      Array.init (nodes * num_mcs) (fun i ->
+          Noc.Topology.chiplet_of_node topo (i / num_mcs)
+          <> Noc.Topology.chiplet_of_node topo (mc_node (i mod num_mcs)))
+  in
   (* per-(job, thread) and per-controller event payloads, preallocated so
      phase starts and controller wakes push shared immutable values *)
   let step_act =
@@ -657,6 +675,10 @@ let run (cfg : Config.t) ?desired_mc_of_vpage ?(trace = Obs.Trace.disabled)
     if req.measured then begin
       let origin = if req.rshared then req.home else req.rnode in
       Stats.record_offchip stats ~origin ~mc:req.mc;
+      (match cross_chiplet with
+      | Some c when cross_tbl.((origin * num_mcs) + req.mc) ->
+        Obs.Metrics.incr c
+      | _ -> ());
       (* per-job split of the same counter: sums to sim.offchip_accesses *)
       job_offchip.(req.rjob) <- job_offchip.(req.rjob) + 1;
       (* attribution rides the same gate as record_offchip, so the cube

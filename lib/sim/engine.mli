@@ -104,4 +104,11 @@ val run :
     [noc.*_link_utilization] gauges in the run's {!Stats} registry; with
     [attr] absent the registry contents (and hence the stats JSON) are
     bit-for-bit those of a plain run, and the record path costs one
-    branch per request. *)
+    branch per request.
+
+    On a hierarchical platform (a chiplet grid in the topology) the run
+    additionally registers the [sim.offchip_cross_chiplet] counter — the
+    measured off-chip accesses whose requesting node and serving
+    controller sit in different chiplets.  Flat platforms never register
+    it, keeping their stats documents byte-identical to the pre-chiplet
+    format. *)

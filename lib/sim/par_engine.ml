@@ -6,6 +6,7 @@
 
 type partition = {
   part_cluster : int;
+  part_clusters : int list;
   part_mcs : int list;
   part_nodes : int list;
   part_jobs : int list;
@@ -186,6 +187,58 @@ let check_links cfg parts =
         endpoints)
     parts
 
+(* Chiplet boundaries are natural partitions: when the platform is
+   hierarchical and every per-cluster partition lies inside one chiplet,
+   the clusters of a chiplet are merged into a single partition — the
+   partition cut then runs along the scarce inter-chiplet links, and two
+   clusters sharing on-die links inside a chiplet no longer defeat the
+   no-shared-links leg of the proof.  Any cluster spanning chiplets keeps
+   the per-cluster decomposition.  Flat platforms pass through
+   untouched. *)
+let merge_by_chiplet cfg parts =
+  let topo = Config.topo cfg in
+  if Noc.Topology.num_chiplets topo < 2 then parts
+  else
+    let chiplet_of p =
+      match p.part_nodes with
+      | [] -> None
+      | n :: rest ->
+        let c = Noc.Topology.chiplet_of_node topo n in
+        if
+          List.for_all
+            (fun m -> Noc.Topology.chiplet_of_node topo m = c)
+            rest
+        then Some c
+        else None
+    in
+    let tags = Array.map chiplet_of parts in
+    if Array.exists (fun t -> t = None) tags then parts
+    else begin
+      let groups = Hashtbl.create 8 in
+      Array.iteri
+        (fun i p ->
+          let c = Option.get tags.(i) in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt groups c) in
+          Hashtbl.replace groups c (p :: prev))
+        parts;
+      let chiplets =
+        List.sort_uniq compare (Array.to_list (Array.map Option.get tags))
+      in
+      Array.of_list
+        (List.map
+           (fun c ->
+             let ps = List.rev (Hashtbl.find groups c) in
+             let all f = List.sort_uniq compare (List.concat_map f ps) in
+             {
+               part_cluster = (List.hd ps).part_cluster;
+               part_clusters = all (fun p -> p.part_clusters);
+               part_mcs = all (fun p -> p.part_mcs);
+               part_nodes = all (fun p -> p.part_nodes);
+               part_jobs = all (fun p -> p.part_jobs);
+             })
+           chiplets)
+    end
+
 let plan (cfg : Config.t) ?desired_mc_of_vpage ~(jobs : Engine.job list) () =
   let cluster = Config.cluster cfg in
   let js = Array.of_list jobs in
@@ -209,6 +262,7 @@ let plan (cfg : Config.t) ?desired_mc_of_vpage ~(jobs : Engine.job list) () =
           in
           {
             part_cluster = c;
+            part_clusters = [ c ];
             part_mcs = Core.Cluster.mcs_of_cluster cluster c;
             part_nodes = cluster_nodes cfg c;
             part_jobs;
@@ -216,6 +270,7 @@ let plan (cfg : Config.t) ?desired_mc_of_vpage ~(jobs : Engine.job list) () =
       |> List.filter (fun p -> p.part_jobs <> [])
       |> Array.of_list
     in
+    let parts = merge_by_chiplet cfg parts in
     if Array.length parts < 2 then
       raise (Reject "all jobs live in one cluster partition");
     check_nearest cfg parts;
@@ -229,7 +284,11 @@ let describe plan ~domains =
   | Parallel parts ->
     let clusters =
       String.concat ","
-        (Array.to_list (Array.map (fun p -> string_of_int p.part_cluster) parts))
+        (Array.to_list
+           (Array.map
+              (fun p ->
+                String.concat "+" (List.map string_of_int p.part_clusters))
+              parts))
     in
     Printf.sprintf "parallel: %d partitions (clusters %s) on %d worker domain%s%s"
       (Array.length parts) clusters

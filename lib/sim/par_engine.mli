@@ -38,14 +38,20 @@
     ordering of partitions can change a byte of the output. *)
 
 type partition = {
-  part_cluster : int;  (** cluster index this partition simulates *)
+  part_cluster : int;
+      (** representative (lowest) cluster index this partition simulates *)
+  part_clusters : int list;
+      (** every cluster it simulates (ascending) — a singleton on a flat
+          platform; on a hierarchical platform whose clusters nest inside
+          chiplets, all of one chiplet's clusters *)
   part_mcs : int list;  (** controllers owned (ascending) *)
-  part_nodes : int list;  (** mesh nodes of the cluster (ascending) *)
+  part_nodes : int list;  (** mesh nodes owned (ascending) *)
   part_jobs : int list;  (** indices of the jobs it runs (ascending) *)
 }
 
 type plan =
-  | Parallel of partition array  (** in ascending cluster order *)
+  | Parallel of partition array
+      (** in ascending cluster (flat) or chiplet (hierarchical) order *)
   | Sequential of string  (** not decomposable — the reason why *)
 
 val plan :
@@ -62,7 +68,13 @@ val plan :
     the run's page policy and [desired_mc_of_vpage] hints) on one of
     that cluster's controllers within its frame budget, freed ranges not
     overlapping foreign pages, and the partitions' XY route link sets
-    pairwise disjoint.  Anything else is [Sequential reason]. *)
+    pairwise disjoint.  Anything else is [Sequential reason].
+
+    On a hierarchical platform whose clusters nest inside chiplets, the
+    per-cluster partitions of each chiplet are merged into one partition
+    per chiplet before the route check: chiplet boundaries are natural
+    partition cuts, so clusters sharing on-die links inside a chiplet no
+    longer force a sequential fallback. *)
 
 val describe : plan -> domains:int -> string
 (** One line for humans: the partition/worker layout, or the fallback

@@ -8,9 +8,17 @@ let render (cfg : Config.t) =
   for m = 0 to num_mcs - 1 do
     mc_at.(Noc.Placement.mc_node placement m) <- m
   done;
+  let chiplet_note =
+    match topo.Noc.Topology.chiplets with
+    | None -> ""
+    | Some g ->
+      Printf.sprintf ", %dx%d chiplets" g.Noc.Topology.grid_x
+        g.Noc.Topology.grid_y
+  in
   Buffer.add_string buf
-    (Printf.sprintf "%dx%d mesh, mapping %s (cells show cluster; *m = controller m)\n"
-       topo.Noc.Topology.width topo.Noc.Topology.height cluster.Core.Cluster.name);
+    (Printf.sprintf "%dx%d mesh%s, mapping %s (cells show cluster; *m = controller m)\n"
+       topo.Noc.Topology.width topo.Noc.Topology.height chiplet_note
+       cluster.Core.Cluster.name);
   for y = 0 to topo.Noc.Topology.height - 1 do
     Buffer.add_string buf "  ";
     for x = 0 to topo.Noc.Topology.width - 1 do
@@ -61,10 +69,26 @@ let render_link_heat (cfg : Config.t) util =
     if vmax <= 0. then shades.(0)
     else shades.(int_of_float (v /. vmax *. float_of_int (Array.length shades - 1)))
   in
+  (* chiplet boundaries, derived from the platform: a '|' splits the two
+     shade chars of an east-west edge crossing a vertical boundary, and
+     the vertical-link spacer row under a horizontal boundary uses '-'
+     separators ('+' where both meet).  Flat platforms draw nothing. *)
+  let vert_boundary, horiz_boundary, chiplet_note =
+    match topo.Noc.Topology.chiplets with
+    | None -> ((fun _ -> false), (fun _ -> false), "")
+    | Some g ->
+      let nx = w / g.Noc.Topology.grid_x
+      and ny = h / g.Noc.Topology.grid_y in
+      ( (fun x -> (x + 1) mod nx = 0),
+        (fun y -> (y + 1) mod ny = 0),
+        Printf.sprintf ", %dx%d chiplets" g.Noc.Topology.grid_x
+          g.Noc.Topology.grid_y )
+  in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "  per-link utilization, peak %.4f (shades relative to peak)\n"
-       vmax);
+    (Printf.sprintf
+       "  per-link utilization, peak %.4f (shades relative to peak%s)\n"
+       vmax chiplet_note);
   for y = 0 to h - 1 do
     Buffer.add_string buf "  ";
     for x = 0 to w - 1 do
@@ -72,15 +96,23 @@ let render_link_heat (cfg : Config.t) util =
       if x < w - 1 then begin
         let c = shade (horiz x y) in
         Buffer.add_char buf c;
+        if vert_boundary x then Buffer.add_char buf '|';
         Buffer.add_char buf c
       end
     done;
     Buffer.add_char buf '\n';
     if y < h - 1 then begin
       Buffer.add_string buf "  ";
+      let hb = horiz_boundary y in
       for x = 0 to w - 1 do
         Buffer.add_char buf (shade (vert x y));
-        if x < w - 1 then Buffer.add_string buf "  "
+        if x < w - 1 then
+          Buffer.add_string buf
+            (match (hb, vert_boundary x) with
+            | false, false -> "  "
+            | false, true -> " | "
+            | true, false -> "--"
+            | true, true -> "-+-")
       done;
       Buffer.add_char buf '\n'
     end

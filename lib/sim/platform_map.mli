@@ -19,5 +19,9 @@ val render_link_heat : Config.t -> float array -> string
 (** [render_link_heat cfg util] draws the mesh with every edge shaded by
     the busier of its two directed links ([util] indexed by dense link id,
     as {!Engine.result}'s [link_utilization]), normalized to the hottest
-    link; the header records the absolute peak.  The mesh-contention
+    link; the header records the absolute peak.  Mesh dimensions and
+    chiplet boundaries come from the platform: on a hierarchical machine
+    vertical boundaries split the crossing edges with ['|'] and
+    horizontal ones rule the spacer row with ['-'] (['+'] at corners);
+    flat platforms render exactly as before.  The mesh-contention
     picture behind the paper's network-latency argument. *)

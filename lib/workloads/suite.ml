@@ -15,6 +15,16 @@ let all =
     Minimd.app;
   ]
 
-let by_name name = List.find (fun (a : App.t) -> String.equal a.App.name name) all
+(* The 13 fixed apps, plus the generated tiled-GEMM family by spec name.
+   [all] deliberately excludes gemm: every figure of the paper iterates
+   the fixed suite. *)
+let by_name name =
+  match List.find_opt (fun (a : App.t) -> String.equal a.App.name name) all with
+  | Some a -> a
+  | None -> (
+    match Gemm.of_name name with
+    | Some (Ok app) -> app
+    | Some (Error e) -> invalid_arg e
+    | None -> raise Not_found)
 
 let names = List.map (fun (a : App.t) -> a.App.name) all

@@ -6,6 +6,9 @@ val all : App.t list
 (** In the paper's Figure order. *)
 
 val by_name : string -> App.t
-(** Raises [Not_found] for unknown names. *)
+(** A suite app by name, or a generated {!Gemm} instance for names of
+    the gemm family ([gemm], [gemm-n<N>t<T>[p<P>]]).  Raises [Not_found]
+    for unknown names and [Invalid_argument] for a gemm spec with bad
+    knobs (the message names the offending knob). *)
 
 val names : string list

@@ -13,7 +13,7 @@ module Indexed = Core.Indexed
 module Transform = Core.Transform
 module Mapping_select = Core.Mapping_select
 
-let topo8 = Noc.Topology.make ~width:8 ~height:8
+let topo8 = Noc.Topology.make ~width:8 ~height:8 ()
 
 let ok = function Ok v -> v | Error e -> failwith e
 

@@ -128,7 +128,7 @@ let test_validation () =
   Alcotest.check_raises "matrix mul mismatch" (Invalid_argument "Matrix.mul")
     (fun () -> ignore (Matrix.mul (Matrix.identity 2) (Matrix.identity 3)));
   Alcotest.check_raises "topology zero" (Invalid_argument "Topology.make")
-    (fun () -> ignore (Noc.Topology.make ~width:0 ~height:4));
+    (fun () -> ignore (Noc.Topology.make ~width:0 ~height:4 ()));
   Alcotest.check_raises "fr_fcfs bad bank" (Invalid_argument "Fr_fcfs.enqueue")
     (fun () ->
       Dram.Fr_fcfs.enqueue (Dram.Fr_fcfs.create ~banks:2 ()) ~now:0 ~bank:7

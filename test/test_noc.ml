@@ -6,7 +6,7 @@ module Topology = Noc.Topology
 module Placement = Noc.Placement
 module Network = Noc.Network
 
-let topo8 = Topology.make ~width:8 ~height:8
+let topo8 = Topology.make ~width:8 ~height:8 ()
 
 let ok = function Ok v -> v | Error e -> failwith e
 
@@ -208,6 +208,152 @@ let prop_neighborhood_legal =
              | Error _ -> false)
            moves)
 
+(* --- chiplet level --- *)
+
+let chip_grid =
+  { Topology.grid_x = 2; grid_y = 2; link_latency = 12; link_bytes = 8 }
+
+let topo_chip = Topology.make ~chiplets:chip_grid ~width:8 ~height:8 ()
+
+let test_chiplet_indexing () =
+  Alcotest.(check int) "flat mesh has one chiplet" 1 (Topology.num_chiplets topo8);
+  Alcotest.(check int) "2x2 grid has four" 4 (Topology.num_chiplets topo_chip);
+  let at x y = Topology.node_of_coord topo_chip (Coord.make x y) in
+  (* row-major chiplet indices over 4x4 tiles *)
+  Alcotest.(check int) "NW tile" 0 (Topology.chiplet_of_node topo_chip (at 0 0));
+  Alcotest.(check int) "NE tile" 1 (Topology.chiplet_of_node topo_chip (at 4 0));
+  Alcotest.(check int) "SW tile" 2 (Topology.chiplet_of_node topo_chip (at 0 7));
+  Alcotest.(check int) "SE tile" 3 (Topology.chiplet_of_node topo_chip (at 7 7));
+  Alcotest.(check int) "interior stays home" 0
+    (Topology.chiplet_of_node topo_chip (at 3 3));
+  Alcotest.(check int) "flat nodes all map to 0" 0
+    (Topology.chiplet_of_node topo8 (Topology.nodes topo8 - 1))
+
+let test_chiplet_hops () =
+  let at x y = Topology.node_of_coord topo_chip (Coord.make x y) in
+  (* chiplet-grid manhattan distance = boundary crossings under XY *)
+  Alcotest.(check int) "within a chiplet" 0
+    (Topology.chiplet_hops topo_chip (at 0 0) (at 3 3));
+  Alcotest.(check int) "one crossing east" 1
+    (Topology.chiplet_hops topo_chip (at 3 0) (at 4 0));
+  Alcotest.(check int) "diagonal crosses twice" 2
+    (Topology.chiplet_hops topo_chip (at 0 0) (at 7 7));
+  Alcotest.(check int) "flat mesh never crosses" 0
+    (Topology.chiplet_hops topo8 0 63);
+  (* crossing count is a lower bound refined by the actual route *)
+  List.iter
+    (fun (src, dst) ->
+      let crossings =
+        List.length
+          (List.filter
+             (Topology.link_crosses_chiplet topo_chip)
+             (Topology.xy_route topo_chip ~src ~dst))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "route %d->%d crossings" src dst)
+        (Topology.chiplet_hops topo_chip src dst)
+        crossings)
+    [ (0, 63); (63, 0); (7, 56); (27, 36); (0, 7); (12, 51) ]
+
+let test_chiplet_normalization () =
+  (* a 1x1 grid is the flat machine, structurally *)
+  let degenerate =
+    Topology.make
+      ~chiplets:
+        { Topology.grid_x = 1; grid_y = 1; link_latency = 99; link_bytes = 2 }
+      ~width:8 ~height:8 ()
+  in
+  Alcotest.(check bool) "1x1 grid normalizes to None" true
+    (degenerate = topo8 && degenerate.Topology.chiplets = None);
+  (* chiplets_result rejects the malformed grids with a value *)
+  List.iter
+    (fun (label, gx, gy, lat, by) ->
+      match
+        Topology.chiplets_result topo8 ~grid_x:gx ~grid_y:gy ~link_latency:lat
+          ~link_bytes:by
+      with
+      | Ok _ -> Alcotest.failf "%s must be rejected" label
+      | Error e ->
+        Alcotest.(check bool) (label ^ " error non-empty") true
+          (String.length e > 0))
+    [
+      ("non-dividing grid", 3, 3, 12, 8);
+      ("zero grid", 0, 2, 12, 8);
+      ("zero latency", 2, 2, 0, 8);
+      ("zero width", 2, 2, 12, 0);
+    ]
+
+let test_network_chiplet_link_class () =
+  let flat = Network.create topo8 in
+  let hier = Network.create topo_chip in
+  let at topo x y = Topology.node_of_coord topo (Coord.make x y) in
+  (* a route confined to one chiplet is charged exactly like the flat mesh *)
+  let a_flat, h_flat, _ =
+    Network.send flat ~now:0 ~src:(at topo8 0 0) ~dst:(at topo8 3 3) ~bytes:8
+  in
+  let a_conf, h_conf, _ =
+    Network.send hier ~now:0 ~src:(at topo_chip 0 0) ~dst:(at topo_chip 3 3)
+      ~bytes:8
+  in
+  Alcotest.(check int) "same hops" h_flat h_conf;
+  Alcotest.(check int) "on-die route charged as flat" a_flat a_conf;
+  (* a crossing route pays the inter-chiplet latency: strictly slower *)
+  let a_flat_x, _, _ =
+    Network.send flat ~now:0 ~src:(at topo8 3 0) ~dst:(at topo8 4 0) ~bytes:8
+  in
+  let a_cross, h_cross, _ =
+    Network.send hier ~now:0 ~src:(at topo_chip 3 0) ~dst:(at topo_chip 4 0)
+      ~bytes:8
+  in
+  Alcotest.(check int) "one hop" 1 h_cross;
+  Alcotest.(check bool)
+    (Printf.sprintf "crossing link slower (%d > %d)" a_cross a_flat_x)
+    true (a_cross > a_flat_x);
+  (* the narrow inter-chiplet link also serializes wide messages harder *)
+  Network.reset hier;
+  let small = Network.transfer hier ~now:0 ~src:(at topo_chip 3 0)
+      ~dst:(at topo_chip 4 0) ~bytes:8
+  in
+  Network.reset hier;
+  let wide = Network.transfer hier ~now:0 ~src:(at topo_chip 3 0)
+      ~dst:(at topo_chip 4 0) ~bytes:64
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "8-byte link serializes 64 B (%d > %d)" wide small)
+    true (wide > small)
+
+let test_neighborhood_on_chiplets () =
+  let sites = [| Coord.make 0 0; Coord.make 7 0; Coord.make 0 7; Coord.make 7 7 |] in
+  let pool = Placement.pool_sites topo8 Placement.Perimeter in
+  let flat_moves = Placement.neighborhood ~pool ~sites in
+  let ordered = Placement.neighborhood_on topo_chip ~pool ~sites in
+  (* same move set, chiplet-confined moves enumerated first *)
+  Alcotest.(check int) "same move count" (List.length flat_moves)
+    (List.length ordered);
+  Alcotest.(check bool) "same move set" true
+    (List.sort compare flat_moves = List.sort compare ordered);
+  let rec confined_prefix = function
+    | [] -> true
+    | m :: rest ->
+      if Placement.move_crosses_chiplet topo_chip ~sites m then
+        List.for_all (Placement.move_crosses_chiplet topo_chip ~sites) rest
+      else confined_prefix rest
+  in
+  Alcotest.(check bool) "confined moves lead" true (confined_prefix ordered);
+  (* on a flat mesh the ordering is untouched *)
+  Alcotest.(check bool) "flat order unchanged" true
+    (Placement.neighborhood_on topo8 ~pool ~sites = flat_moves);
+  (* per-chiplet site pools partition the perimeter *)
+  let local c =
+    Placement.sites_in_chiplet topo_chip Placement.Perimeter ~chiplet:c
+  in
+  Alcotest.(check int) "NW chiplet perimeter sites" 7 (Array.length (local 0));
+  Alcotest.(check int) "chiplet pools cover the perimeter" 28
+    (Array.length (local 0) + Array.length (local 1) + Array.length (local 2)
+    + Array.length (local 3));
+  Alcotest.(check int) "flat chiplet 0 holds the whole pool" 28
+    (Array.length (Placement.sites_in_chiplet topo8 Placement.Perimeter ~chiplet:0))
+
 (* --- move operators and site pools --- *)
 
 let test_site_pools () =
@@ -310,6 +456,10 @@ let suite =
         Alcotest.test_case "node/coord roundtrip" `Quick test_node_coord_roundtrip;
         Alcotest.test_case "distance" `Quick test_distance;
         Alcotest.test_case "link ids" `Quick test_link_ids_distinct;
+        Alcotest.test_case "chiplet indexing" `Quick test_chiplet_indexing;
+        Alcotest.test_case "chiplet hops" `Quick test_chiplet_hops;
+        Alcotest.test_case "1x1 grid normalization" `Quick
+          test_chiplet_normalization;
       ]
       @ qsuite [ prop_route_length; prop_route_valid ] );
     ( "noc.placement",
@@ -320,6 +470,8 @@ let suite =
         Alcotest.test_case "assign alignment" `Quick test_assign_alignment;
         Alcotest.test_case "site pools" `Quick test_site_pools;
         Alcotest.test_case "move operators" `Quick test_moves;
+        Alcotest.test_case "chiplet-aware neighborhood" `Quick
+          test_neighborhood_on_chiplets;
       ]
       @ qsuite
           [
@@ -334,5 +486,7 @@ let suite =
         Alcotest.test_case "contention" `Quick test_network_contention;
         Alcotest.test_case "local delivery" `Quick test_network_same_node;
         Alcotest.test_case "reset" `Quick test_network_reset;
+        Alcotest.test_case "inter-chiplet link class" `Quick
+          test_network_chiplet_link_class;
       ] );
   ]

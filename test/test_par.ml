@@ -65,6 +65,37 @@ let reject ?interleave ?policy ?l2 name =
     Alcotest.(check bool) "has a reason" true (reason <> "")
   | Par.Parallel _ -> Alcotest.fail "expected a sequential fallback"
 
+let test_plan_merges_by_chiplet () =
+  (* on chiplet2x2-mc8 the M1x8 clusters are 4x2 tiles, two per 4x4
+     chiplet: the planner coarsens to one partition per chiplet, so the
+     die boundary — not the cluster — is the unit of confinement *)
+  let cfg =
+    match
+      Config.build ~scaled:true ~platform:"chiplet2x2-mc8" ~l2:"private"
+        ~interleave:"page" ~policy:"first-touch" ~mapping:"" ~width:8 ~height:8
+        ~tpc:1 ~optimal:false ~seed:0 ()
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "config: %s" e
+  in
+  let preps = replicas cfg "minimd" in
+  (match plan_of cfg preps with
+  | Par.Parallel parts ->
+    Alcotest.(check int) "one partition per chiplet" 4 (Array.length parts);
+    Array.iter
+      (fun p ->
+        Alcotest.(check int) "two clusters merged" 2
+          (List.length p.Par.part_clusters))
+      parts
+  | Par.Sequential reason -> Alcotest.failf "expected parallel plan: %s" reason);
+  (* and the oracle still holds on the merged partitions *)
+  let doc domains =
+    Json.to_string
+      (Sweep.Exec.result_json ~app:"minimd" cfg
+         (Runner.run_many ~domains cfg ~jobs:preps))
+  in
+  Alcotest.(check string) "chiplet domains 4 == domains 1" (doc 1) (doc 4)
+
 let test_plan_rejects_line () = reject ~interleave:"line" "minimd"
 let test_plan_rejects_shared_l2 () = reject ~l2:"shared" "minimd"
 let test_plan_rejects_hardware () = reject ~policy:"hardware" "minimd"
@@ -179,6 +210,8 @@ let suite =
       [
         Alcotest.test_case "plan accepts confined replicas" `Quick
           test_plan_accepts_replicas;
+        Alcotest.test_case "plan merges partitions by chiplet" `Quick
+          test_plan_merges_by_chiplet;
         Alcotest.test_case "plan rejects line interleaving" `Quick
           test_plan_rejects_line;
         Alcotest.test_case "plan rejects shared L2" `Quick

@@ -33,7 +33,25 @@ let test_of_spec_presets () =
       ("mesh8x8-m2", 4, "M2");
       ("mesh8x8-mc8", 8, "M1x8");
       ("mesh8x8-mc16", 16, "M1x16");
+      ("chiplet2x2-mc4", 4, "M1");
+      ("chiplet2x2-mc8", 8, "M1x8");
     ]
+
+let test_chiplet_presets () =
+  let p = ok (Platform.of_spec "chiplet2x2-mc4") in
+  Alcotest.(check int) "8x8 mesh (2x2 chiplets of 4x4)" 64
+    (Noc.Topology.nodes p.Platform.topo);
+  (match p.Platform.topo.Noc.Topology.chiplets with
+  | None -> Alcotest.fail "chiplet preset must carry a hierarchy"
+  | Some g ->
+    Alcotest.(check int) "grid_x" 2 g.Noc.Topology.grid_x;
+    Alcotest.(check int) "grid_y" 2 g.Noc.Topology.grid_y;
+    Alcotest.(check int) "link latency" 12 g.Noc.Topology.link_latency;
+    Alcotest.(check int) "link bytes" 8 g.Noc.Topology.link_bytes);
+  Alcotest.(check int) "4 chiplets" 4 (Noc.Topology.num_chiplets p.Platform.topo);
+  Alcotest.(check bool) "presets list them" true
+    (List.mem "chiplet2x2-mc4" Platform.preset_names
+    && List.mem "chiplet2x2-mc8" Platform.preset_names)
 
 let test_of_spec_errors () =
   List.iter
@@ -43,7 +61,10 @@ let test_of_spec_errors () =
       | Error e ->
         Alcotest.(check bool) (spec ^ " error is non-empty") true
           (String.length e > 0))
-    [ "mesh8x8-mc3"; "nonsense"; "mesh0x0-mc4"; "/no/such/file.json" ]
+    [
+      "mesh8x8-mc3"; "nonsense"; "mesh0x0-mc4"; "/no/such/file.json";
+      "chiplet2x2-mc3"; "chiplet0x2-mc4";
+    ]
 
 (* --- candidate enumeration -------------------------------------------- *)
 
@@ -131,6 +152,8 @@ let test_json_roundtrip () =
         p.Platform.cluster.Cluster.name q.Platform.cluster.Cluster.name;
       Alcotest.(check bool) (spec ^ " placement survives") true
         (p.Platform.placement = q.Platform.placement);
+      Alcotest.(check bool) (spec ^ " hierarchy survives") true
+        (p.Platform.topo = q.Platform.topo);
       Alcotest.(check bool) (spec ^ " scalars survive") true
         (p.Platform.line_bytes = q.Platform.line_bytes
         && p.Platform.page_bytes = q.Platform.page_bytes
@@ -138,7 +161,125 @@ let test_json_roundtrip () =
         && p.Platform.banks_per_mc = q.Platform.banks_per_mc
         && p.Platform.channels_per_mc = q.Platform.channels_per_mc
         && p.Platform.interleaving = q.Platform.interleaving))
-    [ "mesh8x8-mc4"; "mesh8x8-m2"; "mesh8x8-mc8"; "mesh8x8-mc16" ]
+    [
+      "mesh8x8-mc4"; "mesh8x8-m2"; "mesh8x8-mc8"; "mesh8x8-mc16";
+      "chiplet2x2-mc4"; "chiplet2x2-mc8";
+    ]
+
+(* [of_json (to_json p)] must restore hierarchical platforms exactly —
+   the property over the whole (grid, link class) knob space, not just
+   the two presets. *)
+let prop_hierarchy_json_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* grid_x = oneofl [ 1; 2; 4; 8 ] in
+      let* grid_y = oneofl [ 1; 2; 4; 8 ] in
+      let* link_latency = int_range 1 40 in
+      let* link_bytes = oneofl [ 4; 8; 16 ] in
+      return (grid_x, grid_y, link_latency, link_bytes))
+  in
+  let print (gx, gy, lat, by) =
+    Printf.sprintf "grid=%dx%d latency=%d bytes=%d" gx gy lat by
+  in
+  QCheck.Test.make ~name:"hierarchical platform JSON round-trips" ~count:100
+    (QCheck.make ~print gen)
+    (fun (grid_x, grid_y, link_latency, link_bytes) ->
+      let flat = Noc.Topology.make ~width:8 ~height:8 () in
+      let topo =
+        ok
+          (Noc.Topology.chiplets_result flat ~grid_x ~grid_y ~link_latency
+             ~link_bytes)
+      in
+      let base = Platform.default () in
+      let p =
+        ok
+          (Platform.make_result ~name:"qc" ~topo ~cluster:base.Platform.cluster
+             ())
+      in
+      let q = ok (Platform.of_json (Platform.to_json p)) in
+      p.Platform.topo = q.Platform.topo
+      && String.equal
+           (Obs.Json.to_string (Platform.to_json p))
+           (Obs.Json.to_string (Platform.to_json q)))
+
+let test_of_json_bad_hierarchy () =
+  let doc hierarchy =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String "bad");
+        ("mesh_width", Obs.Json.Int 8);
+        ("mesh_height", Obs.Json.Int 8);
+        ("hierarchy", Obs.Json.Obj hierarchy);
+      ]
+  in
+  List.iter
+    (fun (label, hierarchy) ->
+      match Platform.of_json (doc hierarchy) with
+      | Ok _ -> Alcotest.failf "%s must be rejected" label
+      | Error e ->
+        (* the diagnostic locates the failure in the hierarchy member *)
+        Alcotest.(check bool)
+          (Printf.sprintf "%s error cites hierarchy (%s)" label e)
+          true
+          (String.length e > String.length "hierarchy:"
+          && String.equal (String.sub e 0 10) "hierarchy:"))
+    [
+      ( "non-dividing grid",
+        [ ("chiplets_x", Obs.Json.Int 3); ("chiplets_y", Obs.Json.Int 3) ] );
+      ( "zero grid",
+        [ ("chiplets_x", Obs.Json.Int 0); ("chiplets_y", Obs.Json.Int 2) ] );
+      ( "zero link latency",
+        [
+          ("chiplets_x", Obs.Json.Int 2);
+          ("chiplets_y", Obs.Json.Int 2);
+          ("link_latency", Obs.Json.Int 0);
+        ] );
+      ( "negative link width",
+        [
+          ("chiplets_x", Obs.Json.Int 2);
+          ("chiplets_y", Obs.Json.Int 2);
+          ("link_bytes", Obs.Json.Int (-8));
+        ] );
+      ("missing grid", [ ("link_latency", Obs.Json.Int 12) ]);
+      ( "non-integer grid",
+        [
+          ("chiplets_x", Obs.Json.String "two"); ("chiplets_y", Obs.Json.Int 2);
+        ] );
+    ]
+
+let test_degenerate_hierarchy_is_flat () =
+  (* a 1x1 chiplet grid is the flat machine: it normalizes away on parse,
+     and the re-serialized document is byte-identical to the flat
+     preset's (no "hierarchy" member survives) *)
+  let flat = Platform.default () in
+  let degenerate =
+    match Platform.to_json flat with
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj
+        (List.concat_map
+           (fun (k, v) ->
+             if String.equal k "mesh_height" then
+               [
+                 (k, v);
+                 ( "hierarchy",
+                   Obs.Json.Obj
+                     [
+                       ("chiplets_x", Obs.Json.Int 1);
+                       ("chiplets_y", Obs.Json.Int 1);
+                       ("link_latency", Obs.Json.Int 99);
+                       ("link_bytes", Obs.Json.Int 2);
+                     ] );
+               ]
+             else [ (k, v) ])
+           fields)
+    | _ -> Alcotest.fail "platform JSON must be an object"
+  in
+  let q = ok (Platform.of_json degenerate) in
+  Alcotest.(check bool) "chiplets normalized away" true
+    (q.Platform.topo.Noc.Topology.chiplets = None);
+  Alcotest.(check string) "byte-identical to the flat preset"
+    (Obs.Json.to_string (Platform.to_json flat))
+    (Obs.Json.to_string (Platform.to_json q))
 
 let test_of_file () =
   let p = Platform.default () in
@@ -194,7 +335,7 @@ let test_bank_pressure_errors () =
 (* --- permutation invariance of the choice (qcheck) --------------------- *)
 
 let prop_choice_permutation_invariant =
-  let topo = Noc.Topology.make ~width:8 ~height:8 in
+  let topo = Noc.Topology.make ~width:8 ~height:8 () in
   let base = ok (Platform.of_spec "mesh8x8-mc16") in
   let candidates =
     List.map
@@ -229,17 +370,23 @@ let suite =
       [
         Alcotest.test_case "default preset" `Quick test_default_preset;
         Alcotest.test_case "of_spec presets" `Quick test_of_spec_presets;
+        Alcotest.test_case "chiplet presets" `Quick test_chiplet_presets;
         Alcotest.test_case "of_spec errors" `Quick test_of_spec_errors;
         Alcotest.test_case "candidate budget" `Quick test_candidates_respect_budget;
         Alcotest.test_case "candidate dedupe (extras)" `Quick
           test_candidate_dedupe;
         Alcotest.test_case "with_mapping" `Quick test_with_mapping;
         Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "malformed hierarchy rejected" `Quick
+          test_of_json_bad_hierarchy;
+        Alcotest.test_case "1x1 hierarchy is the flat machine" `Quick
+          test_degenerate_hierarchy_is_flat;
         Alcotest.test_case "of_file / of_spec path" `Quick test_of_file;
         Alcotest.test_case "garbage JSON rejected" `Quick test_of_json_garbage;
         Alcotest.test_case "bank pressure from stats" `Quick
           test_bank_pressure_of_stats;
         Alcotest.test_case "bank pressure errors" `Quick test_bank_pressure_errors;
         QCheck_alcotest.to_alcotest prop_choice_permutation_invariant;
+        QCheck_alcotest.to_alcotest prop_hierarchy_json_roundtrip;
       ] );
   ]

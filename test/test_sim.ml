@@ -368,6 +368,35 @@ let test_engine_seed0_golden () =
     golden
     (seed0_json () ^ "\n")
 
+let test_engine_degenerate_chiplet_golden () =
+  (* the 1-chiplet hierarchical machine IS the flat machine: a platform
+     declaring a 1x1 chiplet grid must reproduce the flat seed-0 golden
+     byte for byte — no gated field, metric or charge may leak through *)
+  let cfg = Config.scaled () in
+  let degenerate =
+    match Core.Platform.to_json (Config.platform cfg) with
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj
+        (fields
+        @ [
+            ( "hierarchy",
+              Obs.Json.Obj
+                [
+                  ("chiplets_x", Obs.Json.Int 1);
+                  ("chiplets_y", Obs.Json.Int 1);
+                  ("link_latency", Obs.Json.Int 99);
+                  ("link_bytes", Obs.Json.Int 2);
+                ] );
+          ])
+    | _ -> Alcotest.fail "platform JSON must be an object"
+  in
+  let p = ok (Core.Platform.of_json degenerate) in
+  let cfg' = Config.with_platform cfg p in
+  let r = Runner.run cfg' ~optimized:false small_program in
+  Alcotest.(check string) "1x1 chiplet grid reproduces the flat golden"
+    (seed0_json ())
+    (Obs.Json.to_string (Sweep.Exec.result_json ~app:"golden-small" cfg' r))
+
 let test_engine_phase_advance_guard () =
   let cfg = Config.scaled () in
   (* a job with no phases must finish immediately instead of indexing
@@ -436,6 +465,8 @@ let suite =
         Alcotest.test_case "seed-identical stats JSON" `Quick
           test_engine_seed_identical_json;
         Alcotest.test_case "seed-0 golden" `Quick test_engine_seed0_golden;
+        Alcotest.test_case "degenerate chiplet = flat golden" `Quick
+          test_engine_degenerate_chiplet_golden;
         Alcotest.test_case "phase advance guard" `Quick
           test_engine_phase_advance_guard;
       ] );

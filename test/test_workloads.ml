@@ -148,6 +148,56 @@ let test_by_name () =
   Alcotest.check_raises "unknown app" Not_found (fun () ->
       ignore (Suite.by_name "equake"))
 
+(* --- the tiled-GEMM generator family --- *)
+
+let test_gemm_generator () =
+  let module Gemm = Workloads.Gemm in
+  (* the default instance parses, analyzes and has the strip-parallel
+     structure the mapping experiments rely on *)
+  let app = Suite.by_name "gemm" in
+  Alcotest.(check string) "default name" "gemm" app.App.name;
+  Alcotest.(check bool) "strips localize A and C: first-touch friendly" true
+    app.App.first_touch_friendly;
+  let a = Analysis.analyze (App.program app) in
+  Alcotest.(check int) "A, B, C" 3 (List.length a.Analysis.arrays);
+  (* gemm is a generator, not a suite member: the fixed 13 are unchanged *)
+  Alcotest.(check bool) "not in Suite.all" false
+    (List.exists (fun (x : App.t) -> String.equal x.App.name "gemm") Suite.all);
+  (* knobbed instances carry their knobs in the canonical name *)
+  let shaped = Suite.by_name "gemm-n128t8p64" in
+  Alcotest.(check string) "canonical name" "gemm-n128t8p64" shaped.App.name;
+  (match Gemm.of_name "gemm-n128t4" with
+  | Some (Ok app) ->
+    Alcotest.(check string) "strip knob optional" "gemm-n128t4" app.App.name
+  | Some (Error e) -> Alcotest.fail e
+  | None -> Alcotest.fail "gemm-n128t4 is in the family");
+  (* shaping to a hierarchical platform picks strips = chiplets x tpc *)
+  (match Gemm.for_chiplets ~n:128 ~chiplets:4 () with
+  | Ok app -> Alcotest.(check string) "4 chiplets x 16" "gemm-n128t8p64" app.App.name
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "non-family names are not claimed" true
+    (Gemm.of_name "swim" = None && Gemm.of_name "gemmology" = None)
+
+let test_gemm_bad_knobs () =
+  let module Gemm = Workloads.Gemm in
+  let expect_error label = function
+    | Some (Error e) ->
+      Alcotest.(check bool) (label ^ " message non-empty") true
+        (String.length e > 0)
+    | Some (Ok _) -> Alcotest.failf "%s must be rejected" label
+    | None -> Alcotest.failf "%s is in the family" label
+  in
+  expect_error "tile does not divide n" (Gemm.of_name "gemm-n64t7");
+  expect_error "strips do not divide n" (Gemm.of_name "gemm-n64t8p7");
+  expect_error "zero tile" (Gemm.of_name "gemm-n64t0");
+  (* by_name surfaces the knob error instead of Not_found *)
+  (try
+     ignore (Suite.by_name "gemm-n64t7");
+     Alcotest.fail "bad knobs must raise Invalid_argument"
+   with
+  | Invalid_argument _ -> ()
+  | Not_found -> Alcotest.fail "family names must not fall through to Not_found")
+
 let suite =
   [
     ( "workloads",
@@ -161,5 +211,7 @@ let suite =
         Alcotest.test_case "profiles approximate" `Quick test_profiles_approximate;
         Alcotest.test_case "first-touch flags" `Quick test_first_touch_flags;
         Alcotest.test_case "by_name" `Quick test_by_name;
+        Alcotest.test_case "gemm generator" `Quick test_gemm_generator;
+        Alcotest.test_case "gemm knob validation" `Quick test_gemm_bad_knobs;
       ] );
   ]
